@@ -1,0 +1,320 @@
+//! `rcloak` — the ReverseCloak toolkit as a command-line tool.
+//!
+//! The shell-driven equivalent of the paper's Anonymizer / De-anonymizer
+//! GUIs. Owners generate maps and keys, cloak a segment, and publish the
+//! payload; requesters reduce payloads with the keys they were given.
+//!
+//! ```text
+//! rcloak map --out city.map [--atlanta | --grid 10x10] [--seed N]
+//! rcloak keys --levels 3 [--seed N] [--out keyring.txt]
+//! rcloak anonymize --map city.map --segment 40 --k 5,10,20 \
+//!        (--keys k1,k2,k3 | --keyring keyring.txt) [--engine rge|rple]
+//!        [--cars 10000] [--out cloak.bin] [--svg out.svg]
+//! rcloak deanonymize --map city.map --payload cloak.bin \
+//!        (--keys k3,k2 | --keyring keyring.txt) [--engine rge|rple]
+//! rcloak render --map city.map [--payload cloak.bin] [--width 100] [--height 40]
+//! ```
+//!
+//! Keys are 64-digit hex strings; `--keys` lists them **top level first**
+//! for `deanonymize` and **level 1 first** for `anonymize` (matching the
+//! paper's `Key_i` numbering).
+
+use anonymizer::{render_regions, render_svg, Engine, EngineChoice};
+use cloak::{
+    anonymize_with_retry, deanonymize, CloakPayload, LevelRequirement, PrivacyProfile,
+};
+use keystream::{Key256, Level};
+use mobisim::{OccupancySnapshot, SimConfig, Simulation};
+use roadnet::{RoadNetwork, SegmentId};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage("missing subcommand");
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+    let result = match cmd.as_str() {
+        "map" => cmd_map(&opts),
+        "keys" => cmd_keys(&opts),
+        "anonymize" => cmd_anonymize(&opts),
+        "deanonymize" => cmd_deanonymize(&opts),
+        "render" => cmd_render(&opts),
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => usage(&e),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage:\n  rcloak map --out FILE [--atlanta | --grid RxC] [--seed N]\n  \
+         rcloak keys --levels N [--seed N] [--out keyring.txt]\n  \
+         rcloak anonymize --map FILE --segment ID --k K1,K2,.. --keys HEX,.. \
+         [--engine rge|rple] [--cars N] [--seed N] [--out FILE] [--svg FILE]\n  \
+         rcloak deanonymize --map FILE --payload FILE (--keys HEX,.. | --keyring FILE) [--engine rge|rple]\n  \
+         rcloak render --map FILE [--payload FILE] [--width W] [--height H]"
+    );
+    ExitCode::from(2)
+}
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}`"));
+        };
+        // Flags without values.
+        if name == "atlanta" {
+            opts.insert(name.to_string(), "true".into());
+            i += 1;
+            continue;
+        }
+        i += 1;
+        let value = args
+            .get(i)
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        opts.insert(name.to_string(), value.clone());
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn get_seed(opts: &Opts) -> u64 {
+    opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+fn load_map(opts: &Opts) -> Result<RoadNetwork, String> {
+    let path = opts.get("map").ok_or("--map is required")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    roadnet::io::read_map(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn parse_engine(opts: &Opts) -> Result<EngineChoice, String> {
+    match opts.get("engine").map(String::as_str) {
+        None | Some("rge") => Ok(EngineChoice::Rge),
+        Some("rple") => Ok(EngineChoice::Rple { t_len: 12 }),
+        Some(other) => Err(format!("unknown engine `{other}`")),
+    }
+}
+
+fn parse_keys(opts: &Opts) -> Result<Vec<Key256>, String> {
+    if let Some(path) = opts.get("keyring") {
+        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let mgr = keystream::read_keyring(BufReader::new(file)).map_err(|e| e.to_string())?;
+        return Ok(mgr.iter().map(|(_, k)| k).collect());
+    }
+    opts.get("keys")
+        .ok_or("--keys or --keyring is required")?
+        .split(',')
+        .map(|h| Key256::from_hex(h).map_err(|e| format!("bad key `{h}`: {e}")))
+        .collect()
+}
+
+fn cmd_map(opts: &Opts) -> Result<(), String> {
+    let out = opts.get("out").ok_or("--out is required")?;
+    let seed = get_seed(opts);
+    let net = if opts.contains_key("atlanta") {
+        roadnet::atlanta_like(seed)
+    } else if let Some(spec) = opts.get("grid") {
+        let (r, c) = spec
+            .split_once('x')
+            .and_then(|(r, c)| Some((r.parse().ok()?, c.parse().ok()?)))
+            .ok_or("--grid expects RxC, e.g. 10x10")?;
+        roadnet::grid_city(r, c, 100.0)
+    } else {
+        roadnet::grid_city(10, 10, 100.0)
+    };
+    let mut buf = Vec::new();
+    roadnet::io::write_map(&net, &mut buf).map_err(|e| e.to_string())?;
+    std::fs::write(out, buf).map_err(|e| format!("write {out}: {e}"))?;
+    println!("{}", roadnet::NetworkStats::compute(&net));
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_keys(opts: &Opts) -> Result<(), String> {
+    let levels: usize = opts
+        .get("levels")
+        .ok_or("--levels is required")?
+        .parse()
+        .map_err(|_| "--levels expects a number")?;
+    // Auto key generation, like the GUI button; seeded only when asked.
+    let keys: Vec<Key256> = match opts.get("seed") {
+        Some(s) => {
+            let seed: u64 = s.parse().map_err(|_| "--seed expects a number")?;
+            (0..levels)
+                .map(|i| Key256::from_seed(seed.wrapping_mul(1_000_003).wrapping_add(i as u64)))
+                .collect()
+        }
+        None => {
+            let mut rng = rand::thread_rng();
+            (0..levels).map(|_| Key256::generate(&mut rng)).collect()
+        }
+    };
+    if let Some(path) = opts.get("out") {
+        let mgr = keystream::KeyManager::from_keys(keys.clone());
+        let mut buf = Vec::new();
+        keystream::write_keyring(&mgr, &mut buf).map_err(|e| e.to_string())?;
+        std::fs::write(path, buf).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote keyring with {} keys to {path}", keys.len());
+    }
+    for (i, k) in keys.iter().enumerate() {
+        println!("Key{} = {}", i + 1, k.to_hex());
+    }
+    Ok(())
+}
+
+fn cmd_anonymize(opts: &Opts) -> Result<(), String> {
+    let net = load_map(opts)?;
+    let segment = SegmentId(
+        opts.get("segment")
+            .ok_or("--segment is required")?
+            .parse()
+            .map_err(|_| "--segment expects a number")?,
+    );
+    let ks: Vec<u32> = opts
+        .get("k")
+        .ok_or("--k is required (e.g. 5,10,20)")?
+        .split(',')
+        .map(|s| s.parse().map_err(|_| format!("bad k `{s}`")))
+        .collect::<Result<_, _>>()?;
+    let keys = parse_keys(opts)?;
+    if keys.len() != ks.len() {
+        return Err(format!(
+            "{} k-values but {} keys; one key per level",
+            ks.len(),
+            keys.len()
+        ));
+    }
+    let mut builder = PrivacyProfile::builder();
+    for &k in &ks {
+        builder = builder.level(LevelRequirement::with_k(k));
+    }
+    let profile = builder.build().map_err(|e| e.to_string())?;
+
+    // Traffic for the k-anonymity check.
+    let cars = opts
+        .get("cars")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000.min(net.segment_count() * 2));
+    let seed = get_seed(opts);
+    let mut sim = Simulation::new(net, SimConfig { cars, seed, ..Default::default() });
+    sim.run(3, 10.0);
+    let snapshot = OccupancySnapshot::capture(&sim);
+    let net = sim.network();
+
+    let choice = parse_engine(opts)?;
+    let engine = Engine::build(net, choice);
+    let (out, attempts) = anonymize_with_retry(
+        net,
+        &snapshot,
+        segment,
+        &profile,
+        &keys,
+        seed ^ 0xc10a_c0de,
+        engine.as_dyn(),
+        8,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "cloaked {segment} into {} segments over {} levels ({} attempt(s))",
+        out.payload.region_size(),
+        out.payload.levels.len(),
+        attempts
+    );
+    if let Some(path) = opts.get("out") {
+        std::fs::write(path, out.payload.encode()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote payload to {path}");
+    }
+    if let Some(path) = opts.get("svg") {
+        let regions = regions_of(&out);
+        std::fs::write(path, render_svg(net, &regions, 1000))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote SVG to {path}");
+    }
+    Ok(())
+}
+
+/// Cumulative level regions from an outcome (seed + per-level spans).
+fn regions_of(out: &cloak::AnonymizationOutcome) -> Vec<(Level, Vec<SegmentId>)> {
+    let chain_set: std::collections::HashSet<_> = out.chain.iter().copied().collect();
+    let seed = out
+        .payload
+        .segments
+        .iter()
+        .copied()
+        .find(|s| !chain_set.contains(s))
+        .expect("seed in region");
+    let mut acc = vec![seed];
+    let mut regions = vec![(Level(0), acc.clone())];
+    let mut cursor = 0;
+    for (i, meta) in out.payload.levels.iter().enumerate() {
+        acc.extend(out.chain[cursor..cursor + meta.count as usize].iter().copied());
+        cursor += meta.count as usize;
+        regions.push((Level(i as u8 + 1), acc.clone()));
+    }
+    regions
+}
+
+fn cmd_deanonymize(opts: &Opts) -> Result<(), String> {
+    let net = load_map(opts)?;
+    let path = opts.get("payload").ok_or("--payload is required")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let payload = CloakPayload::decode(&bytes).map_err(|e| e.to_string())?;
+    let mut keys = parse_keys(opts)?;
+    if opts.contains_key("keyring") {
+        // Keyrings store level 1 first; peeling needs top level first.
+        keys.reverse();
+    }
+    // Keys are supplied top level first.
+    let top = payload.top_level().0;
+    let leveled: Vec<(Level, Key256)> = keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (Level(top - i as u8), k))
+        .collect();
+    let choice = parse_engine(opts)?;
+    let engine = Engine::build(&net, choice);
+    let view = deanonymize(&net, &payload, &leveled, engine.as_dyn())
+        .map_err(|e| e.to_string())?;
+    println!("reduced to level L{}: {} segments", view.level.0, view.segments.len());
+    let ids: Vec<String> = view.segments.iter().map(|s| s.to_string()).collect();
+    println!("{{{}}}", ids.join(", "));
+    if view.level == Level(0) {
+        println!("exact segment: {}", view.anchor);
+    }
+    Ok(())
+}
+
+fn cmd_render(opts: &Opts) -> Result<(), String> {
+    let net = load_map(opts)?;
+    let width = opts.get("width").and_then(|s| s.parse().ok()).unwrap_or(100);
+    let height = opts.get("height").and_then(|s| s.parse().ok()).unwrap_or(36);
+    let regions = match opts.get("payload") {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+            let payload = CloakPayload::decode(&bytes).map_err(|e| e.to_string())?;
+            // Without keys only the full region is known: one flat level.
+            vec![(payload.top_level(), payload.segments)]
+        }
+        None => Vec::new(),
+    };
+    println!("{}", render_regions(&net, &regions, width, height));
+    if !regions.is_empty() {
+        println!("{}", anonymizer::legend(regions[0].0.0 as usize));
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # anonymizer — the ReverseCloak demonstration toolkit, headless
+//!
+//! The paper demonstrates ReverseCloak through an 'Anonymizer' GUI (owners
+//! set levels, per-level k, spatial tolerance; auto key generation;
+//! colored multi-level regions on the map) and a 'De-anonymizer' GUI
+//! (requesters fetch keys per the owner's access-control profile and
+//! reduce the region). This crate is that toolkit as a library:
+//!
+//! * [`AnonymizerService`] — the trusted anonymizer: anonymizes owner
+//!   locations, stores keys, enforces the access-control profile,
+//! * [`AnonymizerServer`] — the same service behind a worker pool
+//!   ("trusted anonymization server"),
+//! * [`Deanonymizer`] — the requester-side reduction tool, including
+//!   progressive per-level peeling,
+//! * [`render_ascii`] / [`render_svg()`](fn@render_svg) — the map visualizations (the GUI
+//!   substitute; see DESIGN.md §1).
+//!
+//! ```
+//! use anonymizer::{AnonymizerConfig, AnonymizerService, Deanonymizer, Engine};
+//! use keystream::{Level, TrustDegree};
+//! use mobisim::OccupancySnapshot;
+//! use roadnet::{grid_city, SegmentId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = grid_city(6, 6, 100.0);
+//! let mut service = AnonymizerService::new(net, AnonymizerConfig::default());
+//! service.update_snapshot(OccupancySnapshot::uniform(
+//!     service.network().segment_count(),
+//!     1,
+//! ));
+//! let receipt = service.anonymize_owner("alice", SegmentId(17), None, &mut rand::thread_rng())?;
+//!
+//! // Grant a requester full access and reduce to the exact segment.
+//! service.register_requester("alice", "police", TrustDegree(10), Level(0));
+//! let keys = service.fetch_keys("alice", "police")?;
+//! let dean = Deanonymizer::new(
+//!     service.network_arc(),
+//!     Engine::build(service.network(), service.config().engine),
+//! );
+//! let view = dean.reduce(&receipt.payload, &keys)?;
+//! assert_eq!(view.segments, vec![SegmentId(17)]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod deanonymizer;
+pub mod render_ascii;
+pub mod render_svg;
+pub mod server;
+pub mod service;
+
+pub use config::{AnonymizerConfig, EngineChoice};
+pub use deanonymizer::Deanonymizer;
+pub use render_ascii::{legend, render_map, render_regions};
+pub use render_svg::render_svg;
+pub use server::AnonymizerServer;
+pub use service::{AnonymizeReceipt, AnonymizerService, Engine, OwnerRecord};

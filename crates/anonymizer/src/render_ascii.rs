@@ -1,0 +1,157 @@
+//! Terminal rendering of road networks and multi-level cloaking regions —
+//! the headless substitute for the paper's map visualization.
+//!
+//! Segments are rasterized onto a character grid; cloaked segments are
+//! drawn with the symbol of their *lowest* containing level, so the nested
+//! structure of Figure 1 is visible at a glance:
+//! `0` = the user's segment, `1`..`9` = levels, `·` = uncloaked road.
+
+use keystream::Level;
+use roadnet::{RoadNetwork, SegmentId};
+use std::collections::HashMap;
+
+/// Symbol used for roads outside every cloaking region.
+const ROAD: char = '\u{b7}'; // ·
+
+/// Renders the network with the given nested level regions.
+///
+/// `regions` lists `(level, segments)` pairs; a segment takes the symbol
+/// of the lowest level containing it. Pass an empty slice for a plain map.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+pub fn render_regions(
+    net: &RoadNetwork,
+    regions: &[(Level, Vec<SegmentId>)],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width > 0 && height > 0, "raster must be non-empty");
+    let bb = net.bounding_box();
+    let mut grid = vec![vec![' '; width]; height];
+
+    // Lowest level wins; build the symbol map first.
+    let mut symbol: HashMap<SegmentId, char> = HashMap::new();
+    let mut sorted: Vec<&(Level, Vec<SegmentId>)> = regions.iter().collect();
+    sorted.sort_by_key(|(l, _)| *l);
+    for (level, segs) in sorted.into_iter().rev() {
+        let ch = match level.0 {
+            0 => '0',
+            n if n <= 9 => (b'0' + n) as char,
+            _ => '#',
+        };
+        for s in segs {
+            symbol.insert(*s, ch);
+        }
+    }
+
+    let project = |x: f64, y: f64| -> (usize, usize) {
+        let w = bb.width().max(1e-9);
+        let h = bb.height().max(1e-9);
+        let cx = ((x - bb.min.x) / w * (width - 1) as f64).round() as usize;
+        // Flip y so north is up.
+        let cy = ((1.0 - (y - bb.min.y) / h) * (height - 1) as f64).round() as usize;
+        (cx.min(width - 1), cy.min(height - 1))
+    };
+
+    for seg in net.segments() {
+        let pa = net.junction(seg.a()).position();
+        let pb = net.junction(seg.b()).position();
+        let ch = symbol.get(&seg.id()).copied().unwrap_or(ROAD);
+        // Supersample along the segment.
+        let steps = 2 * (width.max(height));
+        for i in 0..=steps {
+            let t = i as f64 / steps as f64;
+            let p = pa.lerp(pb, t);
+            let (cx, cy) = project(p.x, p.y);
+            let cell = &mut grid[cy][cx];
+            // Level symbols overwrite plain road; lower levels overwrite
+            // higher ones (drawn via the symbol map, so any symbol wins
+            // over ROAD and digits keep the lowest symbol drawn last).
+            if *cell == ' ' || *cell == ROAD || ch != ROAD {
+                if *cell == ' ' || *cell == ROAD {
+                    *cell = ch;
+                } else if ch != ROAD && ch < *cell {
+                    *cell = ch;
+                }
+            }
+        }
+    }
+
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the plain network map.
+pub fn render_map(net: &RoadNetwork, width: usize, height: usize) -> String {
+    render_regions(net, &[], width, height)
+}
+
+/// A legend explaining the symbols of a rendering.
+pub fn legend(levels: usize) -> String {
+    let mut out = String::from("legend: 0 = user's segment (L0)");
+    for l in 1..=levels {
+        out.push_str(&format!(", {l} = level L{l}"));
+    }
+    out.push_str(", \u{b7} = road");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::grid_city;
+
+    #[test]
+    fn plain_map_draws_roads() {
+        let net = grid_city(4, 4, 100.0);
+        let map = render_map(&net, 40, 20);
+        assert!(map.contains(ROAD));
+        assert!(!map.contains('0'));
+        assert_eq!(map.lines().count(), 20);
+    }
+
+    #[test]
+    fn regions_use_level_symbols() {
+        let net = grid_city(4, 4, 100.0);
+        let regions = vec![
+            (Level(0), vec![SegmentId(0)]),
+            (Level(1), vec![SegmentId(0), SegmentId(1), SegmentId(2)]),
+        ];
+        let map = render_regions(&net, &regions, 60, 30);
+        assert!(map.contains('0'), "seed symbol missing:\n{map}");
+        assert!(map.contains('1'), "level-1 symbol missing:\n{map}");
+    }
+
+    #[test]
+    fn lowest_level_symbol_wins() {
+        let net = grid_city(3, 3, 100.0);
+        // Segment 0 in both L0 and L1: must render as '0'.
+        let regions = vec![
+            (Level(1), vec![SegmentId(0)]),
+            (Level(0), vec![SegmentId(0)]),
+        ];
+        let map = render_regions(&net, &regions, 40, 20);
+        assert!(map.contains('0'));
+        assert!(!map.contains('1'));
+    }
+
+    #[test]
+    fn legend_mentions_all_levels() {
+        let l = legend(3);
+        assert!(l.contains("L0") && l.contains("L3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_raster_panics() {
+        let net = grid_city(2, 2, 10.0);
+        let _ = render_map(&net, 0, 10);
+    }
+}

@@ -1,0 +1,141 @@
+//! SVG rendering of road networks and multi-level cloaking regions — the
+//! colored-region view of the paper's Anonymizer screenshot (Figure 4).
+
+use keystream::Level;
+use roadnet::{RoadNetwork, SegmentId};
+use std::collections::HashMap;
+
+/// Per-level stroke colors (level 0 first), echoing typical map overlays.
+const LEVEL_COLORS: [&str; 6] = [
+    "#d62728", // L0 red: the user's segment
+    "#ff7f0e", // L1 orange
+    "#2ca02c", // L2 green
+    "#1f77b4", // L3 blue
+    "#9467bd", // L4 purple
+    "#8c564b", // L5 brown
+];
+
+/// Road color for uncloaked segments.
+const ROAD_COLOR: &str = "#c8c8c8";
+
+/// Renders an SVG of the network with nested level regions; cloaked
+/// segments take the color of their lowest containing level and a wider
+/// stroke.
+///
+/// `regions` lists `(level, segments)` pairs (cumulative regions nest, as
+/// produced by `AnonymizerService::level_regions`).
+pub fn render_svg(
+    net: &RoadNetwork,
+    regions: &[(Level, Vec<SegmentId>)],
+    width_px: u32,
+) -> String {
+    let bb = net.bounding_box();
+    let aspect = if bb.width() > 0.0 {
+        (bb.height() / bb.width()).max(0.05)
+    } else {
+        1.0
+    };
+    let height_px = (width_px as f64 * aspect).ceil() as u32;
+    let pad = 8.0;
+    let sx = (width_px as f64 - 2.0 * pad) / bb.width().max(1e-9);
+    let sy = (height_px as f64 - 2.0 * pad) / bb.height().max(1e-9);
+
+    let mut color: HashMap<SegmentId, (&str, f64)> = HashMap::new();
+    let mut sorted: Vec<&(Level, Vec<SegmentId>)> = regions.iter().collect();
+    sorted.sort_by_key(|(l, _)| std::cmp::Reverse(*l));
+    for (level, segs) in sorted {
+        let c = LEVEL_COLORS[(level.0 as usize).min(LEVEL_COLORS.len() - 1)];
+        let w = if level.0 == 0 { 4.0 } else { 2.5 };
+        for s in segs {
+            color.insert(*s, (c, w));
+        }
+    }
+
+    let project = |x: f64, y: f64| -> (f64, f64) {
+        (
+            pad + (x - bb.min.x) * sx,
+            // Flip y so north is up.
+            height_px as f64 - pad - (y - bb.min.y) * sy,
+        )
+    };
+
+    let mut svg = String::with_capacity(net.segment_count() * 90 + 512);
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" height=\"{height_px}\" \
+         viewBox=\"0 0 {width_px} {height_px}\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n"
+    ));
+    // Plain roads first, cloaked segments on top.
+    for pass in 0..2 {
+        for seg in net.segments() {
+            let styled = color.get(&seg.id());
+            if (pass == 0) != styled.is_none() {
+                continue;
+            }
+            let (stroke, w) = styled.copied().unwrap_or((ROAD_COLOR, 1.0));
+            let pa = net.junction(seg.a()).position();
+            let pb = net.junction(seg.b()).position();
+            let (x1, y1) = project(pa.x, pa.y);
+            let (x2, y2) = project(pb.x, pb.y);
+            svg.push_str(&format!(
+                "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" \
+                 stroke=\"{stroke}\" stroke-width=\"{w}\"/>\n"
+            ));
+        }
+    }
+    // Legend.
+    let mut y = 16.0;
+    for (level, _) in regions {
+        let c = LEVEL_COLORS[(level.0 as usize).min(LEVEL_COLORS.len() - 1)];
+        svg.push_str(&format!(
+            "<rect x=\"10\" y=\"{:.0}\" width=\"12\" height=\"12\" fill=\"{c}\"/>\
+             <text x=\"26\" y=\"{:.0}\" font-size=\"12\" font-family=\"sans-serif\">L{}</text>\n",
+            y - 10.0,
+            y,
+            level.0
+        ));
+        y += 16.0;
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::grid_city;
+
+    #[test]
+    fn svg_has_all_segments_and_legend() {
+        let net = grid_city(4, 4, 100.0);
+        let regions = vec![
+            (Level(0), vec![SegmentId(0)]),
+            (Level(1), vec![SegmentId(0), SegmentId(1)]),
+        ];
+        let svg = render_svg(&net, &regions, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<line").count(), net.segment_count());
+        assert!(svg.contains(LEVEL_COLORS[0]));
+        assert!(svg.contains(LEVEL_COLORS[1]));
+        assert!(svg.contains(">L0<") && svg.contains(">L1<"));
+    }
+
+    #[test]
+    fn plain_map_has_only_road_color() {
+        let net = grid_city(3, 3, 100.0);
+        let svg = render_svg(&net, &[], 300);
+        assert!(svg.contains(ROAD_COLOR));
+        assert!(!svg.contains(LEVEL_COLORS[0]));
+    }
+
+    #[test]
+    fn cloaked_segments_use_level_color_not_road_color() {
+        let net = grid_city(2, 2, 100.0);
+        // All four segments cloaked at L1.
+        let all: Vec<SegmentId> = net.segment_ids().collect();
+        let svg = render_svg(&net, &[(Level(1), all)], 200);
+        assert!(!svg.contains(ROAD_COLOR));
+        assert!(svg.contains(LEVEL_COLORS[1]));
+    }
+}

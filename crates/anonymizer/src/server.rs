@@ -1,0 +1,219 @@
+//! A concurrent anonymization server.
+//!
+//! The paper's toolkit "sends the parameters and access keys to a trusted
+//! anonymization server". This module runs the [`AnonymizerService`]
+//! behind a crossbeam channel with a pool of worker threads, serving many
+//! owners concurrently — the shape a real deployment would take.
+
+use crate::config::AnonymizerConfig;
+use crate::service::{AnonymizeReceipt, AnonymizerService};
+use cloak::{CloakError, PrivacyProfile};
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roadnet::{RoadNetwork, SegmentId};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// An anonymization job submitted to the server.
+struct Job {
+    owner: String,
+    segment: SegmentId,
+    profile: Option<PrivacyProfile>,
+    reply: Sender<Result<AnonymizeReceipt, CloakError>>,
+}
+
+/// Handle to a running anonymization server.
+///
+/// Dropping the handle shuts the workers down after the queued jobs
+/// drain.
+///
+/// ```
+/// use anonymizer::{AnonymizerConfig, AnonymizerServer};
+/// use mobisim::OccupancySnapshot;
+/// use roadnet::{grid_city, SegmentId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = grid_city(6, 6, 100.0);
+/// let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+/// let server = AnonymizerServer::start(net, snapshot, AnonymizerConfig::default(), 2, 42);
+/// let receipt = server.anonymize("alice", SegmentId(10), None)?;
+/// assert!(receipt.payload.region_size() >= 20);
+/// # Ok(())
+/// # }
+/// ```
+pub struct AnonymizerServer {
+    service: Arc<Mutex<AnonymizerService>>,
+    submit: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl AnonymizerServer {
+    /// Starts the server with `workers` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn start(
+        net: RoadNetwork,
+        snapshot: mobisim::OccupancySnapshot,
+        config: AnonymizerConfig,
+        workers: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let mut service = AnonymizerService::new(net, config);
+        service.update_snapshot(snapshot);
+        let service = Arc::new(Mutex::new(service));
+        let (tx, rx) = bounded::<Job>(1024);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let rx = rx.clone();
+            let service = Arc::clone(&service);
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(w as u64));
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    // The engine holds per-map state (RPLE tables), so the
+                    // whole service runs under one lock; contention is on
+                    // the anonymization itself, which is the measured cost
+                    // anyway.
+                    let result = service.lock().anonymize_owner(
+                        &job.owner,
+                        job.segment,
+                        job.profile,
+                        &mut rng,
+                    );
+                    let _ = job.reply.send(result);
+                }
+            }));
+        }
+        AnonymizerServer {
+            service,
+            submit: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Anonymizes synchronously through the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CloakError`] from the worker.
+    pub fn anonymize(
+        &self,
+        owner: &str,
+        segment: SegmentId,
+        profile: Option<PrivacyProfile>,
+    ) -> Result<AnonymizeReceipt, CloakError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.submit
+            .as_ref()
+            .expect("server is running")
+            .send(Job {
+                owner: owner.to_string(),
+                segment,
+                profile,
+                reply: reply_tx,
+            })
+            .expect("workers are alive while the handle exists");
+        reply_rx
+            .recv()
+            .expect("worker replies before dropping the job")
+    }
+
+    /// Shared access to the underlying service (for key fetches and
+    /// record inspection).
+    pub fn service(&self) -> Arc<Mutex<AnonymizerService>> {
+        Arc::clone(&self.service)
+    }
+
+    /// Stops the workers after draining queued jobs.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.submit.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AnonymizerServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobisim::OccupancySnapshot;
+    use roadnet::grid_city;
+
+    fn start(workers: usize) -> AnonymizerServer {
+        let net = grid_city(7, 7, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        AnonymizerServer::start(net, snapshot, AnonymizerConfig::default(), workers, 1)
+    }
+
+    #[test]
+    fn serves_one_request() {
+        let server = start(2);
+        let receipt = server.anonymize("alice", SegmentId(10), None).unwrap();
+        assert!(receipt.payload.region_size() >= 20);
+        assert!(server
+            .service()
+            .lock()
+            .owner_record("alice")
+            .is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_parallel_requests_from_many_threads() {
+        let server = Arc::new(start(4));
+        let mut joins = Vec::new();
+        for i in 0..16 {
+            let server = Arc::clone(&server);
+            joins.push(std::thread::spawn(move || {
+                let owner = format!("owner-{i}");
+                let seg = SegmentId((i * 3) % 80);
+                server.anonymize(&owner, seg, None).map(|r| {
+                    assert!(r.payload.contains(seg));
+                    r.payload.region_size()
+                })
+            }));
+        }
+        let mut ok = 0;
+        for j in joins {
+            if j.join().unwrap().is_ok() {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 16);
+        // All records stored.
+        let service = server.service();
+        let guard = service.lock();
+        for i in 0..16 {
+            assert!(guard.owner_record(&format!("owner-{i}")).is_some());
+        }
+    }
+
+    #[test]
+    fn error_propagates() {
+        let server = start(1);
+        let err = server.anonymize("bob", SegmentId(9999), None).unwrap_err();
+        assert!(matches!(err, CloakError::UnknownSegment(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let net = grid_city(2, 2, 10.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let _ = AnonymizerServer::start(net, snapshot, AnonymizerConfig::default(), 0, 1);
+    }
+}

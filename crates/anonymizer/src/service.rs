@@ -1,0 +1,369 @@
+//! The trusted Anonymizer service.
+//!
+//! "In the multi-level reversible location privacy framework, a trusted
+//! anonymizer obtains the raw location information from the mobile clients
+//! with the user-defined profile." The service anonymizes owner locations,
+//! stores each owner's keys and access-control profile locally ("managed
+//! locally by the 'Anonymizer'"), and hands out keys to requesters
+//! according to their trust degree.
+
+use crate::config::{AnonymizerConfig, EngineChoice};
+use cloak::{
+    anonymize_with_retry, AnonymizationOutcome, CloakError, CloakPayload, PrivacyProfile,
+    ReversibleEngine, RgeEngine, RpleEngine,
+};
+use keystream::{
+    AccessControlProfile, AccessError, Key256, KeyManager, Level, TrustDegree,
+};
+use mobisim::OccupancySnapshot;
+use rand::Rng;
+use roadnet::{RoadNetwork, SegmentId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A built engine, either variant.
+pub enum Engine {
+    /// Reversible Global Expansion.
+    Rge(RgeEngine),
+    /// Reversible Pre-assignment-based Local Expansion.
+    Rple(RpleEngine),
+}
+
+impl Engine {
+    /// Builds the engine selected by `choice` for `net`.
+    pub fn build(net: &RoadNetwork, choice: EngineChoice) -> Self {
+        match choice {
+            EngineChoice::Rge => Engine::Rge(RgeEngine::new()),
+            EngineChoice::Rple { t_len } => Engine::Rple(RpleEngine::build(net, t_len)),
+        }
+    }
+
+    /// The engine as a trait object.
+    pub fn as_dyn(&self) -> &dyn ReversibleEngine {
+        match self {
+            Engine::Rge(e) => e,
+            Engine::Rple(e) => e,
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Engine::{}", self.as_dyn().name())
+    }
+}
+
+/// Record the anonymizer keeps per published cloak.
+#[derive(Debug, Clone)]
+pub struct OwnerRecord {
+    /// The owner identity.
+    pub owner: String,
+    /// The published payload.
+    pub payload: CloakPayload,
+    /// The owner's per-level keys.
+    pub keys: KeyManager,
+    /// The owner's access-control profile.
+    pub access: AccessControlProfile,
+}
+
+/// The trusted anonymization service.
+///
+/// ```
+/// use anonymizer::{AnonymizerConfig, AnonymizerService};
+/// use mobisim::OccupancySnapshot;
+/// use roadnet::{grid_city, SegmentId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = grid_city(6, 6, 100.0);
+/// let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+/// let mut service = AnonymizerService::new(net, AnonymizerConfig::default());
+/// service.update_snapshot(snapshot);
+/// let receipt = service.anonymize_owner("alice", SegmentId(17), None, &mut rand::thread_rng())?;
+/// assert!(receipt.payload.region_size() >= 20);
+/// # Ok(())
+/// # }
+/// ```
+pub struct AnonymizerService {
+    net: Arc<RoadNetwork>,
+    engine: Engine,
+    config: AnonymizerConfig,
+    snapshot: OccupancySnapshot,
+    records: HashMap<String, OwnerRecord>,
+}
+
+/// What the owner gets back from an anonymization: the payload to upload
+/// plus run accounting.
+#[derive(Debug, Clone)]
+pub struct AnonymizeReceipt {
+    /// The public payload.
+    pub payload: CloakPayload,
+    /// Attempts needed (dead-ended walks retried under fresh nonces).
+    pub attempts: u32,
+    /// The full outcome (chain and per-level stats) for inspection.
+    pub outcome: AnonymizationOutcome,
+}
+
+impl AnonymizerService {
+    /// Creates the service over a road network.
+    pub fn new(net: RoadNetwork, config: AnonymizerConfig) -> Self {
+        let net = Arc::new(net);
+        let engine = Engine::build(&net, config.engine);
+        let segment_count = net.segment_count();
+        AnonymizerService {
+            net,
+            engine,
+            config,
+            snapshot: OccupancySnapshot::uniform(segment_count, 0),
+            records: HashMap::new(),
+        }
+    }
+
+    /// The network the service operates on.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// A shared handle to the network.
+    pub fn network_arc(&self) -> Arc<RoadNetwork> {
+        Arc::clone(&self.net)
+    }
+
+    /// The engine in use.
+    pub fn engine(&self) -> &dyn ReversibleEngine {
+        self.engine.as_dyn()
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &AnonymizerConfig {
+        &self.config
+    }
+
+    /// Installs a fresh traffic snapshot (users per segment).
+    pub fn update_snapshot(&mut self, snapshot: OccupancySnapshot) {
+        self.snapshot = snapshot;
+    }
+
+    /// Anonymizes `owner`'s location with `profile` (or the default
+    /// profile), auto-generating keys — the GUI's 'Auto key generation'.
+    /// Stores the owner record for later key fetches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CloakError`] when the requirement cannot be met.
+    pub fn anonymize_owner<R: Rng + ?Sized>(
+        &mut self,
+        owner: &str,
+        user_segment: SegmentId,
+        profile: Option<PrivacyProfile>,
+        rng: &mut R,
+    ) -> Result<AnonymizeReceipt, CloakError> {
+        let profile = profile.unwrap_or_else(|| self.config.default_profile.clone());
+        let keys = KeyManager::generate(profile.level_count(), rng);
+        let key_vec: Vec<Key256> = keys.iter().map(|(_, k)| k).collect();
+        let nonce: u64 = rng.gen();
+        let (outcome, attempts) = anonymize_with_retry(
+            &self.net,
+            &self.snapshot,
+            user_segment,
+            &profile,
+            &key_vec,
+            nonce,
+            self.engine.as_dyn(),
+            self.config.max_attempts,
+        )?;
+        let record = OwnerRecord {
+            owner: owner.to_string(),
+            payload: outcome.payload.clone(),
+            keys,
+            access: AccessControlProfile::new(),
+        };
+        self.records.insert(owner.to_string(), record);
+        Ok(AnonymizeReceipt {
+            payload: outcome.payload.clone(),
+            attempts,
+            outcome,
+        })
+    }
+
+    /// The stored record for an owner.
+    pub fn owner_record(&self, owner: &str) -> Option<&OwnerRecord> {
+        self.records.get(owner)
+    }
+
+    /// Registers a requester in an owner's access-control profile.
+    ///
+    /// Returns `false` when the owner is unknown.
+    pub fn register_requester(
+        &mut self,
+        owner: &str,
+        requester: &str,
+        trust: TrustDegree,
+        floor: Level,
+    ) -> bool {
+        match self.records.get_mut(owner) {
+            Some(rec) => {
+                rec.access.register_requester(requester, trust);
+                rec.access.set_trust_floor(trust, floor);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A requester fetches the keys it is entitled to for an owner's
+    /// cloak — "they request the location data owners for access keys,
+    /// which is managed locally by the 'Anonymizer'".
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown owners (mapped to
+    /// [`AccessError::UnknownRequester`] semantics at the owner level) or
+    /// per the owner's access-control profile.
+    pub fn fetch_keys(
+        &self,
+        owner: &str,
+        requester: &str,
+    ) -> Result<Vec<(Level, Key256)>, AccessError> {
+        let rec = self
+            .records
+            .get(owner)
+            .ok_or_else(|| AccessError::UnknownRequester(format!("owner:{owner}")))?;
+        rec.access.keys_for(&rec.keys, requester)
+    }
+
+    /// Per-level cumulative regions of an outcome, for rendering: level 0
+    /// first (the seed segment), each following level adding its span.
+    pub fn level_regions(outcome: &AnonymizationOutcome) -> Vec<(Level, Vec<SegmentId>)> {
+        let seed = {
+            // The seed is the one region segment that is not in the chain.
+            let chain: std::collections::HashSet<SegmentId> =
+                outcome.chain.iter().copied().collect();
+            outcome
+                .payload
+                .segments
+                .iter()
+                .copied()
+                .find(|s| !chain.contains(s))
+                .expect("the seed segment is in the region")
+        };
+        let mut regions = vec![(Level(0), vec![seed])];
+        let mut cursor = 0usize;
+        let mut acc = vec![seed];
+        for (i, meta) in outcome.payload.levels.iter().enumerate() {
+            let next = cursor + meta.count as usize;
+            acc.extend(outcome.chain[cursor..next].iter().copied());
+            cursor = next;
+            regions.push((Level(i as u8 + 1), acc.clone()));
+        }
+        regions
+    }
+}
+
+impl std::fmt::Debug for AnonymizerService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnonymizerService")
+            .field("engine", &self.engine)
+            .field("owners", &self.records.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use roadnet::grid_city;
+
+    fn service() -> AnonymizerService {
+        let net = grid_city(7, 7, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let mut s = AnonymizerService::new(net, AnonymizerConfig::default());
+        s.update_snapshot(snapshot);
+        s
+    }
+
+    #[test]
+    fn anonymize_and_store_record() {
+        let mut s = service();
+        let mut rng = StdRng::seed_from_u64(1);
+        let receipt = s
+            .anonymize_owner("alice", SegmentId(40), None, &mut rng)
+            .unwrap();
+        assert!(receipt.payload.region_size() >= 20);
+        assert!(receipt.attempts >= 1);
+        let rec = s.owner_record("alice").unwrap();
+        assert_eq!(rec.payload, receipt.payload);
+        assert_eq!(rec.keys.level_count(), 3);
+        assert!(s.owner_record("bob").is_none());
+    }
+
+    #[test]
+    fn key_fetch_respects_access_control() {
+        let mut s = service();
+        let mut rng = StdRng::seed_from_u64(2);
+        s.anonymize_owner("alice", SegmentId(40), None, &mut rng)
+            .unwrap();
+        assert!(s.register_requester("alice", "police", TrustDegree(10), Level(0)));
+        assert!(s.register_requester("alice", "friend", TrustDegree(5), Level(2)));
+        assert!(!s.register_requester("ghost", "police", TrustDegree(10), Level(0)));
+
+        let police = s.fetch_keys("alice", "police").unwrap();
+        assert_eq!(police.len(), 3);
+        assert_eq!(police[0].0, Level(3));
+        let friend = s.fetch_keys("alice", "friend").unwrap();
+        assert_eq!(friend.len(), 1);
+        assert!(s.fetch_keys("alice", "stranger").is_err());
+        assert!(s.fetch_keys("ghost", "police").is_err());
+    }
+
+    #[test]
+    fn rple_engine_choice_builds() {
+        let net = grid_city(5, 5, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let mut s = AnonymizerService::new(
+            net,
+            AnonymizerConfig {
+                engine: EngineChoice::Rple { t_len: 8 },
+                ..Default::default()
+            },
+        );
+        s.update_snapshot(snapshot);
+        assert_eq!(s.engine().name(), "RPLE");
+        let mut rng = StdRng::seed_from_u64(3);
+        let receipt = s
+            .anonymize_owner("carol", SegmentId(20), None, &mut rng)
+            .unwrap();
+        assert!(receipt.payload.region_size() >= 20);
+    }
+
+    #[test]
+    fn level_regions_are_monotone() {
+        let mut s = service();
+        let mut rng = StdRng::seed_from_u64(4);
+        let receipt = s
+            .anonymize_owner("alice", SegmentId(30), None, &mut rng)
+            .unwrap();
+        let regions = AnonymizerService::level_regions(&receipt.outcome);
+        assert_eq!(regions.len(), 4); // L0..L3
+        assert_eq!(regions[0].1, vec![SegmentId(30)]);
+        for w in regions.windows(2) {
+            let (small, big) = (&w[0].1, &w[1].1);
+            assert!(big.len() >= small.len());
+            for seg in small.iter() {
+                assert!(big.contains(seg), "levels must nest");
+            }
+        }
+        // Top level covers the whole payload region.
+        let mut top = regions.last().unwrap().1.clone();
+        top.sort();
+        assert_eq!(top, receipt.payload.segments);
+    }
+
+    #[test]
+    fn debug_impls() {
+        let s = service();
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("RGE"));
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end test of the `rcloak` command-line toolkit: an owner
+//! generates a map and keys, cloaks a segment, and a requester
+//! de-anonymizes with a keyring — all through the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rcloak() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rcloak"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("rcloak-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn full_cli_workflow() {
+    let map = tmp("city.map");
+    let ring = tmp("keys.txt");
+    let payload = tmp("cloak.bin");
+    let svg = tmp("cloak.svg");
+
+    // 1. Generate a map.
+    let out = rcloak()
+        .args(["map", "--out", map.to_str().unwrap(), "--grid", "8x8"])
+        .output()
+        .expect("rcloak runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(map.exists());
+
+    // 2. Generate keys into a keyring.
+    let out = rcloak()
+        .args([
+            "keys",
+            "--levels",
+            "2",
+            "--seed",
+            "9",
+            "--out",
+            ring.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Key1 ="));
+    assert!(stdout.contains("Key2 ="));
+    let key_lines: Vec<String> = stdout
+        .lines()
+        .filter(|l| l.starts_with("Key"))
+        .map(|l| l.split(" = ").nth(1).unwrap().to_string())
+        .collect();
+
+    // 3. Anonymize segment 40 at two levels.
+    let out = rcloak()
+        .args([
+            "anonymize",
+            "--map",
+            map.to_str().unwrap(),
+            "--segment",
+            "40",
+            "--k",
+            "5,12",
+            "--keys",
+            &format!("{},{}", key_lines[0], key_lines[1]),
+            "--cars",
+            "300",
+            "--out",
+            payload.to_str().unwrap(),
+            "--svg",
+            svg.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(payload.exists());
+    let svg_text = std::fs::read_to_string(&svg).unwrap();
+    assert!(svg_text.starts_with("<svg"));
+
+    // 4. De-anonymize with the keyring: must recover s40 exactly.
+    let out = rcloak()
+        .args([
+            "deanonymize",
+            "--map",
+            map.to_str().unwrap(),
+            "--payload",
+            payload.to_str().unwrap(),
+            "--keyring",
+            ring.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("exact segment: s40"), "{stdout}");
+
+    // 5. Partial peel with only the top key (hex, top level first).
+    let out = rcloak()
+        .args([
+            "deanonymize",
+            "--map",
+            map.to_str().unwrap(),
+            "--payload",
+            payload.to_str().unwrap(),
+            "--keys",
+            &key_lines[1],
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("reduced to level L1"), "{stdout}");
+
+    // 6. Render the map with the (keyless) payload overlay.
+    let out = rcloak()
+        .args([
+            "render",
+            "--map",
+            map.to_str().unwrap(),
+            "--payload",
+            payload.to_str().unwrap(),
+            "--width",
+            "60",
+            "--height",
+            "24",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    for p in [map, ring, payload, svg] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn cli_rejects_bad_input() {
+    // No subcommand.
+    let out = rcloak().output().unwrap();
+    assert!(!out.status.success());
+    // Unknown subcommand.
+    let out = rcloak().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    // Missing required option.
+    let out = rcloak().args(["map"]).output().unwrap();
+    assert!(!out.status.success());
+    // Key/k count mismatch.
+    let map = tmp("mismatch.map");
+    rcloak()
+        .args(["map", "--out", map.to_str().unwrap(), "--grid", "4x4"])
+        .output()
+        .unwrap();
+    let key = keystream::Key256::from_seed(1).to_hex();
+    let out = rcloak()
+        .args([
+            "anonymize",
+            "--map",
+            map.to_str().unwrap(),
+            "--segment",
+            "0",
+            "--k",
+            "5,10",
+            "--keys",
+            &key,
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(map);
+}

@@ -1,0 +1,83 @@
+//! Criterion bench for experiment B1: anonymization time vs k, for RGE,
+//! RPLE and the non-reversible NRE baseline.
+//!
+//! Expected shape (paper §III): RPLE steps are cheaper than RGE (table
+//! lookup vs on-the-fly table build); NRE is cheapest and irreversible.
+
+use bench::{World, DEFAULT_T};
+use cloak::{
+    anonymize_with_retry, random_expansion, LevelRequirement, PrivacyProfile, RgeEngine,
+    RpleEngine,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use keystream::KeyManager;
+
+fn bench_anonymize(c: &mut Criterion) {
+    let world = World::paper_scale(42);
+    let rge = RgeEngine::new();
+    let rple = RpleEngine::build(&world.net, DEFAULT_T);
+    let mut group = c.benchmark_group("b1_anonymize_vs_k");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for k in [5u32, 10, 20, 40, 80] {
+        let profile = PrivacyProfile::builder()
+            .level(LevelRequirement::with_k(k))
+            .build()
+            .unwrap();
+        let mgr = KeyManager::from_seed(1, 7);
+        let keys: Vec<_> = mgr.iter().map(|(_, key)| key).collect();
+        let sites = world.request_sites(64, k as u64);
+
+        group.bench_with_input(BenchmarkId::new("RGE", k), &k, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let site = sites[i % sites.len()];
+                i += 1;
+                anonymize_with_retry(
+                    &world.net,
+                    &world.snapshot,
+                    site,
+                    &profile,
+                    &keys,
+                    i as u64,
+                    &rge,
+                    8,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("RPLE", k), &k, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let site = sites[i % sites.len()];
+                i += 1;
+                anonymize_with_retry(
+                    &world.net,
+                    &world.snapshot,
+                    site,
+                    &profile,
+                    &keys,
+                    i as u64,
+                    &rple,
+                    8,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("NRE-baseline", k), &k, |b, _| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(k as u64);
+            let req = LevelRequirement::with_k(k);
+            let mut i = 0usize;
+            b.iter(|| {
+                let site = sites[i % sites.len()];
+                i += 1;
+                random_expansion(&world.net, &world.snapshot, site, &req, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_anonymize);
+criterion_main!(benches);

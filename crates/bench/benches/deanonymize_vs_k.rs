@@ -1,0 +1,79 @@
+//! Criterion bench for experiment B2: de-anonymization time (full peel to
+//! L0) vs k, for RGE and RPLE.
+//!
+//! Expected shape: both scale with the number of removed segments; RPLE's
+//! backward lookup is a table probe while RGE rebuilds the transition
+//! table per step, so RGE costs more per removed segment.
+
+use bench::{World, DEFAULT_T};
+use cloak::{
+    anonymize_with_retry, deanonymize, AnonymizationOutcome, LevelRequirement, PrivacyProfile,
+    ReversibleEngine, RgeEngine, RpleEngine,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use keystream::{Key256, KeyManager, Level};
+
+fn prepare(
+    world: &World,
+    engine: &dyn ReversibleEngine,
+    k: u32,
+) -> (KeyManager, Vec<AnonymizationOutcome>) {
+    let profile = PrivacyProfile::builder()
+        .level(LevelRequirement::with_k(k))
+        .build()
+        .unwrap();
+    let mgr = KeyManager::from_seed(1, 7);
+    let keys: Vec<Key256> = mgr.iter().map(|(_, key)| key).collect();
+    let sites = world.request_sites(24, k as u64 + 3);
+    let outs = sites
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &site)| {
+            anonymize_with_retry(
+                &world.net,
+                &world.snapshot,
+                site,
+                &profile,
+                &keys,
+                i as u64,
+                engine,
+                8,
+            )
+            .ok()
+            .map(|(o, _)| o)
+        })
+        .collect();
+    (mgr, outs)
+}
+
+fn bench_deanonymize(c: &mut Criterion) {
+    let world = World::paper_scale(42);
+    let rge = RgeEngine::new();
+    let rple = RpleEngine::build(&world.net, DEFAULT_T);
+    let mut group = c.benchmark_group("b2_deanonymize_vs_k");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for k in [5u32, 10, 20, 40, 80] {
+        for (name, engine) in [("RGE", &rge as &dyn ReversibleEngine), ("RPLE", &rple)] {
+            let (mgr, outs) = prepare(&world, engine, k);
+            if outs.is_empty() {
+                continue;
+            }
+            let peel = mgr.keys_down_to(Level(0)).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let out = &outs[i % outs.len()];
+                    i += 1;
+                    deanonymize(&world.net, &out.payload, &peel, engine)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deanonymize);
+criterion_main!(benches);

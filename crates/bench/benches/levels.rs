@@ -1,0 +1,51 @@
+//! Criterion bench for experiment B3: anonymization time vs the number of
+//! privacy levels (geometric per-level k).
+//!
+//! Expected shape: cost grows with the top level's k (the total region
+//! size), not with the level count itself — levels only partition the
+//! same chain.
+
+use bench::{World, DEFAULT_T};
+use cloak::{anonymize_with_retry, PrivacyProfile, ReversibleEngine, RgeEngine, RpleEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use keystream::{Key256, KeyManager};
+
+fn bench_levels(c: &mut Criterion) {
+    let world = World::paper_scale(42);
+    let rge = RgeEngine::new();
+    let rple = RpleEngine::build(&world.net, DEFAULT_T);
+    let mut group = c.benchmark_group("b3_levels");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for n in [2usize, 3, 4, 5] {
+        let profile = PrivacyProfile::geometric(n, 5).unwrap();
+        let mgr = KeyManager::from_seed(n, 7);
+        let keys: Vec<Key256> = mgr.iter().map(|(_, key)| key).collect();
+        let sites = world.request_sites(64, n as u64 + 9);
+        for (name, engine) in [("RGE", &rge as &dyn ReversibleEngine), ("RPLE", &rple)] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let site = sites[i % sites.len()];
+                    i += 1;
+                    anonymize_with_retry(
+                        &world.net,
+                        &world.snapshot,
+                        site,
+                        &profile,
+                        &keys,
+                        i as u64,
+                        engine,
+                        8,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_levels);
+criterion_main!(benches);

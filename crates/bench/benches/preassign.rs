@@ -1,0 +1,27 @@
+//! Criterion bench for experiment B4: RPLE pre-assignment (Algorithm 1)
+//! cost vs transition-list length T, on the paper-scale map.
+//!
+//! Expected shape: build time and memory grow roughly linearly in T
+//! (every (segment, neighbor) pair scans at most T slots), matching the
+//! paper's "larger memory space to store the collision-free links".
+
+use bench::World;
+use cloak::PreassignedTables;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_preassign(c: &mut Criterion) {
+    let world = World::paper_scale(42);
+    let mut group = c.benchmark_group("b4_preassign");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for t in [4usize, 6, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| PreassignedTables::build(&world.net, t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preassign);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Regenerates every experiment table of the reproduction.
+//!
+//! Usage:
+//!   repro [b1|b2|b3|b4|b5|b6|b7|b8|all] [--small] [--trials N]
+//!
+//! By default runs on the paper-scale world (Atlanta-like map, 10,000
+//! cars); `--small` switches to a 20×20 grid with 1,500 cars for quick
+//! iterations.
+
+use bench::World;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut small = false;
+    let mut trials = 30usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--small" => small = true,
+            "--trials" => {
+                i += 1;
+                trials = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            other if other.starts_with('-') => usage(),
+            other => which.push(other.to_lowercase()),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".into());
+    }
+    let all = which.iter().any(|w| w == "all");
+    let want = |id: &str| all || which.iter().any(|w| w == id);
+
+    let t0 = Instant::now();
+    eprintln!(
+        "building {} world...",
+        if small { "small" } else { "paper-scale" }
+    );
+    let world = if small {
+        World::small(42)
+    } else {
+        World::paper_scale(42)
+    };
+    eprintln!(
+        "world ready: {} segments, {} users ({} ms)\n",
+        world.net.segment_count(),
+        world.snapshot.total_users(),
+        t0.elapsed().as_millis()
+    );
+
+    let ks = [5u32, 10, 20, 40, 80];
+    if want("b1") {
+        print_timed(|| bench::b1_anonymize_vs_k(&world, &ks, trials));
+    }
+    if want("b2") {
+        print_timed(|| bench::b2_deanonymize_vs_k(&world, &ks, trials));
+    }
+    if want("b3") {
+        print_timed(|| bench::b3_levels(&world, &[2, 3, 4, 5], trials));
+    }
+    if want("b4") {
+        print_timed(|| bench::b4_preassign(&world, &[4, 6, 8, 12, 16]));
+    }
+    if want("b5") {
+        print_timed(|| bench::b5_privacy(&world, 20, 300));
+    }
+    if want("b6") {
+        print_timed(|| {
+            bench::b6_success_vs_tolerance(&world, 20, &[0.8, 1.0, 1.5, 2.0, 3.0], trials)
+        });
+    }
+    if want("b7") {
+        print_timed(|| bench::b7_quality_vs_k(&world, &ks, trials));
+    }
+    if want("b8") {
+        print_timed(|| bench::b8_overhead(&world, &ks, trials));
+    }
+    if want("b9") {
+        print_timed(|| bench::b9_query_cost_vs_k(&world, &ks, trials.min(15)));
+    }
+    if want("b10") {
+        print_timed(|| bench::b10_collision_ablation(&world, &ks, trials));
+    }
+}
+
+fn print_timed<F: FnOnce() -> bench::Table>(f: F) {
+    let t0 = Instant::now();
+    let table = f();
+    println!("{table}");
+    println!("  ({} ran in {:.1} s)\n", table.id, t0.elapsed().as_secs_f64());
+}
+
+fn usage() -> ! {
+    eprintln!("usage: repro [b1..b10|all] [--small] [--trials N]");
+    std::process::exit(2);
+}

@@ -1,0 +1,155 @@
+//! The conventional one-way baseline: Non-reversible Random Expansion
+//! (NRE).
+//!
+//! Conventional road-network cloaking (\[1\], \[2\], \[7\], \[9\] in the paper)
+//! grows the region by uniformly random frontier picks until the privacy
+//! requirement holds. It is cheap — no transition tables, no reversibility
+//! bookkeeping — but *unidirectional*: "location information once
+//! perturbed … cannot be reversed". The benchmarks use it as the
+//! anonymization-cost and region-quality baseline.
+
+use crate::error::{CloakError, StepFailure};
+use crate::frontier::candidates;
+use crate::profile::LevelRequirement;
+use crate::region::RegionState;
+use keystream::Level;
+use mobisim::OccupancySnapshot;
+use rand::Rng;
+use roadnet::{RoadNetwork, SegmentId};
+
+/// Result of a baseline expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineOutcome {
+    /// The cloaking region, sorted by id.
+    pub segments: Vec<SegmentId>,
+    /// Expansion steps taken.
+    pub steps: u32,
+}
+
+/// Grows a one-way cloaking region from `user_segment` until `req` holds.
+///
+/// # Errors
+///
+/// Fails like the reversible engines when the frontier is exhausted or
+/// the tolerance blocks every candidate.
+pub fn random_expansion<R: Rng + ?Sized>(
+    net: &RoadNetwork,
+    snapshot: &OccupancySnapshot,
+    user_segment: SegmentId,
+    req: &LevelRequirement,
+    rng: &mut R,
+) -> Result<BaselineOutcome, CloakError> {
+    if net.get_segment(user_segment).is_none() {
+        return Err(CloakError::UnknownSegment(user_segment));
+    }
+    let mut region = RegionState::from_segments(net, [user_segment]);
+    let mut steps = 0u32;
+    while region.users(snapshot) < req.k as u64 || region.len() < req.l as usize {
+        let cans = candidates(net, &region);
+        if cans.is_empty() {
+            return Err(CloakError::CloakingFailed {
+                level: Level(1),
+                reason: StepFailure::NoCandidates,
+            });
+        }
+        let admissible: Vec<SegmentId> = cans
+            .into_iter()
+            .filter(|&c| {
+                req.tolerance.allows_extended(
+                    net,
+                    region.total_length(),
+                    region.bounding_box(),
+                    c,
+                )
+            })
+            .collect();
+        if admissible.is_empty() {
+            return Err(CloakError::CloakingFailed {
+                level: Level(1),
+                reason: StepFailure::RedrawBudgetExhausted,
+            });
+        }
+        let pick = admissible[rng.gen_range(0..admissible.len())];
+        region.insert(net, pick);
+        steps += 1;
+    }
+    Ok(BaselineOutcome {
+        segments: region.to_sorted_ids(),
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SpatialTolerance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use roadnet::grid_city;
+
+    #[test]
+    fn meets_k_and_l() {
+        let net = grid_city(6, 6, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 2);
+        let req = LevelRequirement::with_k(10).l(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = random_expansion(&net, &snapshot, SegmentId(0), &req, &mut rng).unwrap();
+        assert!(snapshot.users_in(out.segments.iter().copied()) >= 10);
+        assert!(out.segments.len() >= 4);
+        assert!(out.segments.contains(&SegmentId(0)));
+        assert_eq!(out.steps as usize + 1, out.segments.len());
+    }
+
+    #[test]
+    fn region_is_connected() {
+        let net = grid_city(6, 6, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let req = LevelRequirement::with_k(15);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = random_expansion(&net, &snapshot, SegmentId(17), &req, &mut rng).unwrap();
+        assert!(net.segments_connected(&out.segments));
+    }
+
+    #[test]
+    fn different_rng_different_regions() {
+        let net = grid_city(6, 6, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let req = LevelRequirement::with_k(12);
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(4);
+        let a = random_expansion(&net, &snapshot, SegmentId(17), &req, &mut r1).unwrap();
+        let b = random_expansion(&net, &snapshot, SegmentId(17), &req, &mut r2).unwrap();
+        assert_ne!(a.segments, b.segments);
+    }
+
+    #[test]
+    fn impossible_requirements_fail() {
+        let net = grid_city(3, 3, 100.0);
+        // Only 12 users exist but k = 100.
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let req = LevelRequirement::with_k(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(matches!(
+            random_expansion(&net, &snapshot, SegmentId(0), &req, &mut rng),
+            Err(CloakError::CloakingFailed { .. })
+        ));
+        // Tolerance too tight.
+        let req = LevelRequirement::with_k(10).tolerance(SpatialTolerance::TotalLength(150.0));
+        assert!(matches!(
+            random_expansion(&net, &snapshot, SegmentId(0), &req, &mut rng),
+            Err(CloakError::CloakingFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_segment_fails() {
+        let net = grid_city(3, 3, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let req = LevelRequirement::with_k(2);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(
+            random_expansion(&net, &snapshot, SegmentId(777), &req, &mut rng).unwrap_err(),
+            CloakError::UnknownSegment(SegmentId(777))
+        );
+    }
+}

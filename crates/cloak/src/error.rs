@@ -1,0 +1,163 @@
+//! Error types of the cloaking core.
+
+use keystream::Level;
+use roadnet::SegmentId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from anonymization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloakError {
+    /// The privacy profile was empty or internally inconsistent.
+    InvalidProfile(String),
+    /// The starting segment does not exist in the network.
+    UnknownSegment(SegmentId),
+    /// The number of keys did not match the number of levels.
+    KeyCountMismatch {
+        /// Keyed levels required by the profile.
+        expected: usize,
+        /// Keys supplied.
+        got: usize,
+    },
+    /// Expansion could not meet a level's requirement: the frontier was
+    /// exhausted, the spatial tolerance was hit, or the engine could not
+    /// find an unambiguous reversible transition.
+    CloakingFailed {
+        /// The level that could not be satisfied.
+        level: Level,
+        /// Why expansion stopped.
+        reason: StepFailure,
+    },
+}
+
+impl fmt::Display for CloakError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloakError::InvalidProfile(msg) => write!(f, "invalid privacy profile: {msg}"),
+            CloakError::UnknownSegment(s) => write!(f, "unknown segment {s}"),
+            CloakError::KeyCountMismatch { expected, got } => {
+                write!(f, "profile needs {expected} keys but {got} were supplied")
+            }
+            CloakError::CloakingFailed { level, reason } => {
+                write!(f, "cloaking failed at level {level}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CloakError {}
+
+/// Why a single expansion step could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepFailure {
+    /// The cloaking region has no candidate segments left.
+    NoCandidates,
+    /// Every admissible candidate would exceed the spatial tolerance, or
+    /// no reversibility-preserving transition was found within the redraw
+    /// budget.
+    RedrawBudgetExhausted,
+    /// The step limit was reached before the privacy requirement was met.
+    StepLimit,
+    /// The selection would be ambiguous to reverse — the paper's
+    /// "collision" issue. The request should be retried under a fresh
+    /// nonce.
+    Collision,
+}
+
+impl fmt::Display for StepFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepFailure::NoCandidates => write!(f, "no candidate segments on the frontier"),
+            StepFailure::RedrawBudgetExhausted => {
+                write!(f, "redraw budget exhausted (tolerance or collision avoidance)")
+            }
+            StepFailure::StepLimit => write!(f, "step limit reached"),
+            StepFailure::Collision => {
+                write!(f, "reversal collision detected; retry with a fresh nonce")
+            }
+        }
+    }
+}
+
+/// Errors from de-anonymization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeanonError {
+    /// The payload could not be decoded.
+    MalformedPayload(String),
+    /// Keys must be supplied contiguously from the payload's top level
+    /// downward.
+    NonContiguousKeys {
+        /// The level whose key was expected next.
+        expected: Level,
+        /// The level actually supplied.
+        got: Level,
+    },
+    /// No segment in the region matches the level's bootstrap tag — the
+    /// key is wrong (or the payload was tampered with).
+    WrongKey(Level),
+    /// The backward walk failed to identify a predecessor — wrong key or
+    /// corrupted payload.
+    ReversalFailed {
+        /// The level being peeled when the walk failed.
+        level: Level,
+        /// The backward step index (counting down) that failed.
+        step: usize,
+    },
+}
+
+impl fmt::Display for DeanonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeanonError::MalformedPayload(msg) => write!(f, "malformed payload: {msg}"),
+            DeanonError::NonContiguousKeys { expected, got } => write!(
+                f,
+                "keys must peel levels contiguously from the top: expected {expected}, got {got}"
+            ),
+            DeanonError::WrongKey(level) => {
+                write!(f, "key for level {level} does not match the payload")
+            }
+            DeanonError::ReversalFailed { level, step } => {
+                write!(f, "reversal failed at level {level}, backward step {step}")
+            }
+        }
+    }
+}
+
+impl Error for DeanonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CloakError::CloakingFailed {
+            level: Level(2),
+            reason: StepFailure::NoCandidates,
+        };
+        assert!(e.to_string().contains("L2"));
+        assert!(e.to_string().contains("no candidate"));
+
+        let e = CloakError::KeyCountMismatch {
+            expected: 3,
+            got: 1,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('1'));
+
+        let e = DeanonError::NonContiguousKeys {
+            expected: Level(3),
+            got: Level(1),
+        };
+        assert!(e.to_string().contains("L3") && e.to_string().contains("L1"));
+
+        assert!(DeanonError::WrongKey(Level(2)).to_string().contains("L2"));
+        assert!(DeanonError::ReversalFailed {
+            level: Level(1),
+            step: 4
+        }
+        .to_string()
+        .contains("step 4"));
+        assert!(StepFailure::StepLimit.to_string().contains("limit"));
+        assert!(StepFailure::RedrawBudgetExhausted.to_string().contains("redraw"));
+    }
+}

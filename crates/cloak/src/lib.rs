@@ -1,0 +1,82 @@
+//! # cloak — the ReverseCloak core
+//!
+//! Reversible multi-level location cloaking over road networks,
+//! reproducing Li, Palanisamy, Kalaivanan & Raghunathan, *ReverseCloak: A
+//! Reversible Multi-level Location Privacy Protection System* (ICDCS 2017)
+//! and the companion CIKM 2015 algorithms paper.
+//!
+//! A user's exact road segment is perturbed into a *cloaking region* — a
+//! connected set of segments guaranteeing location k-anonymity and segment
+//! l-diversity — in a way that is **reversible**: each privacy level's
+//! expansion is driven by a shared secret key, and a requester holding the
+//! right keys can peel the region back level by level, down to the exact
+//! segment. Without the keys, the region leaks nothing beyond its own
+//! extent.
+//!
+//! ## The two algorithms
+//!
+//! * [`RgeEngine`] — **Reversible Global Expansion**: per-step transition
+//!   tables over (cloak × frontier), rebuilt on the fly. Slower
+//!   anonymization, no resident memory.
+//! * [`RpleEngine`] — **Reversible Pre-assignment-based Local Expansion**:
+//!   collision-free forward/backward transition lists precomputed for the
+//!   whole map (Algorithm 1). Faster per step, `2·E·T` cells resident.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cloak::{anonymize, deanonymize, LevelRequirement, PrivacyProfile, RgeEngine};
+//! use keystream::{Key256, KeyManager, Level};
+//! use mobisim::OccupancySnapshot;
+//! use roadnet::{grid_city, SegmentId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = grid_city(6, 6, 100.0);
+//! let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+//! let profile = PrivacyProfile::builder()
+//!     .level(LevelRequirement::with_k(5))
+//!     .level(LevelRequirement::with_k(10))
+//!     .build()?;
+//! let manager = KeyManager::from_seed(2, 42);
+//! let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
+//!
+//! let engine = RgeEngine::new();
+//! let out = anonymize(&net, &snapshot, SegmentId(17), &profile, &keys, 1, &engine)?;
+//! assert!(out.payload.region_size() >= 10);
+//!
+//! // A fully privileged requester recovers the exact segment.
+//! let view = deanonymize(&net, &out.payload, &manager.keys_down_to(Level(0))?, &engine)?;
+//! assert_eq!(view.segments, vec![SegmentId(17)]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod baseline;
+pub mod engine;
+pub mod error;
+pub mod frontier;
+pub mod metrics;
+pub mod multilevel;
+pub mod payload;
+pub mod preassign;
+pub mod profile;
+pub mod region;
+pub mod table;
+
+pub use baseline::{random_expansion, BaselineOutcome};
+pub use engine::{HintStack, ReversibleEngine, RgeEngine, RpleEngine, StepAccept, MAX_REDRAWS};
+pub use error::{CloakError, DeanonError, StepFailure};
+pub use metrics::{RegionQuality, SuccessRate};
+pub use multilevel::{
+    ambiguity_profile, anonymize, anonymize_with_retry, deanonymize, AmbiguityReport,
+    AnonymizationOutcome, DeanonymizedView, LevelStats, MAX_STEPS_PER_LEVEL,
+};
+pub use payload::{CloakPayload, LevelMeta};
+pub use preassign::PreassignedTables;
+pub use profile::{LevelRequirement, PrivacyProfile, PrivacyProfileBuilder, SpatialTolerance};
+pub use region::RegionState;
+pub use table::TransitionTable;

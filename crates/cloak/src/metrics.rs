@@ -1,0 +1,223 @@
+//! Quality metrics for cloaking outcomes: the quantities the paper's
+//! evaluation axes report (success rate, relative anonymity, relative
+//! spatial resolution).
+
+use crate::multilevel::AnonymizationOutcome;
+use crate::profile::{PrivacyProfile, SpatialTolerance};
+use mobisim::OccupancySnapshot;
+use roadnet::RoadNetwork;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Quality metrics of one anonymization at its top level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionQuality {
+    /// Segments in the region.
+    pub segments: usize,
+    /// Users covered.
+    pub users: u64,
+    /// Achieved users divided by requested k (≥ 1 on success; the paper's
+    /// *relative anonymity level*).
+    pub relative_anonymity: f64,
+    /// Total road length of the region in meters.
+    pub total_length: f64,
+    /// Region extent used divided by the allowed tolerance (≤ 1; the
+    /// paper's *relative spatial resolution*). 0 when unlimited.
+    pub relative_spatial_resolution: f64,
+    /// Keyed draws consumed per added segment (reversibility overhead).
+    pub draws_per_segment: f64,
+    /// Voided draws across all levels (collision-avoidance cost, B8).
+    pub voided_draws: u32,
+}
+
+impl RegionQuality {
+    /// Computes metrics for a finished anonymization.
+    pub fn measure(
+        net: &RoadNetwork,
+        snapshot: &OccupancySnapshot,
+        profile: &PrivacyProfile,
+        outcome: &AnonymizationOutcome,
+    ) -> Self {
+        let users = snapshot.users_in(outcome.payload.segments.iter().copied());
+        let total_length: f64 = outcome
+            .payload
+            .segments
+            .iter()
+            .map(|&s| net.segment(s).length())
+            .sum();
+        let top = profile.top_requirement();
+        let relative_spatial_resolution = match top.tolerance {
+            SpatialTolerance::Unlimited => 0.0,
+            SpatialTolerance::TotalLength(max) => total_length / max,
+            SpatialTolerance::BboxDiagonal(max) => {
+                net.segments_bounding_box(outcome.payload.segments.iter().copied())
+                    .diagonal()
+                    / max
+            }
+        };
+        let added: u32 = outcome.per_level.iter().map(|l| l.added).sum();
+        let draws: u32 = outcome.per_level.iter().map(|l| l.draws).sum();
+        let voided: u32 = outcome.per_level.iter().map(|l| l.voided).sum();
+        RegionQuality {
+            segments: outcome.payload.region_size(),
+            users,
+            relative_anonymity: users as f64 / top.k as f64,
+            total_length,
+            relative_spatial_resolution,
+            draws_per_segment: if added == 0 {
+                0.0
+            } else {
+                draws as f64 / added as f64
+            },
+            voided_draws: voided,
+        }
+    }
+}
+
+impl fmt::Display for RegionQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} segments, {} users (rel-k {:.2}), {:.0} m (rel-σ {:.2}), {:.2} draws/seg, {} voided",
+            self.segments,
+            self.users,
+            self.relative_anonymity,
+            self.total_length,
+            self.relative_spatial_resolution,
+            self.draws_per_segment,
+            self.voided_draws
+        )
+    }
+}
+
+/// Running success-rate aggregator across many requests (experiment B6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuccessRate {
+    /// Requests attempted.
+    pub attempts: u64,
+    /// Requests that produced a region.
+    pub successes: u64,
+}
+
+impl SuccessRate {
+    /// A fresh aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request outcome.
+    pub fn record(&mut self, success: bool) {
+        self.attempts += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Success fraction in `[0, 1]` (0 when nothing was attempted).
+    pub fn rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+
+    /// Merges another aggregator into this one.
+    pub fn merge(&mut self, other: SuccessRate) {
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+    }
+}
+
+impl fmt::Display for SuccessRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ({:.1}%)",
+            self.successes,
+            self.attempts,
+            self.rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RgeEngine;
+    use crate::multilevel::anonymize;
+    use crate::profile::LevelRequirement;
+    use keystream::Key256;
+    use roadnet::{grid_city, SegmentId};
+
+    #[test]
+    fn quality_of_a_simple_run() {
+        let net = grid_city(6, 6, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 2);
+        let profile = PrivacyProfile::builder()
+            .level(
+                LevelRequirement::with_k(10)
+                    .tolerance(SpatialTolerance::TotalLength(5000.0)),
+            )
+            .build()
+            .unwrap();
+        let keys = vec![Key256::from_seed(1)];
+        let out = anonymize(
+            &net,
+            &snapshot,
+            SegmentId(15),
+            &profile,
+            &keys,
+            1,
+            &RgeEngine::new(),
+        )
+        .unwrap();
+        let q = RegionQuality::measure(&net, &snapshot, &profile, &out);
+        assert!(q.relative_anonymity >= 1.0);
+        assert!(q.users >= 10);
+        assert!(q.segments >= 5); // 2 users/segment
+        assert!(q.relative_spatial_resolution > 0.0 && q.relative_spatial_resolution <= 1.0);
+        assert!(q.draws_per_segment >= 1.0);
+        assert!((q.total_length - q.segments as f64 * 100.0).abs() < 1e-9);
+        let text = q.to_string();
+        assert!(text.contains("segments"));
+    }
+
+    #[test]
+    fn unlimited_tolerance_reports_zero_relative_resolution() {
+        let net = grid_city(5, 5, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let profile = PrivacyProfile::builder()
+            .level(LevelRequirement::with_k(5))
+            .build()
+            .unwrap();
+        let out = anonymize(
+            &net,
+            &snapshot,
+            SegmentId(0),
+            &profile,
+            &[Key256::from_seed(2)],
+            1,
+            &RgeEngine::new(),
+        )
+        .unwrap();
+        let q = RegionQuality::measure(&net, &snapshot, &profile, &out);
+        assert_eq!(q.relative_spatial_resolution, 0.0);
+    }
+
+    #[test]
+    fn success_rate_aggregation() {
+        let mut sr = SuccessRate::new();
+        assert_eq!(sr.rate(), 0.0);
+        sr.record(true);
+        sr.record(true);
+        sr.record(false);
+        assert!((sr.rate() - 2.0 / 3.0).abs() < 1e-12);
+        let mut other = SuccessRate::new();
+        other.record(false);
+        sr.merge(other);
+        assert_eq!(sr.attempts, 4);
+        assert_eq!(sr.successes, 2);
+        assert!(sr.to_string().contains("50.0%"));
+    }
+}

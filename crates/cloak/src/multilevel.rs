@@ -1,0 +1,864 @@
+//! Multi-level anonymization and selective de-anonymization — the
+//! ReverseCloak protocol itself (paper §II-B and Figure 1).
+//!
+//! Anonymization grows one contiguous chain `c_1 … c_n` of segment
+//! additions from the user's segment `c_0`, with level `Li`'s span driven
+//! by `Key_i`. De-anonymization peels levels top-down: within a level it
+//! removes segments in reverse chain order, each backward step revealing
+//! the previous chain segment; undoing a level's first step reveals the
+//! anchor — which is the next level down's last-added segment, so peeling
+//! is self-bootstrapping below the top level.
+
+use crate::engine::{HintStack, ReversibleEngine};
+use crate::error::{CloakError, DeanonError};
+use crate::payload::{CloakPayload, LevelMeta};
+use crate::profile::PrivacyProfile;
+use crate::region::RegionState;
+use keystream::{tag, DrawStream, Key256, Level};
+use mobisim::OccupancySnapshot;
+use roadnet::{RoadNetwork, SegmentId};
+
+/// Hard cap on expansion steps per level (defense against degenerate
+/// profiles; practical regions are orders of magnitude smaller).
+pub const MAX_STEPS_PER_LEVEL: usize = 100_000;
+
+/// Per-level statistics from an anonymization run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelStats {
+    /// The level.
+    pub level: Level,
+    /// Segments added by this level.
+    pub added: u32,
+    /// Total keyed draws consumed.
+    pub draws: u32,
+    /// Draws voided (tolerance, collisions avoided, quotient mismatches).
+    pub voided: u32,
+}
+
+/// The outcome of a successful anonymization.
+#[derive(Debug, Clone)]
+pub struct AnonymizationOutcome {
+    /// The public payload to upload to the LBS provider.
+    pub payload: CloakPayload,
+    /// The secret chain (additions in order, excluding the seed segment).
+    /// Held by the trusted anonymizer only; exposed here for testing and
+    /// experimentation.
+    pub chain: Vec<SegmentId>,
+    /// Per-level accounting.
+    pub per_level: Vec<LevelStats>,
+}
+
+/// The outcome of a (possibly partial) de-anonymization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeanonymizedView {
+    /// The reduced region, sorted by segment id.
+    pub segments: Vec<SegmentId>,
+    /// The privacy level the region was reduced to.
+    pub level: Level,
+    /// The chain segment the walk ended at: the last-added segment of
+    /// `level` (for `level == L0`, the user's own segment).
+    pub anchor: SegmentId,
+}
+
+fn step_context(algorithm: u8, level: Level, step: u32, nonce: u64) -> Vec<u8> {
+    let mut ctx = Vec::with_capacity(24);
+    ctx.extend_from_slice(b"rc/step/");
+    ctx.push(algorithm);
+    ctx.push(level.0);
+    ctx.extend_from_slice(&step.to_le_bytes());
+    ctx.extend_from_slice(&nonce.to_le_bytes());
+    ctx
+}
+
+fn hint_context(algorithm: u8, level: Level, nonce: u64) -> Vec<u8> {
+    let mut ctx = Vec::with_capacity(20);
+    ctx.extend_from_slice(b"rc/hint/");
+    ctx.push(algorithm);
+    ctx.push(level.0);
+    ctx.extend_from_slice(&nonce.to_le_bytes());
+    ctx
+}
+
+fn round_context(algorithm: u8, level: Level, nonce: u64) -> Vec<u8> {
+    let mut ctx = Vec::with_capacity(20);
+    ctx.extend_from_slice(b"rc/round/");
+    ctx.push(algorithm);
+    ctx.push(level.0);
+    ctx.extend_from_slice(&nonce.to_le_bytes());
+    ctx
+}
+
+fn tag_context(level: Level, nonce: u64) -> Vec<u8> {
+    let mut ctx = Vec::with_capacity(16);
+    ctx.extend_from_slice(b"rc/tag/");
+    ctx.push(level.0);
+    ctx.extend_from_slice(&nonce.to_le_bytes());
+    ctx
+}
+
+fn xor_hints(key: Key256, algorithm: u8, level: Level, nonce: u64, hints: &[u32]) -> Vec<u32> {
+    let mut ks = DrawStream::new(key, &hint_context(algorithm, level, nonce));
+    hints
+        .iter()
+        .map(|&h| h ^ (ks.next_u64() as u32))
+        .collect()
+}
+
+fn xor_rounds(key: Key256, algorithm: u8, level: Level, nonce: u64, rounds: &[u32]) -> Vec<u32> {
+    let mut ks = DrawStream::new(key, &round_context(algorithm, level, nonce));
+    rounds
+        .iter()
+        .map(|&r| r ^ (ks.next_u64() as u32))
+        .collect()
+}
+
+/// Anonymizes `user_segment` under `profile`, driving level `Li` with
+/// `keys[i-1]`.
+///
+/// The `nonce` must be fresh per request (it domain-separates the keyed
+/// streams so repeated requests from the same segment do not reuse
+/// randomness).
+///
+/// # Errors
+///
+/// Fails when the profile/keys disagree, the segment is unknown, or a
+/// level's requirement cannot be met within its spatial tolerance.
+pub fn anonymize(
+    net: &RoadNetwork,
+    snapshot: &OccupancySnapshot,
+    user_segment: SegmentId,
+    profile: &PrivacyProfile,
+    keys: &[Key256],
+    nonce: u64,
+    engine: &dyn ReversibleEngine,
+) -> Result<AnonymizationOutcome, CloakError> {
+    if keys.len() != profile.level_count() {
+        return Err(CloakError::KeyCountMismatch {
+            expected: profile.level_count(),
+            got: keys.len(),
+        });
+    }
+    if net.get_segment(user_segment).is_none() {
+        return Err(CloakError::UnknownSegment(user_segment));
+    }
+    let algorithm = engine.algorithm_id();
+    let mut region = RegionState::from_segments(net, [user_segment]);
+    let mut last = user_segment;
+    let mut chain = Vec::new();
+    let mut level_metas = Vec::new();
+    let mut per_level = Vec::new();
+
+    for (idx, req) in profile.requirements().iter().enumerate() {
+        let level = Level(idx as u8 + 1);
+        let key = keys[idx];
+        let mut added = 0u32;
+        let mut draws = 0u32;
+        let mut voided = 0u32;
+        let mut hints = Vec::new();
+        let mut rounds = Vec::new();
+        while region.users(snapshot) < req.k as u64 || region.len() < req.l as usize {
+            if added as usize >= MAX_STEPS_PER_LEVEL {
+                return Err(CloakError::CloakingFailed {
+                    level,
+                    reason: crate::error::StepFailure::StepLimit,
+                });
+            }
+            let step = added + 1;
+            let mut stream =
+                DrawStream::new(key, &step_context(algorithm, level, step, nonce));
+            let accept = engine
+                .forward_step(net, &region, last, &mut stream, &req.tolerance)
+                .map_err(|reason| CloakError::CloakingFailed { level, reason })?;
+            region.insert(net, accept.segment);
+            chain.push(accept.segment);
+            last = accept.segment;
+            added += 1;
+            draws += accept.draws;
+            voided += accept.voided;
+            rounds.push(accept.draws);
+            if let Some(h) = accept.hint {
+                hints.push(h);
+            }
+        }
+        let tag = tag::compute(key, &tag_context(level, nonce), &last.0.to_le_bytes());
+        level_metas.push(LevelMeta {
+            count: added,
+            tag,
+            tolerance: req.tolerance,
+            enc_rounds: xor_rounds(key, algorithm, level, nonce, &rounds),
+            enc_hints: xor_hints(key, algorithm, level, nonce, &hints),
+        });
+        per_level.push(LevelStats {
+            level,
+            added,
+            draws,
+            voided,
+        });
+    }
+
+    Ok(AnonymizationOutcome {
+        payload: CloakPayload {
+            algorithm,
+            nonce,
+            segments: region.to_sorted_ids(),
+            levels: level_metas,
+        },
+        chain,
+        per_level,
+    })
+}
+
+/// Like [`anonymize`], but retries under derived nonces when a walk
+/// dead-ends (RPLE local expansion ran out of admissible pre-assigned
+/// neighbors, or the tolerance voided a step's budget) — a fresh nonce
+/// gives a fresh walk. Returns the outcome and the number of attempts
+/// used.
+///
+/// # Errors
+///
+/// Propagates the last error after `max_attempts` failed walks, and any
+/// non-retryable error immediately.
+#[allow(clippy::too_many_arguments)]
+pub fn anonymize_with_retry(
+    net: &RoadNetwork,
+    snapshot: &OccupancySnapshot,
+    user_segment: SegmentId,
+    profile: &PrivacyProfile,
+    keys: &[Key256],
+    nonce: u64,
+    engine: &dyn ReversibleEngine,
+    max_attempts: u32,
+) -> Result<(AnonymizationOutcome, u32), CloakError> {
+    let mut last_err = None;
+    for attempt in 0..max_attempts.max(1) {
+        let derived = nonce.wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        match anonymize(net, snapshot, user_segment, profile, keys, derived, engine) {
+            Ok(out) => return Ok((out, attempt + 1)),
+            Err(e @ CloakError::CloakingFailed {
+                reason:
+                    crate::error::StepFailure::NoCandidates
+                    | crate::error::StepFailure::RedrawBudgetExhausted
+                    | crate::error::StepFailure::Collision,
+                ..
+            }) => last_err = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.expect("loop ran at least once"))
+}
+
+/// Selectively de-anonymizes `payload` using `keys`, which must peel
+/// levels contiguously from the payload's top level downward (e.g. to
+/// reduce an `L3` payload to `L1`, supply `[(L3, Key3), (L2, Key2)]`).
+///
+/// Passing no keys returns the payload's region unchanged at its top
+/// level.
+///
+/// # Errors
+///
+/// Fails on malformed payloads, non-contiguous keys, keys that do not
+/// match the payload's tags, or an engine mismatch.
+pub fn deanonymize(
+    net: &RoadNetwork,
+    payload: &CloakPayload,
+    keys: &[(Level, Key256)],
+    engine: &dyn ReversibleEngine,
+) -> Result<DeanonymizedView, DeanonError> {
+    if payload.algorithm != engine.algorithm_id() {
+        return Err(DeanonError::MalformedPayload(format!(
+            "payload algorithm {} does not match engine {}",
+            payload.algorithm,
+            engine.name()
+        )));
+    }
+    for s in &payload.segments {
+        if net.get_segment(*s).is_none() {
+            return Err(DeanonError::MalformedPayload(format!(
+                "segment {s} not in the network"
+            )));
+        }
+    }
+    let mut region = RegionState::from_segments(net, payload.segments.iter().copied());
+    let mut current_level = payload.top_level();
+    let mut anchor: Option<SegmentId> = None;
+
+    for &(level, key) in keys {
+        if level != current_level {
+            return Err(DeanonError::NonContiguousKeys {
+                expected: current_level,
+                got: level,
+            });
+        }
+        if level.0 == 0 {
+            return Err(DeanonError::NonContiguousKeys {
+                expected: current_level,
+                got: level,
+            });
+        }
+        let meta = &payload.levels[level.index() - 1];
+        let tctx = tag_context(level, payload.nonce);
+
+        // Identify the level's last-added segment: verify against the
+        // running anchor when we have one, otherwise search the region for
+        // the unique tag match (the top level's bootstrap).
+        let last = match anchor {
+            Some(a) => {
+                if !tag::verify(key, &tctx, &a.0.to_le_bytes(), meta.tag) {
+                    return Err(DeanonError::WrongKey(level));
+                }
+                a
+            }
+            None => {
+                let mut matches = region
+                    .iter_ids()
+                    .filter(|s| tag::verify(key, &tctx, &s.0.to_le_bytes(), meta.tag));
+                let found = matches.next().ok_or(DeanonError::WrongKey(level))?;
+                if matches.next().is_some() {
+                    // Two segments share a 128-bit tag: astronomically
+                    // unlikely unless the payload was crafted.
+                    return Err(DeanonError::MalformedPayload(
+                        "ambiguous bootstrap tag".into(),
+                    ));
+                }
+                found
+            }
+        };
+
+        // Decrypt the level's round numbers and quotient hints, then walk
+        // backward.
+        let rounds = xor_rounds(key, payload.algorithm, level, payload.nonce, &meta.enc_rounds);
+        let hints = xor_hints(key, payload.algorithm, level, payload.nonce, &meta.enc_hints);
+        let mut hint_stack = HintStack::new(hints);
+        let mut current = last;
+        for t in (1..=meta.count).rev() {
+            region.remove(net, current);
+            let mut stream = DrawStream::new(
+                key,
+                &step_context(payload.algorithm, level, t, payload.nonce),
+            );
+            current = engine
+                .backward_step(
+                    net,
+                    &region,
+                    current,
+                    &mut stream,
+                    &meta.tolerance,
+                    rounds[t as usize - 1],
+                    &mut hint_stack,
+                )
+                .map_err(|_| DeanonError::ReversalFailed {
+                    level,
+                    step: t as usize,
+                })?;
+        }
+        anchor = Some(current);
+        current_level = Level(level.0 - 1);
+    }
+
+    let anchor = match anchor {
+        Some(a) => a,
+        None => {
+            // No keys: the anchor is unknown; report the region as-is. Use
+            // the first segment as a placeholder only when the region is a
+            // single segment (L0 payloads), otherwise there is no anchor
+            // to report — pick the smallest id deterministically.
+            payload.segments[0]
+        }
+    };
+    Ok(DeanonymizedView {
+        segments: region.to_sorted_ids(),
+        level: current_level,
+        anchor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{RgeEngine, RpleEngine};
+    use crate::profile::{LevelRequirement, PrivacyProfile, SpatialTolerance};
+    use keystream::KeyManager;
+    use roadnet::grid_city;
+
+    fn setup() -> (RoadNetwork, OccupancySnapshot, PrivacyProfile, KeyManager) {
+        let net = grid_city(7, 7, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let profile = PrivacyProfile::builder()
+            .level(LevelRequirement::with_k(4))
+            .level(LevelRequirement::with_k(8))
+            .level(LevelRequirement::with_k(14))
+            .build()
+            .unwrap();
+        let mgr = KeyManager::from_seed(3, 99);
+        (net, snapshot, profile, mgr)
+    }
+
+    fn keys_of(mgr: &KeyManager) -> Vec<Key256> {
+        mgr.iter().map(|(_, k)| k).collect()
+    }
+
+    #[test]
+    fn full_roundtrip_rge_and_rple() {
+        let (net, snapshot, profile, mgr) = setup();
+        let engines: Vec<Box<dyn ReversibleEngine>> = vec![
+            Box::new(RgeEngine::new()),
+            Box::new(RpleEngine::build(&net, 8)),
+        ];
+        for engine in &engines {
+            let user = SegmentId(40);
+            let out = anonymize(
+                &net,
+                &snapshot,
+                user,
+                &profile,
+                &keys_of(&mgr),
+                7,
+                engine.as_ref(),
+            )
+            .unwrap();
+            // Region covers seed + chain.
+            assert_eq!(out.payload.region_size(), out.chain.len() + 1);
+            assert!(out.payload.contains(user));
+            // k satisfied at the top level (uniform 1 user/segment).
+            assert!(out.payload.region_size() >= 14);
+
+            // Peel all the way to L0.
+            let all_keys = mgr.keys_down_to(Level(0)).unwrap();
+            let view = deanonymize(&net, &out.payload, &all_keys, engine.as_ref()).unwrap();
+            assert_eq!(view.level, Level(0));
+            assert_eq!(view.segments, vec![user]);
+            assert_eq!(view.anchor, user, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn partial_peeling_matches_intermediate_regions() {
+        let (net, snapshot, profile, mgr) = setup();
+        let engine = RgeEngine::new();
+        let user = SegmentId(30);
+        let out = anonymize(&net, &snapshot, user, &profile, &keys_of(&mgr), 11, &engine)
+            .unwrap();
+
+        // Reconstruct intermediate region sets from the secret chain.
+        let counts: Vec<u32> = out.payload.levels.iter().map(|l| l.count).collect();
+        let l2_size = 1 + counts[0] as usize + counts[1] as usize;
+        let mut expect_l2: Vec<SegmentId> = std::iter::once(user)
+            .chain(out.chain[..l2_size - 1].iter().copied())
+            .collect();
+        expect_l2.sort();
+
+        let keys = mgr.keys_down_to(Level(2)).unwrap();
+        let view = deanonymize(&net, &out.payload, &keys, &engine).unwrap();
+        assert_eq!(view.level, Level(2));
+        assert_eq!(view.segments, expect_l2);
+        // The anchor is the last chain segment of level 2.
+        assert_eq!(view.anchor, out.chain[l2_size - 2]);
+    }
+
+    #[test]
+    fn no_keys_returns_top_level() {
+        let (net, snapshot, profile, mgr) = setup();
+        let engine = RgeEngine::new();
+        let out = anonymize(
+            &net,
+            &snapshot,
+            SegmentId(10),
+            &profile,
+            &keys_of(&mgr),
+            3,
+            &engine,
+        )
+        .unwrap();
+        let view = deanonymize(&net, &out.payload, &[], &engine).unwrap();
+        assert_eq!(view.level, Level(3));
+        assert_eq!(view.segments, out.payload.segments);
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let (net, snapshot, profile, mgr) = setup();
+        let engine = RgeEngine::new();
+        let out = anonymize(
+            &net,
+            &snapshot,
+            SegmentId(10),
+            &profile,
+            &keys_of(&mgr),
+            5,
+            &engine,
+        )
+        .unwrap();
+        let bogus = Key256::from_seed(123456);
+        let err = deanonymize(&net, &out.payload, &[(Level(3), bogus)], &engine).unwrap_err();
+        assert_eq!(err, DeanonError::WrongKey(Level(3)));
+    }
+
+    #[test]
+    fn non_contiguous_keys_rejected() {
+        let (net, snapshot, profile, mgr) = setup();
+        let engine = RgeEngine::new();
+        let out = anonymize(
+            &net,
+            &snapshot,
+            SegmentId(10),
+            &profile,
+            &keys_of(&mgr),
+            5,
+            &engine,
+        )
+        .unwrap();
+        // Supplying Key2 first (should be Key3).
+        let k2 = mgr.key_for(Level(2)).unwrap();
+        let err = deanonymize(&net, &out.payload, &[(Level(2), k2)], &engine).unwrap_err();
+        assert_eq!(
+            err,
+            DeanonError::NonContiguousKeys {
+                expected: Level(3),
+                got: Level(2)
+            }
+        );
+    }
+
+    #[test]
+    fn engine_mismatch_rejected() {
+        let (net, snapshot, profile, mgr) = setup();
+        let rge = RgeEngine::new();
+        let out = anonymize(
+            &net,
+            &snapshot,
+            SegmentId(10),
+            &profile,
+            &keys_of(&mgr),
+            5,
+            &rge,
+        )
+        .unwrap();
+        let rple = RpleEngine::build(&net, 8);
+        assert!(matches!(
+            deanonymize(&net, &out.payload, &[], &rple),
+            Err(DeanonError::MalformedPayload(_))
+        ));
+    }
+
+    #[test]
+    fn key_count_mismatch_rejected() {
+        let (net, snapshot, profile, mgr) = setup();
+        let engine = RgeEngine::new();
+        let mut keys = keys_of(&mgr);
+        keys.pop();
+        assert_eq!(
+            anonymize(&net, &snapshot, SegmentId(0), &profile, &keys, 1, &engine).unwrap_err(),
+            CloakError::KeyCountMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_segment_rejected() {
+        let (net, snapshot, profile, mgr) = setup();
+        let engine = RgeEngine::new();
+        assert_eq!(
+            anonymize(
+                &net,
+                &snapshot,
+                SegmentId(9999),
+                &profile,
+                &keys_of(&mgr),
+                1,
+                &engine
+            )
+            .unwrap_err(),
+            CloakError::UnknownSegment(SegmentId(9999))
+        );
+    }
+
+    #[test]
+    fn impossible_tolerance_fails_cloaking() {
+        let (net, snapshot, _, mgr) = setup();
+        let engine = RgeEngine::new();
+        let profile = PrivacyProfile::builder()
+            .level(
+                LevelRequirement::with_k(10)
+                    .tolerance(SpatialTolerance::TotalLength(150.0)),
+            )
+            .build()
+            .unwrap();
+        let keys: Vec<Key256> = mgr.iter().map(|(_, k)| k).take(1).collect();
+        let err = anonymize(
+            &net,
+            &snapshot,
+            SegmentId(0),
+            &profile,
+            &keys,
+            1,
+            &engine,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CloakError::CloakingFailed { .. }), "{err}");
+    }
+
+    #[test]
+    fn distinct_nonces_produce_distinct_regions() {
+        let (net, snapshot, profile, mgr) = setup();
+        let engine = RgeEngine::new();
+        let a = anonymize(
+            &net,
+            &snapshot,
+            SegmentId(20),
+            &profile,
+            &keys_of(&mgr),
+            1,
+            &engine,
+        )
+        .unwrap();
+        let b = anonymize(
+            &net,
+            &snapshot,
+            SegmentId(20),
+            &profile,
+            &keys_of(&mgr),
+            2,
+            &engine,
+        )
+        .unwrap();
+        assert_ne!(
+            a.payload.segments, b.payload.segments,
+            "nonces must freshen the expansion"
+        );
+        // Same nonce: fully deterministic.
+        let c = anonymize(
+            &net,
+            &snapshot,
+            SegmentId(20),
+            &profile,
+            &keys_of(&mgr),
+            1,
+            &engine,
+        )
+        .unwrap();
+        assert_eq!(a.payload, c.payload);
+    }
+
+    #[test]
+    fn already_satisfied_level_adds_nothing() {
+        let (net, _, _, mgr) = setup();
+        let engine = RgeEngine::new();
+        // 30 users on the seed segment: k=5 needs l=1 satisfied instantly.
+        let mut counts = vec![0u32; net.segment_count()];
+        counts[0] = 30;
+        let snapshot = OccupancySnapshot::from_counts(counts);
+        let profile = PrivacyProfile::builder()
+            .level(LevelRequirement::with_k(5).l(1))
+            .level(LevelRequirement::with_k(9).l(1))
+            .build()
+            .unwrap();
+        let keys: Vec<Key256> = mgr.iter().map(|(_, k)| k).take(2).collect();
+        let out = anonymize(
+            &net,
+            &snapshot,
+            SegmentId(0),
+            &profile,
+            &keys,
+            1,
+            &engine,
+        )
+        .unwrap();
+        assert_eq!(out.payload.levels[0].count, 0);
+        assert_eq!(out.payload.levels[1].count, 0);
+        assert_eq!(out.payload.region_size(), 1);
+        // Peeling still works and ends at the seed. The payload has two
+        // levels, so peel with (L2, keys[1]) then (L1, keys[0]).
+        let keys2 = vec![(Level(2), keys[1]), (Level(1), keys[0])];
+        let view = deanonymize(&net, &out.payload, &keys2, &engine).unwrap();
+        assert_eq!(view.segments, vec![SegmentId(0)]);
+        assert_eq!(view.level, Level(0));
+    }
+
+    #[test]
+    fn payload_wire_roundtrip_preserves_deanonymization() {
+        let (net, snapshot, profile, mgr) = setup();
+        let engine = RpleEngine::build(&net, 8);
+        let out = anonymize(
+            &net,
+            &snapshot,
+            SegmentId(25),
+            &profile,
+            &keys_of(&mgr),
+            21,
+            &engine,
+        )
+        .unwrap();
+        let bytes = out.payload.encode();
+        let payload = CloakPayload::decode(&bytes).unwrap();
+        let all_keys = mgr.keys_down_to(Level(0)).unwrap();
+        let view = deanonymize(&net, &payload, &all_keys, &engine).unwrap();
+        assert_eq!(view.segments, vec![SegmentId(25)]);
+    }
+}
+
+/// Ablation analysis of the paper's "collision" issue.
+///
+/// Replays an anonymization's backward walk (using the anonymizer-side
+/// secret chain) and, at each step, counts how many predecessor hypotheses
+/// a de-anonymizer **without round metadata** would find consistent. Steps
+/// with a count above 1 are collisions: a design relying on hypothesis
+/// testing alone (as the paper sketches) could not reverse them, which is
+/// exactly why RGE rebuilds collision-free tables and RPLE pre-assigns
+/// them — and why this implementation records encrypted round indices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AmbiguityReport {
+    /// Backward steps analyzed.
+    pub steps: u32,
+    /// Steps with more than one consistent predecessor.
+    pub ambiguous_steps: u32,
+    /// Largest hypothesis count seen on one step.
+    pub max_candidates: u32,
+    /// Sum of hypothesis counts (for means).
+    pub total_candidates: u64,
+}
+
+impl AmbiguityReport {
+    /// Fraction of steps that would collide without round metadata.
+    pub fn collision_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.ambiguous_steps as f64 / self.steps as f64
+        }
+    }
+
+    /// Mean consistent-hypothesis count per step.
+    pub fn mean_candidates(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total_candidates as f64 / self.steps as f64
+        }
+    }
+}
+
+/// Computes the [`AmbiguityReport`] for a finished anonymization.
+///
+/// Requires the outcome's secret chain (anonymizer side), the keys, and
+/// the same engine.
+pub fn ambiguity_profile(
+    net: &RoadNetwork,
+    outcome: &AnonymizationOutcome,
+    keys: &[Key256],
+    engine: &dyn ReversibleEngine,
+) -> AmbiguityReport {
+    let payload = &outcome.payload;
+    let algorithm = payload.algorithm;
+    let mut region = RegionState::from_segments(net, payload.segments.iter().copied());
+    let mut report = AmbiguityReport::default();
+    let mut chain_end = outcome.chain.len();
+    for (idx, meta) in payload.levels.iter().enumerate().rev() {
+        let level = Level(idx as u8 + 1);
+        let key = keys[idx];
+        let hints = xor_hints(key, algorithm, level, payload.nonce, &meta.enc_hints);
+        let mut hint_stack = HintStack::new(hints);
+        for t in (1..=meta.count).rev() {
+            let removed = outcome.chain[chain_end - 1];
+            chain_end -= 1;
+            region.remove(net, removed);
+            let mut stream = DrawStream::new(
+                key,
+                &step_context(algorithm, level, t, payload.nonce),
+            );
+            let count = engine.ambiguous_predecessors(
+                net,
+                &region,
+                removed,
+                &mut stream,
+                &meta.tolerance,
+                &mut hint_stack,
+            ) as u32;
+            report.steps += 1;
+            report.total_candidates += count as u64;
+            report.max_candidates = report.max_candidates.max(count);
+            if count > 1 {
+                report.ambiguous_steps += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use crate::engine::{RgeEngine, RpleEngine};
+    use crate::profile::{LevelRequirement, PrivacyProfile};
+    use keystream::KeyManager;
+    use roadnet::grid_city;
+
+    #[test]
+    fn every_step_has_at_least_the_true_predecessor() {
+        let net = grid_city(7, 7, 100.0);
+        let snapshot = mobisim::OccupancySnapshot::uniform(net.segment_count(), 1);
+        let profile = PrivacyProfile::builder()
+            .level(LevelRequirement::with_k(12))
+            .build()
+            .unwrap();
+        let mgr = KeyManager::from_seed(1, 31);
+        let keys: Vec<Key256> = mgr.iter().map(|(_, k)| k).collect();
+        for engine in [
+            Box::new(RgeEngine::new()) as Box<dyn ReversibleEngine>,
+            Box::new(RpleEngine::build(&net, 8)),
+        ] {
+            let out = anonymize(
+                &net,
+                &snapshot,
+                roadnet::SegmentId(20),
+                &profile,
+                &keys,
+                5,
+                engine.as_ref(),
+            )
+            .unwrap();
+            let report = ambiguity_profile(&net, &out, &keys, engine.as_ref());
+            assert_eq!(report.steps, out.chain.len() as u32);
+            // The true predecessor is always consistent.
+            assert!(report.mean_candidates() >= 1.0, "{}", engine.name());
+            assert!(report.max_candidates >= 1);
+        }
+    }
+
+    #[test]
+    fn collisions_do_occur_without_round_metadata() {
+        // Aggregate over many keys: hypothesis testing alone must show a
+        // nonzero collision rate for at least one engine/key — this is
+        // the phenomenon the paper's designs (and our round metadata)
+        // exist to handle. If it were always zero the metadata would be
+        // unnecessary.
+        let net = grid_city(7, 7, 100.0);
+        let snapshot = mobisim::OccupancySnapshot::uniform(net.segment_count(), 1);
+        let profile = PrivacyProfile::builder()
+            .level(LevelRequirement::with_k(20))
+            .build()
+            .unwrap();
+        let rple = RpleEngine::build(&net, 8);
+        let mut ambiguous = 0u32;
+        for seed in 0..20 {
+            let mgr = KeyManager::from_seed(1, seed);
+            let keys: Vec<Key256> = mgr.iter().map(|(_, k)| k).collect();
+            if let Ok(out) = anonymize(
+                &net,
+                &snapshot,
+                roadnet::SegmentId(20),
+                &profile,
+                &keys,
+                seed,
+                &rple,
+            ) {
+                ambiguous += ambiguity_profile(&net, &out, &keys, &rple).ambiguous_steps;
+            }
+        }
+        assert!(
+            ambiguous > 0,
+            "expected some collisions across 20 keyed walks"
+        );
+    }
+}

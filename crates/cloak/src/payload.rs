@@ -1,0 +1,355 @@
+//! The public cloaked-location payload and its wire codec.
+//!
+//! What the LBS provider (and every requester) sees: the cloaking region
+//! as a *sorted set* of segment ids — deliberately stripped of the chain
+//! order, which is the secret the keys unlock — plus per-level metadata:
+//!
+//! * `count`: how many segments the level added (region sizes per level
+//!   are observable by key holders anyway),
+//! * `tag`: a keyed tag identifying the level's last-added segment to a
+//!   key holder (the backward walk's bootstrap, DESIGN.md §3.4),
+//! * `enc_hints`: quotient hints for RGE steps with `|CloakA| > |CanA|`,
+//!   XOR-encrypted under the level key (pseudorandom noise without it).
+//!
+//! The codec is a hand-rolled length-prefixed binary format (no serde
+//! format dependency): `"RCLK" | version | algorithm | nonce | segments |
+//! levels`.
+
+use crate::error::DeanonError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use keystream::{Level, Tag128};
+use roadnet::SegmentId;
+use serde::{Deserialize, Serialize};
+
+/// Magic bytes opening every payload.
+pub const MAGIC: &[u8; 4] = b"RCLK";
+/// Current wire version.
+pub const VERSION: u8 = 1;
+
+/// Per-level public metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelMeta {
+    /// Segments this level added to the region.
+    pub count: u32,
+    /// Keyed tag of the level's last-added segment.
+    pub tag: Tag128,
+    /// The level's spatial tolerance `σs`. Public profile metadata: the
+    /// backward walk replays tolerance-voided rounds, so key holders need
+    /// it; to others it only bounds what the region's extent already
+    /// reveals.
+    pub tolerance: crate::profile::SpatialTolerance,
+    /// Encrypted accepting-round numbers, one per step in forward step
+    /// order. These let the backward walk filter predecessor hypotheses
+    /// by exact round, where ambiguity is structurally impossible; they
+    /// are pseudorandom noise without the level key.
+    pub enc_rounds: Vec<u32>,
+    /// Encrypted quotient hints, in forward step order.
+    pub enc_hints: Vec<u32>,
+}
+
+/// The public cloaked location: what gets uploaded to the LBS provider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloakPayload {
+    /// Algorithm id (1 = RGE, 2 = RPLE).
+    pub algorithm: u8,
+    /// Per-request nonce for domain separation of the keyed streams.
+    pub nonce: u64,
+    /// The cloaking region, sorted by segment id (chain order withheld).
+    pub segments: Vec<SegmentId>,
+    /// Metadata for levels `L1..`, in level order.
+    pub levels: Vec<LevelMeta>,
+}
+
+impl CloakPayload {
+    /// The highest privacy level in the payload.
+    pub fn top_level(&self) -> Level {
+        Level(self.levels.len() as u8)
+    }
+
+    /// Number of segments in the exposed region.
+    pub fn region_size(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether a segment is part of the exposed region.
+    pub fn contains(&self, s: SegmentId) -> bool {
+        self.segments.binary_search(&s).is_ok()
+    }
+
+    /// Serializes the payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(
+            16 + 4 * self.segments.len()
+                + self
+                    .levels
+                    .iter()
+                    .map(|l| 24 + 4 * l.enc_hints.len())
+                    .sum::<usize>(),
+        );
+        b.put_slice(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(self.algorithm);
+        b.put_u64_le(self.nonce);
+        b.put_u32_le(self.segments.len() as u32);
+        for s in &self.segments {
+            b.put_u32_le(s.0);
+        }
+        b.put_u8(self.levels.len() as u8);
+        for level in &self.levels {
+            b.put_u32_le(level.count);
+            b.put_slice(&level.tag.0);
+            match level.tolerance {
+                crate::profile::SpatialTolerance::Unlimited => b.put_u8(0),
+                crate::profile::SpatialTolerance::TotalLength(v) => {
+                    b.put_u8(1);
+                    b.put_f64_le(v);
+                }
+                crate::profile::SpatialTolerance::BboxDiagonal(v) => {
+                    b.put_u8(2);
+                    b.put_f64_le(v);
+                }
+            }
+            for r in &level.enc_rounds {
+                b.put_u32_le(*r);
+            }
+            b.put_u32_le(level.enc_hints.len() as u32);
+            for h in &level.enc_hints {
+                b.put_u32_le(*h);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Deserializes a payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, bad magic/version, unsorted or duplicate
+    /// segment ids, or inconsistent counts.
+    pub fn decode(mut data: &[u8]) -> Result<Self, DeanonError> {
+        let err = |msg: &str| DeanonError::MalformedPayload(msg.to_string());
+        if data.remaining() < 6 {
+            return Err(err("truncated header"));
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(err("bad magic"));
+        }
+        let version = data.get_u8();
+        if version != VERSION {
+            return Err(DeanonError::MalformedPayload(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let algorithm = data.get_u8();
+        if data.remaining() < 12 {
+            return Err(err("truncated nonce/segment count"));
+        }
+        let nonce = data.get_u64_le();
+        let seg_count = data.get_u32_le() as usize;
+        if data.remaining() < seg_count * 4 {
+            return Err(err("truncated segment list"));
+        }
+        let mut segments = Vec::with_capacity(seg_count);
+        for _ in 0..seg_count {
+            segments.push(SegmentId(data.get_u32_le()));
+        }
+        if segments.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(err("segment ids must be strictly ascending"));
+        }
+        if !data.has_remaining() {
+            return Err(err("truncated level count"));
+        }
+        let level_count = data.get_u8() as usize;
+        let mut levels = Vec::with_capacity(level_count);
+        let mut total_added = 0u64;
+        for _ in 0..level_count {
+            if data.remaining() < 24 {
+                return Err(err("truncated level metadata"));
+            }
+            let count = data.get_u32_le();
+            total_added += count as u64;
+            let mut tag = [0u8; 16];
+            data.copy_to_slice(&mut tag);
+            if !data.has_remaining() {
+                return Err(err("truncated tolerance"));
+            }
+            let tolerance = match data.get_u8() {
+                0 => crate::profile::SpatialTolerance::Unlimited,
+                code @ (1 | 2) => {
+                    if data.remaining() < 8 {
+                        return Err(err("truncated tolerance value"));
+                    }
+                    let v = data.get_f64_le();
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(err("non-finite tolerance"));
+                    }
+                    if code == 1 {
+                        crate::profile::SpatialTolerance::TotalLength(v)
+                    } else {
+                        crate::profile::SpatialTolerance::BboxDiagonal(v)
+                    }
+                }
+                _ => return Err(err("unknown tolerance kind")),
+            };
+            if data.remaining() < count as usize * 4 {
+                return Err(err("truncated round list"));
+            }
+            let mut enc_rounds = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                enc_rounds.push(data.get_u32_le());
+            }
+            if data.remaining() < 4 {
+                return Err(err("truncated hint count"));
+            }
+            let hint_count = data.get_u32_le() as usize;
+            if hint_count > count as usize {
+                return Err(err("more hints than steps"));
+            }
+            if data.remaining() < hint_count * 4 {
+                return Err(err("truncated hint list"));
+            }
+            let mut enc_hints = Vec::with_capacity(hint_count);
+            for _ in 0..hint_count {
+                enc_hints.push(data.get_u32_le());
+            }
+            levels.push(LevelMeta {
+                count,
+                tag: Tag128(tag),
+                tolerance,
+                enc_rounds,
+                enc_hints,
+            });
+        }
+        if data.has_remaining() {
+            return Err(err("trailing bytes"));
+        }
+        // Region must hold the seed segment plus everything ever added.
+        if total_added + 1 != segments.len() as u64 {
+            return Err(err("level counts inconsistent with region size"));
+        }
+        Ok(CloakPayload {
+            algorithm,
+            nonce,
+            segments,
+            levels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CloakPayload {
+        CloakPayload {
+            algorithm: 1,
+            nonce: 0xdead_beef_cafe_f00d,
+            segments: vec![SegmentId(2), SegmentId(5), SegmentId(9), SegmentId(14)],
+            levels: vec![
+                LevelMeta {
+                    count: 2,
+                    tag: Tag128([7; 16]),
+                    tolerance: crate::profile::SpatialTolerance::TotalLength(1234.5),
+                    enc_rounds: vec![0xaaaa_0001, 0xaaaa_0002],
+                    enc_hints: vec![],
+                },
+                LevelMeta {
+                    count: 1,
+                    tag: Tag128([9; 16]),
+                    tolerance: crate::profile::SpatialTolerance::Unlimited,
+                    enc_rounds: vec![0xbbbb_0001],
+                    enc_hints: vec![0x1234_5678],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let bytes = p.encode();
+        let back = CloakPayload::decode(&bytes).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = sample();
+        assert_eq!(p.top_level(), Level(2));
+        assert_eq!(p.region_size(), 4);
+        assert!(p.contains(SegmentId(5)));
+        assert!(!p.contains(SegmentId(6)));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                CloakPayload::decode(&bytes[..cut]).is_err(),
+                "decode succeeded on {cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut v = sample().encode().to_vec();
+        v.push(0);
+        assert!(CloakPayload::decode(&v).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut v = sample().encode().to_vec();
+        v[0] = b'X';
+        assert!(CloakPayload::decode(&v).is_err());
+        let mut v = sample().encode().to_vec();
+        v[4] = 99;
+        assert!(matches!(
+            CloakPayload::decode(&v),
+            Err(DeanonError::MalformedPayload(m)) if m.contains("version")
+        ));
+    }
+
+    #[test]
+    fn rejects_unsorted_segments() {
+        let mut p = sample();
+        p.segments.swap(0, 1);
+        let bytes = p.encode();
+        assert!(CloakPayload::decode(&bytes).is_err());
+        // Duplicates too.
+        let mut p = sample();
+        p.segments[1] = p.segments[0];
+        assert!(CloakPayload::decode(&p.encode()).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_level_counts() {
+        let mut p = sample();
+        p.levels[0].count = 99;
+        assert!(CloakPayload::decode(&p.encode()).is_err());
+    }
+
+    #[test]
+    fn rejects_hint_overflow() {
+        let mut p = sample();
+        p.levels[1].enc_hints = vec![1, 2, 3]; // 3 hints for 1 step
+        assert!(CloakPayload::decode(&p.encode()).is_err());
+    }
+
+    #[test]
+    fn empty_levels_payload() {
+        let p = CloakPayload {
+            algorithm: 2,
+            nonce: 1,
+            segments: vec![SegmentId(0)],
+            levels: vec![],
+        };
+        let back = CloakPayload::decode(&p.encode()).unwrap();
+        assert_eq!(back.top_level(), Level(0));
+        assert_eq!(back, p);
+    }
+}

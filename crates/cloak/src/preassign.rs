@@ -1,0 +1,280 @@
+//! RPLE pre-assignment — Algorithm 1 of the paper.
+//!
+//! Before any cloaking request, every segment `s` gets a *forward
+//! transition list* `FT[s]` and a *backward transition list* `BT[s]`, both
+//! of length `T`. For each neighbor `sp` of `s`, the first position `j`
+//! that is free in both `FT[s]` and `BT[sp]` is claimed:
+//! `FT[s][j] = sp` and `BT[sp][j] = s`. This yields the global
+//! collision-free duality
+//!
+//! > `FT[s][j] = sp  ⟺  BT[sp][j] = s`
+//!
+//! so a backward lookup is a single table cell. The trade-off the paper
+//! describes — "RPLE has smaller anonymization runtime but requires larger
+//! memory space to store the collision-free links" — is exactly this
+//! structure: `2 · E · T` cells resident for the whole map.
+
+use roadnet::{RoadNetwork, SegmentId};
+
+/// The pre-assigned forward/backward transition lists for a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreassignedTables {
+    t_len: usize,
+    /// `ft[s][j]`: the neighbor reached from `s` via slot `j`.
+    ft: Vec<Vec<Option<SegmentId>>>,
+    /// `bt[sp][j]`: the predecessor that reaches `sp` via slot `j`.
+    bt: Vec<Vec<Option<SegmentId>>>,
+    /// Neighbor links that could not be placed (no common free slot).
+    dropped_links: usize,
+}
+
+impl PreassignedTables {
+    /// Runs Algorithm 1 over the network with transition lists of length
+    /// `t_len`.
+    ///
+    /// Larger `t_len` places more neighbor links (fewer dropped) at the
+    /// cost of memory — experiment B4 sweeps this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_len == 0`.
+    pub fn build(net: &RoadNetwork, t_len: usize) -> Self {
+        assert!(t_len > 0, "transition list length must be positive");
+        let e = net.segment_count();
+        let mut ft: Vec<Vec<Option<SegmentId>>> = vec![vec![None; t_len]; e];
+        let mut bt: Vec<Vec<Option<SegmentId>>> = vec![vec![None; t_len]; e];
+        let mut dropped = 0usize;
+        // "for each segment s in G" — deterministic id order.
+        for s in net.segment_ids() {
+            // NL: the neighboring list of s (deterministic order).
+            let nl = net.neighbor_segments(s);
+            for sp in nl {
+                // emp = empFT ∩ empBT; selPosition = emp[0].
+                let mut placed = false;
+                for j in 0..t_len {
+                    if ft[s.index()][j].is_none() && bt[sp.index()][j].is_none() {
+                        ft[s.index()][j] = Some(sp);
+                        bt[sp.index()][j] = Some(s);
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    dropped += 1;
+                }
+            }
+        }
+        PreassignedTables {
+            t_len,
+            ft,
+            bt,
+            dropped_links: dropped,
+        }
+    }
+
+    /// The transition-list length `T`.
+    pub fn t_len(&self) -> usize {
+        self.t_len
+    }
+
+    /// The forward list of `s`.
+    pub fn forward_list(&self, s: SegmentId) -> &[Option<SegmentId>] {
+        &self.ft[s.index()]
+    }
+
+    /// The backward list of `s`.
+    pub fn backward_list(&self, s: SegmentId) -> &[Option<SegmentId>] {
+        &self.bt[s.index()]
+    }
+
+    /// Forward slot lookup: `FT[s][slot]`.
+    pub fn forward(&self, s: SegmentId, slot: usize) -> Option<SegmentId> {
+        self.ft[s.index()][slot % self.t_len]
+    }
+
+    /// Backward slot lookup: `BT[s][slot]`.
+    pub fn backward(&self, s: SegmentId, slot: usize) -> Option<SegmentId> {
+        self.bt[s.index()][slot % self.t_len]
+    }
+
+    /// Neighbor links that could not be placed because no slot was free in
+    /// both lists. These transitions are simply unavailable to RPLE.
+    pub fn dropped_links(&self) -> usize {
+        self.dropped_links
+    }
+
+    /// Number of placed (usable) links.
+    pub fn placed_links(&self) -> usize {
+        self.ft
+            .iter()
+            .map(|l| l.iter().filter(|c| c.is_some()).count())
+            .sum()
+    }
+
+    /// Approximate resident memory of the tables in bytes (the paper's
+    /// RPLE memory cost; experiment B4).
+    pub fn memory_bytes(&self) -> usize {
+        // Two tables of E × T cells of Option<SegmentId>.
+        2 * self.ft.len() * self.t_len * std::mem::size_of::<Option<SegmentId>>()
+    }
+
+    /// Verifies the duality invariant `FT[s][j] = sp ⟺ BT[sp][j] = s`.
+    /// Returns the number of violations (0 for a correct build).
+    pub fn duality_violations(&self) -> usize {
+        let mut bad = 0;
+        for (si, list) in self.ft.iter().enumerate() {
+            for (j, cell) in list.iter().enumerate() {
+                if let Some(sp) = cell {
+                    if self.bt[sp.index()][j] != Some(SegmentId(si as u32)) {
+                        bad += 1;
+                    }
+                }
+            }
+        }
+        for (si, list) in self.bt.iter().enumerate() {
+            for (j, cell) in list.iter().enumerate() {
+                if let Some(s) = cell {
+                    if self.ft[s.index()][j] != Some(SegmentId(si as u32)) {
+                        bad += 1;
+                    }
+                }
+            }
+        }
+        bad
+    }
+
+    /// Renders one segment's lists like paper Figure 3.
+    pub fn render_lists(&self, s: SegmentId) -> String {
+        let fmt_list = |list: &[Option<SegmentId>]| {
+            list.iter()
+                .map(|c| match c {
+                    Some(seg) => format!("{seg:>5}"),
+                    None => format!("{:>5}", "-"),
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        format!(
+            "FT[{s}] = [{}]\nBT[{s}] = [{}]\n",
+            fmt_list(&self.ft[s.index()]),
+            fmt_list(&self.bt[s.index()])
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::{atlanta_like, grid_city};
+
+    #[test]
+    fn duality_holds_on_grid() {
+        let net = grid_city(5, 5, 100.0);
+        for t in [2, 4, 6, 8] {
+            let tables = PreassignedTables::build(&net, t);
+            assert_eq!(tables.duality_violations(), 0, "T={t}");
+        }
+    }
+
+    #[test]
+    fn large_t_places_all_links() {
+        let net = grid_city(5, 5, 100.0);
+        // Max neighbor count on this grid is 6; a generous T places all.
+        let tables = PreassignedTables::build(&net, 16);
+        assert_eq!(tables.dropped_links(), 0);
+        // Every neighbor pair appears in FT.
+        for s in net.segment_ids() {
+            let placed: Vec<SegmentId> = tables
+                .forward_list(s)
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            for n in net.neighbor_segments(s) {
+                assert!(placed.contains(&n), "missing link {s}->{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_t_drops_links() {
+        let net = grid_city(5, 5, 100.0);
+        let tables = PreassignedTables::build(&net, 2);
+        assert!(tables.dropped_links() > 0);
+        assert_eq!(tables.duality_violations(), 0);
+    }
+
+    #[test]
+    fn forward_backward_cells_agree() {
+        let net = grid_city(4, 4, 100.0);
+        let tables = PreassignedTables::build(&net, 8);
+        for s in net.segment_ids() {
+            for j in 0..8 {
+                if let Some(sp) = tables.forward(s, j) {
+                    assert_eq!(tables.backward(sp, j), Some(s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_targets_are_neighbors() {
+        let net = grid_city(4, 4, 100.0);
+        let tables = PreassignedTables::build(&net, 8);
+        for s in net.segment_ids() {
+            for cell in tables.forward_list(s).iter().flatten() {
+                assert!(net.segments_adjacent(s, *cell));
+            }
+        }
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_t() {
+        let net = grid_city(4, 4, 100.0);
+        let m4 = PreassignedTables::build(&net, 4).memory_bytes();
+        let m8 = PreassignedTables::build(&net, 8).memory_bytes();
+        assert_eq!(m8, 2 * m4);
+    }
+
+    #[test]
+    fn placed_plus_dropped_covers_all_directed_links() {
+        let net = grid_city(5, 5, 100.0);
+        let total_links: usize = net
+            .segment_ids()
+            .map(|s| net.neighbor_segments(s).len())
+            .sum();
+        for t in [2, 4, 12] {
+            let tables = PreassignedTables::build(&net, t);
+            assert_eq!(
+                tables.placed_links() + tables.dropped_links(),
+                total_links,
+                "T={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_lists_shows_slots() {
+        let net = grid_city(3, 3, 100.0);
+        let tables = PreassignedTables::build(&net, 6);
+        let s = tables.render_lists(SegmentId(0));
+        assert!(s.contains("FT[s0]"));
+        assert!(s.contains("BT[s0]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_t_panics() {
+        let net = grid_city(2, 2, 10.0);
+        let _ = PreassignedTables::build(&net, 0);
+    }
+
+    #[test]
+    #[ignore = "slow: full Atlanta-scale pre-assignment (run with --ignored)"]
+    fn atlanta_scale_preassignment() {
+        let net = atlanta_like(5);
+        let tables = PreassignedTables::build(&net, 12);
+        assert_eq!(tables.duality_violations(), 0);
+        assert!(tables.memory_bytes() > 1_000_000);
+    }
+}

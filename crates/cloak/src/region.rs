@@ -1,0 +1,241 @@
+//! The evolving cloaking region during (de)anonymization.
+
+use roadnet::{BoundingBox, RoadNetwork, SegmentId};
+
+/// A mutable cloaking region: a set of segments with cached totals.
+///
+/// Both directions of the protocol walk through *identical* region states
+/// (forward step `t` starts from the same state backward step `t` ends
+/// at), so all derived quantities — sorted orders, frontier, totals — are
+/// pure functions of the member set.
+#[derive(Debug, Clone)]
+pub struct RegionState {
+    members: Vec<bool>,
+    count: usize,
+    total_length: f64,
+    bbox: BoundingBox,
+}
+
+impl RegionState {
+    /// An empty region over a network with `segment_count` segments.
+    pub fn new(net: &RoadNetwork) -> Self {
+        RegionState {
+            members: vec![false; net.segment_count()],
+            count: 0,
+            total_length: 0.0,
+            bbox: BoundingBox::empty(),
+        }
+    }
+
+    /// A region seeded with the given segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment id is out of range for the network.
+    pub fn from_segments<I: IntoIterator<Item = SegmentId>>(net: &RoadNetwork, ids: I) -> Self {
+        let mut r = Self::new(net);
+        for s in ids {
+            r.insert(net, s);
+        }
+        r
+    }
+
+    /// Whether `s` is in the region.
+    pub fn contains(&self, s: SegmentId) -> bool {
+        self.members.get(s.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of segments in the region (`δl` check).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Total road length of the region in meters.
+    pub fn total_length(&self) -> f64 {
+        self.total_length
+    }
+
+    /// Bounding box of the region.
+    pub fn bounding_box(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// Adds a segment. Returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn insert(&mut self, net: &RoadNetwork, s: SegmentId) -> bool {
+        assert!(
+            s.index() < self.members.len(),
+            "segment {s} out of range for this network"
+        );
+        if self.members[s.index()] {
+            return false;
+        }
+        self.members[s.index()] = true;
+        self.count += 1;
+        let seg = net.segment(s);
+        self.total_length += seg.length();
+        self.bbox.expand(net.junction(seg.a()).position());
+        self.bbox.expand(net.junction(seg.b()).position());
+        true
+    }
+
+    /// Removes a segment. Returns whether it was present.
+    ///
+    /// The bounding box is recomputed from the remaining members (boxes do
+    /// not shrink incrementally).
+    pub fn remove(&mut self, net: &RoadNetwork, s: SegmentId) -> bool {
+        if s.index() >= self.members.len() || !self.members[s.index()] {
+            return false;
+        }
+        self.members[s.index()] = false;
+        self.count -= 1;
+        self.total_length -= net.segment(s).length();
+        if self.total_length < 0.0 {
+            self.total_length = 0.0;
+        }
+        self.bbox = net.segments_bounding_box(self.iter_ids());
+        true
+    }
+
+    /// Member ids in ascending id order (the public, chain-order-free view
+    /// that goes into the payload).
+    pub fn iter_ids(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| SegmentId(i as u32))
+    }
+
+    /// Member ids collected in ascending id order.
+    pub fn to_sorted_ids(&self) -> Vec<SegmentId> {
+        self.iter_ids().collect()
+    }
+
+    /// Members sorted by `(length, id)` — the row order of the RGE
+    /// transition table ("in the order of segment length so that the
+    /// shortest segments are mapped to the 1st row").
+    pub fn sorted_by_length(&self, net: &RoadNetwork) -> Vec<SegmentId> {
+        let mut v = self.to_sorted_ids();
+        v.sort_by(|&a, &b| {
+            net.segment(a)
+                .length()
+                .total_cmp(&net.segment(b).length())
+                .then(a.cmp(&b))
+        });
+        v
+    }
+
+    /// Total users currently in the region (`δk` check).
+    pub fn users(&self, snapshot: &mobisim::OccupancySnapshot) -> u64 {
+        snapshot.users_in(self.iter_ids())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobisim::OccupancySnapshot;
+    use roadnet::grid_city;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let net = grid_city(3, 3, 100.0);
+        let mut r = RegionState::new(&net);
+        assert!(r.is_empty());
+        assert!(r.insert(&net, SegmentId(0)));
+        assert!(!r.insert(&net, SegmentId(0)), "double insert is a no-op");
+        assert!(r.insert(&net, SegmentId(1)));
+        assert_eq!(r.len(), 2);
+        assert!((r.total_length() - 200.0).abs() < 1e-9);
+        assert!(r.remove(&net, SegmentId(0)));
+        assert!(!r.remove(&net, SegmentId(0)), "double remove is a no-op");
+        assert_eq!(r.len(), 1);
+        assert!((r.total_length() - 100.0).abs() < 1e-9);
+        assert!(!r.contains(SegmentId(0)));
+        assert!(r.contains(SegmentId(1)));
+    }
+
+    #[test]
+    fn bbox_shrinks_after_remove() {
+        let net = grid_city(3, 3, 100.0);
+        let mut r = RegionState::new(&net);
+        r.insert(&net, SegmentId(0));
+        let small = *r.bounding_box();
+        let far = net.segment_ids().last().unwrap();
+        r.insert(&net, far);
+        assert!(r.bounding_box().diagonal() > small.diagonal());
+        r.remove(&net, far);
+        assert_eq!(r.bounding_box().diagonal(), small.diagonal());
+    }
+
+    #[test]
+    fn sorted_orders() {
+        let net = grid_city(2, 4, 100.0);
+        let mut r = RegionState::new(&net);
+        for s in [SegmentId(3), SegmentId(0), SegmentId(5)] {
+            r.insert(&net, s);
+        }
+        assert_eq!(
+            r.to_sorted_ids(),
+            vec![SegmentId(0), SegmentId(3), SegmentId(5)]
+        );
+        // Equal lengths: ties broken by id => same order here.
+        assert_eq!(
+            r.sorted_by_length(&net),
+            vec![SegmentId(0), SegmentId(3), SegmentId(5)]
+        );
+    }
+
+    #[test]
+    fn sorted_by_length_orders_short_first() {
+        use roadnet::{builder::RoadNetworkBuilder, Point};
+        let mut b = RoadNetworkBuilder::new();
+        let j0 = b.add_junction(Point::new(0.0, 0.0));
+        let j1 = b.add_junction(Point::new(50.0, 0.0));
+        let j2 = b.add_junction(Point::new(250.0, 0.0));
+        let j3 = b.add_junction(Point::new(260.0, 0.0));
+        let s_long = b.add_segment(j1, j2).unwrap(); // 200 m
+        let s_mid = b.add_segment(j0, j1).unwrap(); // 50 m
+        let s_short = b.add_segment(j2, j3).unwrap(); // 10 m
+        let net = b.build().unwrap();
+        let r = RegionState::from_segments(&net, [s_long, s_mid, s_short]);
+        assert_eq!(r.sorted_by_length(&net), vec![s_short, s_mid, s_long]);
+    }
+
+    #[test]
+    fn users_from_snapshot() {
+        let net = grid_city(3, 3, 100.0);
+        let mut counts = vec![0u32; net.segment_count()];
+        counts[0] = 4;
+        counts[2] = 1;
+        let snap = OccupancySnapshot::from_counts(counts);
+        let r = RegionState::from_segments(&net, [SegmentId(0), SegmentId(1)]);
+        assert_eq!(r.users(&snap), 4);
+        let r2 = RegionState::from_segments(&net, [SegmentId(0), SegmentId(2)]);
+        assert_eq!(r2.users(&snap), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let net = grid_city(2, 2, 10.0);
+        let mut r = RegionState::new(&net);
+        r.insert(&net, SegmentId(999));
+    }
+
+    #[test]
+    fn remove_out_of_range_is_false() {
+        let net = grid_city(2, 2, 10.0);
+        let mut r = RegionState::new(&net);
+        assert!(!r.remove(&net, SegmentId(999)));
+    }
+}

@@ -1,0 +1,199 @@
+//! 256-bit access keys.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A 256-bit shared secret access key (`Key_i` in the paper).
+///
+/// Keys drive the pseudo-random segment selection of one privacy level;
+/// whoever holds the key can replay — and therefore reverse — that level's
+/// expansion.
+///
+/// The `Debug`/`Display` representations print only a short fingerprint so
+/// keys do not leak into logs; use [`Key256::to_hex`] for the full value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Key256([u8; 32]);
+
+impl Key256 {
+    /// Wraps raw key bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Key256(bytes)
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Generates a random key from the given entropy source.
+    ///
+    /// This is the "Auto key generation" function of the paper's
+    /// Anonymizer GUI.
+    pub fn generate<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; 32];
+        rng.fill(&mut bytes);
+        Key256(bytes)
+    }
+
+    /// Derives a key deterministically from a low-entropy test seed.
+    ///
+    /// Intended for tests and reproducible experiments, not production use.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut bytes = [0u8; 32];
+        for chunk in bytes.chunks_mut(8) {
+            state = crate::stream::split_mix64(&mut state);
+            chunk.copy_from_slice(&state.to_le_bytes());
+        }
+        Key256(bytes)
+    }
+
+    /// Hex-encodes the full key (64 lowercase hex digits).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            use std::fmt::Write;
+            write!(s, "{b:02x}").expect("writing to a String cannot fail");
+        }
+        s
+    }
+
+    /// Parses a 64-digit hex key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseKeyError`] when the input is not exactly 64 hex
+    /// digits.
+    pub fn from_hex(s: &str) -> Result<Self, ParseKeyError> {
+        let s = s.trim();
+        if s.len() != 64 {
+            return Err(ParseKeyError::WrongLength(s.len()));
+        }
+        let mut bytes = [0u8; 32];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = hex_val(chunk[0]).ok_or(ParseKeyError::InvalidDigit(chunk[0] as char))?;
+            let lo = hex_val(chunk[1]).ok_or(ParseKeyError::InvalidDigit(chunk[1] as char))?;
+            bytes[i] = (hi << 4) | lo;
+        }
+        Ok(Key256(bytes))
+    }
+
+    /// A short non-secret fingerprint of the key for display purposes.
+    pub fn fingerprint(&self) -> String {
+        // First 4 bytes of a mixed state, not the key material itself.
+        let mut acc = 0xa076_1d64_78bd_642fu64;
+        for b in self.0 {
+            acc = (acc ^ b as u64).wrapping_mul(0xe703_7ed1_a0b4_28db);
+            acc ^= acc >> 32;
+        }
+        format!("{:08x}", (acc >> 32) as u32)
+    }
+}
+
+impl fmt::Debug for Key256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key256(fp:{})", self.fingerprint())
+    }
+}
+
+impl fmt::Display for Key256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key:{}", self.fingerprint())
+    }
+}
+
+impl From<[u8; 32]> for Key256 {
+    fn from(bytes: [u8; 32]) -> Self {
+        Key256(bytes)
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Error from [`Key256::from_hex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseKeyError {
+    /// The string did not contain exactly 64 characters.
+    WrongLength(usize),
+    /// A character was not a hex digit.
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseKeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseKeyError::WrongLength(n) => {
+                write!(f, "key must be 64 hex digits, got {n} characters")
+            }
+            ParseKeyError::InvalidDigit(c) => write!(f, "invalid hex digit `{c}` in key"),
+        }
+    }
+}
+
+impl Error for ParseKeyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let k = Key256::from_seed(12345);
+        let hex = k.to_hex();
+        assert_eq!(hex.len(), 64);
+        assert_eq!(Key256::from_hex(&hex).unwrap(), k);
+        // Uppercase also accepted.
+        assert_eq!(Key256::from_hex(&hex.to_uppercase()).unwrap(), k);
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(
+            Key256::from_hex("abcd"),
+            Err(ParseKeyError::WrongLength(4))
+        );
+        let bad = "zz".repeat(32);
+        assert_eq!(
+            Key256::from_hex(&bad),
+            Err(ParseKeyError::InvalidDigit('z'))
+        );
+    }
+
+    #[test]
+    fn seeded_keys_are_deterministic_and_distinct() {
+        assert_eq!(Key256::from_seed(7), Key256::from_seed(7));
+        assert_ne!(Key256::from_seed(7), Key256::from_seed(8));
+    }
+
+    #[test]
+    fn generated_keys_differ() {
+        let mut rng = rand::thread_rng();
+        let a = Key256::generate(&mut rng);
+        let b = Key256::generate(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key_material() {
+        let k = Key256::from_seed(99);
+        let dbg = format!("{k:?}");
+        assert!(!dbg.contains(&k.to_hex()));
+        assert!(dbg.contains("fp:"));
+        // Fingerprint is stable.
+        assert_eq!(k.fingerprint(), Key256::from_seed(99).fingerprint());
+    }
+
+    #[test]
+    fn parse_error_display() {
+        assert!(ParseKeyError::WrongLength(3).to_string().contains("64 hex"));
+        assert!(ParseKeyError::InvalidDigit('q').to_string().contains('q'));
+    }
+}

@@ -1,0 +1,198 @@
+//! Keyed pseudo-random draw streams.
+//!
+//! ReverseCloak needs a deterministic stream of pseudo-random numbers
+//! `R_1, R_2, …` per `(key, level)` pair: the i-th number drives both the
+//! i-th forward transition (anonymization) and the corresponding backward
+//! transition (de-anonymization). Determinism and replayability are the
+//! contract; statistical quality keeps the selection unbiased.
+//!
+//! The generator is xoshiro256\*\* (Blackman & Vigna) seeded from the access
+//! key through SplitMix64, the seeding procedure its authors recommend.
+//! This is a *stand-in PRF*: indistinguishable for simulation and
+//! experimentation purposes, but not a cryptographic guarantee — a
+//! production deployment would swap in ChaCha20 or HMAC-DRBG behind the
+//! same interface (see DESIGN.md §1).
+
+use crate::key::Key256;
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Exposed within the crate for key derivation and tagging.
+pub(crate) fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic keyed stream of pseudo-random `u64` draws.
+///
+/// ```
+/// use keystream::{DrawStream, Key256};
+/// let key = Key256::from_seed(1);
+/// let mut a = DrawStream::new(key, b"level-1");
+/// let mut b = DrawStream::new(key, b"level-1");
+/// assert_eq!(a.next_u64(), b.next_u64()); // same key+context => same stream
+/// let mut c = DrawStream::new(key, b"level-2");
+/// assert_ne!(a.next_u64(), c.next_u64()); // contexts separate streams
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrawStream {
+    s: [u64; 4],
+    drawn: u64,
+}
+
+impl DrawStream {
+    /// Creates the stream for `key` in a domain-separation `context`
+    /// (for ReverseCloak: the privacy level and request nonce).
+    pub fn new(key: Key256, context: &[u8]) -> Self {
+        // Absorb key bytes and context into a SplitMix64 chain.
+        let mut st = 0x6a09_e667_f3bc_c908u64; // fractional bits of sqrt(2)
+        for chunk in key.as_bytes().chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            st ^= u64::from_le_bytes(w);
+            let _ = split_mix64(&mut st);
+        }
+        for chunk in context.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            st ^= u64::from_le_bytes(w).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let _ = split_mix64(&mut st);
+        }
+        st ^= (context.len() as u64).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = split_mix64(&mut st);
+        }
+        // xoshiro must not start from the all-zero state; the SplitMix64
+        // seeding makes that astronomically unlikely but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        DrawStream { s, drawn: 0 }
+    }
+
+    /// The next pseudo-random draw `R_i`.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        self.drawn += 1;
+        result
+    }
+
+    /// A draw reduced modulo `n` — the paper's *pick value*
+    /// `p_i = R_i mod |CanA|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "pick modulus must be positive");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// How many draws have been consumed so far.
+    pub fn draws_consumed(&self) -> u64 {
+        self.drawn
+    }
+
+    /// Collects the next `n` draws (convenience for replaying a level's
+    /// sequence before walking it backwards).
+    pub fn take_draws(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_u64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_context_same_stream() {
+        let key = Key256::from_seed(42);
+        let a = DrawStream::new(key, b"ctx").take_draws(100);
+        let b = DrawStream::new(key, b"ctx").take_draws(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_keys_diverge() {
+        let a = DrawStream::new(Key256::from_seed(1), b"ctx").take_draws(8);
+        let b = DrawStream::new(Key256::from_seed(2), b"ctx").take_draws(8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_contexts_diverge() {
+        let key = Key256::from_seed(1);
+        let a = DrawStream::new(key, b"level-1").take_draws(8);
+        let b = DrawStream::new(key, b"level-2").take_draws(8);
+        assert_ne!(a, b);
+        // Length-extension-style near-collisions must also diverge.
+        let c = DrawStream::new(key, b"ab").take_draws(8);
+        let d = DrawStream::new(key, b"ab\0").take_draws(8);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn draws_consumed_counts() {
+        let mut s = DrawStream::new(Key256::from_seed(5), b"x");
+        assert_eq!(s.draws_consumed(), 0);
+        s.next_u64();
+        s.pick(10);
+        assert_eq!(s.draws_consumed(), 2);
+    }
+
+    #[test]
+    fn pick_is_in_range_and_covers_values() {
+        let mut s = DrawStream::new(Key256::from_seed(9), b"p");
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let p = s.pick(7);
+            assert!(p < 7);
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&v| v), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus")]
+    fn pick_zero_panics() {
+        DrawStream::new(Key256::from_seed(1), b"z").pick(0);
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        // Crude bias check: mean of 10_000 draws scaled to [0,1) near 0.5.
+        let mut s = DrawStream::new(Key256::from_seed(77), b"uniform");
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|_| s.next_u64() as f64 / u64::MAX as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bit_balance() {
+        let mut s = DrawStream::new(Key256::from_seed(3), b"bits");
+        let mut ones = 0u32;
+        let n = 4096;
+        for _ in 0..n {
+            ones += s.next_u64().count_ones();
+        }
+        let frac = ones as f64 / (n as f64 * 64.0);
+        assert!((frac - 0.5).abs() < 0.01, "bit fraction {frac}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # lbs — anonymous query processing over ReverseCloak regions
+//!
+//! The LBS-provider side of the system. The paper bounds the cloaking
+//! region's size (`σs`) precisely because "the size of the cloaking region
+//! … has a direct influence on the performance of the anonymous query
+//! processing technique \[7\], \[9\]" — this crate implements that technique
+//! so the trade-off is measurable (experiment B9):
+//!
+//! * [`PoiStore`] — points of interest anchored to road segments,
+//! * [`range_query`] / [`nearest_query`] — candidate answer sets computed
+//!   from a cloaking region instead of an exact location,
+//! * [`refine_nearest`] — the client-side refinement step.
+//!
+//! ```
+//! use lbs::{nearest_query, PoiCategory, PoiStore};
+//! use roadnet::{grid_city, SegmentId};
+//!
+//! let net = grid_city(5, 5, 100.0);
+//! let mut rng = rand::thread_rng();
+//! let store = PoiStore::generate(&net, 100, &mut rng);
+//! // The LBS only sees the cloaking region, never the exact segment.
+//! let region = vec![SegmentId(7), SegmentId(8)];
+//! let answer = nearest_query(&net, &store, &region, PoiCategory::Restaurant);
+//! assert!(!answer.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod poi;
+pub mod query;
+
+pub use poi::{Poi, PoiCategory, PoiId, PoiStore};
+pub use query::{nearest_query, range_query, refine_nearest, CandidateAnswer};

@@ -1,0 +1,217 @@
+//! Points of interest anchored to road segments.
+
+use rand::Rng;
+use roadnet::{RoadNetwork, SegmentId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a point of interest.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PoiId(pub u32);
+
+impl fmt::Display for PoiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "poi{}", self.0)
+    }
+}
+
+/// Category of a POI — what a user would query for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoiCategory {
+    /// Fuel stations.
+    GasStation,
+    /// Restaurants and cafes.
+    Restaurant,
+    /// Hospitals and clinics.
+    Hospital,
+    /// Parking facilities.
+    Parking,
+    /// Anything else.
+    Other,
+}
+
+impl PoiCategory {
+    /// All categories, for iteration.
+    pub const ALL: [PoiCategory; 5] = [
+        PoiCategory::GasStation,
+        PoiCategory::Restaurant,
+        PoiCategory::Hospital,
+        PoiCategory::Parking,
+        PoiCategory::Other,
+    ];
+}
+
+impl fmt::Display for PoiCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PoiCategory::GasStation => "gas station",
+            PoiCategory::Restaurant => "restaurant",
+            PoiCategory::Hospital => "hospital",
+            PoiCategory::Parking => "parking",
+            PoiCategory::Other => "other",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A point of interest on the road network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// The id.
+    pub id: PoiId,
+    /// The segment the POI sits on.
+    pub segment: SegmentId,
+    /// Offset along the segment from endpoint `a`, in meters.
+    pub offset: f64,
+    /// The category.
+    pub category: PoiCategory,
+}
+
+/// A store of POIs with per-segment and per-category lookup.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PoiStore {
+    pois: Vec<Poi>,
+    by_segment: Vec<Vec<PoiId>>,
+}
+
+impl PoiStore {
+    /// An empty store over a network with `segment_count` segments.
+    pub fn new(segment_count: usize) -> Self {
+        PoiStore {
+            pois: Vec::new(),
+            by_segment: vec![Vec::new(); segment_count],
+        }
+    }
+
+    /// Adds a POI; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment id is out of range for the store.
+    pub fn add(&mut self, segment: SegmentId, offset: f64, category: PoiCategory) -> PoiId {
+        assert!(
+            segment.index() < self.by_segment.len(),
+            "segment {segment} out of range"
+        );
+        let id = PoiId(self.pois.len() as u32);
+        self.pois.push(Poi {
+            id,
+            segment,
+            offset: offset.max(0.0),
+            category,
+        });
+        self.by_segment[segment.index()].push(id);
+        id
+    }
+
+    /// Generates `count` POIs uniformly over segments (length-weighted),
+    /// with categories drawn uniformly.
+    pub fn generate<R: Rng + ?Sized>(net: &RoadNetwork, count: usize, rng: &mut R) -> Self {
+        let mut store = Self::new(net.segment_count());
+        // Length-weighted segment sampling.
+        let mut cum = Vec::with_capacity(net.segment_count());
+        let mut total = 0.0;
+        for s in net.segments() {
+            total += s.length().max(1e-9);
+            cum.push(total);
+        }
+        for _ in 0..count {
+            let x = rng.gen_range(0.0..total);
+            let i = cum.partition_point(|&c| c <= x);
+            let seg = SegmentId(i.min(net.segment_count() - 1) as u32);
+            let offset = rng.gen_range(0.0..=net.segment(seg).length());
+            let cat = PoiCategory::ALL[rng.gen_range(0..PoiCategory::ALL.len())];
+            store.add(seg, offset, cat);
+        }
+        store
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+
+    /// A POI by id.
+    pub fn get(&self, id: PoiId) -> Option<&Poi> {
+        self.pois.get(id.0 as usize)
+    }
+
+    /// POIs on one segment.
+    pub fn on_segment(&self, s: SegmentId) -> impl Iterator<Item = &Poi> + '_ {
+        self.by_segment
+            .get(s.index())
+            .into_iter()
+            .flatten()
+            .map(|id| &self.pois[id.0 as usize])
+    }
+
+    /// All POIs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &Poi> {
+        self.pois.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use roadnet::grid_city;
+
+    #[test]
+    fn add_and_lookup() {
+        let net = grid_city(3, 3, 100.0);
+        let mut store = PoiStore::new(net.segment_count());
+        let id = store.add(SegmentId(2), 30.0, PoiCategory::Restaurant);
+        assert_eq!(store.len(), 1);
+        let poi = store.get(id).unwrap();
+        assert_eq!(poi.segment, SegmentId(2));
+        assert_eq!(poi.category, PoiCategory::Restaurant);
+        assert_eq!(store.on_segment(SegmentId(2)).count(), 1);
+        assert_eq!(store.on_segment(SegmentId(3)).count(), 0);
+        assert!(store.get(PoiId(9)).is_none());
+    }
+
+    #[test]
+    fn negative_offset_clamped() {
+        let net = grid_city(2, 2, 100.0);
+        let mut store = PoiStore::new(net.segment_count());
+        let id = store.add(SegmentId(0), -5.0, PoiCategory::Other);
+        assert_eq!(store.get(id).unwrap().offset, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_segment_panics() {
+        let mut store = PoiStore::new(4);
+        store.add(SegmentId(99), 0.0, PoiCategory::Other);
+    }
+
+    #[test]
+    fn generate_spreads_pois() {
+        let net = grid_city(6, 6, 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let store = PoiStore::generate(&net, 500, &mut rng);
+        assert_eq!(store.len(), 500);
+        let covered = net
+            .segment_ids()
+            .filter(|&s| store.on_segment(s).next().is_some())
+            .count();
+        assert!(covered > net.segment_count() / 2, "covered {covered}");
+        // All offsets within their segments.
+        for poi in store.iter() {
+            assert!(poi.offset <= net.segment(poi.segment).length());
+        }
+        // Every category appears.
+        for cat in PoiCategory::ALL {
+            assert!(store.iter().any(|p| p.category == cat), "{cat} missing");
+        }
+    }
+}

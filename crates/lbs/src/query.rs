@@ -1,0 +1,333 @@
+//! Anonymous query processing over cloaked regions.
+//!
+//! The paper bounds region size (`σs`) because it "has a direct influence
+//! on the performance of the anonymous query processing technique
+//! \[7\], \[9\]". This module is that technique, in the Casper/road-network
+//! style: the LBS receives a *cloaking region* instead of a point, returns
+//! a **candidate answer set** that is correct for *every* possible user
+//! position in the region, and the client (who knows its true position)
+//! refines locally.
+//!
+//! Two query types:
+//! * [`range_query`] — POIs of a category within road distance `r` of any
+//!   possible user position,
+//! * [`nearest_query`] — candidate set guaranteed to contain the true
+//!   nearest POI for every possible position.
+
+use crate::poi::{Poi, PoiCategory, PoiStore};
+use roadnet::{JunctionId, RoadNetwork, SegmentId};
+use std::collections::{BinaryHeap, HashMap};
+
+/// The LBS answer: candidates plus the work the server did (the paper's
+/// query-processing cost axes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateAnswer {
+    /// POIs that could be the answer for some position in the region.
+    pub candidates: Vec<Poi>,
+    /// Segments the server expanded while processing.
+    pub segments_visited: usize,
+}
+
+impl CandidateAnswer {
+    /// Number of candidate POIs.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether no POI qualified.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+/// Multi-source Dijkstra from all junctions of the region's segments;
+/// returns road distance from the *nearest region segment* to every
+/// junction reached within `limit` meters.
+fn region_distances(
+    net: &RoadNetwork,
+    region: &[SegmentId],
+    limit: f64,
+) -> (HashMap<JunctionId, f64>, usize) {
+    #[derive(PartialEq)]
+    struct E {
+        d: f64,
+        j: u32,
+    }
+    impl Eq for E {}
+    impl Ord for E {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .d
+                .partial_cmp(&self.d)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| other.j.cmp(&self.j))
+        }
+    }
+    impl PartialOrd for E {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut dist: HashMap<JunctionId, f64> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    for &s in region {
+        let seg = net.segment(s);
+        for j in [seg.a(), seg.b()] {
+            // Any region endpoint is a possible exit at distance 0 (the
+            // user could be anywhere on the segment, including its ends).
+            if dist.get(&j).is_none_or(|&d| d > 0.0) {
+                dist.insert(j, 0.0);
+                heap.push(E { d: 0.0, j: j.0 });
+            }
+        }
+    }
+    let mut visited_segments = std::collections::HashSet::new();
+    while let Some(E { d, j }) = heap.pop() {
+        let j = JunctionId(j);
+        if dist.get(&j).is_some_and(|&cur| d > cur) {
+            continue;
+        }
+        if d > limit {
+            continue;
+        }
+        for &s in net.junction(j).incident_segments() {
+            visited_segments.insert(s);
+            let seg = net.segment(s);
+            let other = seg.other_endpoint(j).expect("incident endpoint");
+            let nd = d + seg.length();
+            if nd <= limit && dist.get(&other).is_none_or(|&cur| nd < cur) {
+                dist.insert(other, nd);
+                heap.push(E { d: nd, j: other.0 });
+            }
+        }
+    }
+    (dist, visited_segments.len())
+}
+
+/// Shortest road distance from the region to a POI, given the junction
+/// distance map (`None` when the POI is out of range).
+fn poi_distance(
+    net: &RoadNetwork,
+    dist: &HashMap<JunctionId, f64>,
+    region: &[SegmentId],
+    poi: &Poi,
+) -> Option<f64> {
+    if region.contains(&poi.segment) {
+        return Some(0.0);
+    }
+    let seg = net.segment(poi.segment);
+    let via_a = dist.get(&seg.a()).map(|d| d + poi.offset);
+    let via_b = dist.get(&seg.b()).map(|d| d + (seg.length() - poi.offset).max(0.0));
+    match (via_a, via_b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (Some(a), None) => Some(a),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    }
+}
+
+/// Range query: all POIs of `category` within road distance `radius` of
+/// **any** possible user position in `region`.
+///
+/// The answer over-approximates the point-query answer (that is the
+/// anonymity trade-off); the client refines with its true position.
+pub fn range_query(
+    net: &RoadNetwork,
+    store: &PoiStore,
+    region: &[SegmentId],
+    category: PoiCategory,
+    radius: f64,
+) -> CandidateAnswer {
+    let (dist, visited) = region_distances(net, region, radius);
+    let mut candidates: Vec<Poi> = store
+        .iter()
+        .filter(|p| p.category == category)
+        .filter(|p| poi_distance(net, &dist, region, p).is_some_and(|d| d <= radius))
+        .copied()
+        .collect();
+    candidates.sort_by_key(|p| p.id);
+    CandidateAnswer {
+        candidates,
+        segments_visited: visited,
+    }
+}
+
+/// Nearest-POI query: a candidate set guaranteed to contain the nearest
+/// POI of `category` for **every** possible user position in `region`.
+///
+/// Uses the classic expansion bound: find the nearest POI at distance `d*`
+/// from the region boundary, then return every POI within
+/// `d* + region diameter` — any user position's nearest POI must lie
+/// within that bound.
+pub fn nearest_query(
+    net: &RoadNetwork,
+    store: &PoiStore,
+    region: &[SegmentId],
+    category: PoiCategory,
+) -> CandidateAnswer {
+    // Region "diameter" upper bound: total road length of the region (a
+    // safe overestimate of the longest internal detour).
+    let diameter: f64 = region.iter().map(|&s| net.segment(s).length()).sum();
+    // Grow the search limit until at least one POI is found (doubling).
+    let mut limit = diameter.max(100.0);
+    for _ in 0..24 {
+        let (dist, visited) = region_distances(net, region, limit);
+        let mut with_d: Vec<(f64, Poi)> = store
+            .iter()
+            .filter(|p| p.category == category)
+            .filter_map(|p| poi_distance(net, &dist, region, p).map(|d| (d, *p)))
+            .collect();
+        if let Some(d_star) = with_d
+            .iter()
+            .map(|(d, _)| *d)
+            .min_by(|a, b| a.total_cmp(b))
+        {
+            let bound = d_star + diameter;
+            if bound <= limit {
+                with_d.retain(|(d, _)| *d <= bound);
+                with_d.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)));
+                return CandidateAnswer {
+                    candidates: with_d.into_iter().map(|(_, p)| p).collect(),
+                    segments_visited: visited,
+                };
+            }
+        }
+        limit *= 2.0;
+    }
+    CandidateAnswer {
+        candidates: Vec::new(),
+        segments_visited: 0,
+    }
+}
+
+/// Client-side refinement: given the true segment, pick the actual
+/// nearest candidate (what a real client does after receiving the
+/// candidate set).
+pub fn refine_nearest(
+    net: &RoadNetwork,
+    candidates: &[Poi],
+    true_segment: SegmentId,
+) -> Option<Poi> {
+    let (dist, _) = region_distances(net, &[true_segment], f64::INFINITY);
+    candidates
+        .iter()
+        .filter_map(|p| poi_distance(net, &dist, &[true_segment], p).map(|d| (d, *p)))
+        .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)))
+        .map(|(_, p)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use roadnet::grid_city;
+
+    fn store_with(net: &RoadNetwork, pois: &[(u32, f64, PoiCategory)]) -> PoiStore {
+        let mut store = PoiStore::new(net.segment_count());
+        for &(s, off, cat) in pois {
+            store.add(SegmentId(s), off, cat);
+        }
+        store
+    }
+
+    #[test]
+    fn range_query_finds_nearby_pois_only() {
+        let net = grid_city(5, 5, 100.0);
+        // s0 is the bottom-left horizontal segment.
+        let store = store_with(
+            &net,
+            &[
+                (0, 50.0, PoiCategory::GasStation), // on the region itself
+                (2, 50.0, PoiCategory::GasStation), // a block away
+                (39, 50.0, PoiCategory::GasStation), // far corner
+                (2, 10.0, PoiCategory::Restaurant), // wrong category
+            ],
+        );
+        let region = vec![SegmentId(0)];
+        let near = range_query(&net, &store, &region, PoiCategory::GasStation, 150.0);
+        assert_eq!(near.len(), 2, "{:?}", near.candidates);
+        assert!(near.candidates.iter().all(|p| p.category == PoiCategory::GasStation));
+        // Radius 0: only on-region POIs.
+        let zero = range_query(&net, &store, &region, PoiCategory::GasStation, 0.0);
+        assert_eq!(zero.len(), 1);
+        assert_eq!(zero.candidates[0].segment, SegmentId(0));
+    }
+
+    #[test]
+    fn range_query_larger_region_is_superset() {
+        let net = grid_city(6, 6, 100.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let store = PoiStore::generate(&net, 200, &mut rng);
+        let small = vec![SegmentId(0)];
+        let big: Vec<SegmentId> = [0u32, 1, 2, 11, 12].iter().map(|&i| SegmentId(i)).collect();
+        let a = range_query(&net, &store, &small, PoiCategory::Restaurant, 300.0);
+        let b = range_query(&net, &store, &big, PoiCategory::Restaurant, 300.0);
+        for p in &a.candidates {
+            assert!(
+                b.candidates.iter().any(|q| q.id == p.id),
+                "bigger region must cover the smaller one's answers"
+            );
+        }
+        assert!(b.len() >= a.len());
+    }
+
+    #[test]
+    fn nearest_query_candidates_contain_true_nearest_for_every_position() {
+        let net = grid_city(6, 6, 100.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let store = PoiStore::generate(&net, 120, &mut rng);
+        let region: Vec<SegmentId> = [5u32, 6, 16].iter().map(|&i| SegmentId(i)).collect();
+        let answer = nearest_query(&net, &store, &region, PoiCategory::Other);
+        assert!(!answer.is_empty());
+        // For every possible user segment, the refined nearest must be in
+        // the candidate set.
+        let all: Vec<Poi> = store
+            .iter()
+            .filter(|p| p.category == PoiCategory::Other)
+            .copied()
+            .collect();
+        for &true_seg in &region {
+            let true_nearest = refine_nearest(&net, &all, true_seg).unwrap();
+            assert!(
+                answer.candidates.iter().any(|p| p.id == true_nearest.id),
+                "candidates missing true nearest for {true_seg}"
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_picks_the_closest_candidate() {
+        let net = grid_city(4, 4, 100.0);
+        let store = store_with(
+            &net,
+            &[
+                (1, 50.0, PoiCategory::Hospital),
+                (10, 50.0, PoiCategory::Hospital),
+            ],
+        );
+        let candidates: Vec<Poi> = store.iter().copied().collect();
+        let nearest = refine_nearest(&net, &candidates, SegmentId(0)).unwrap();
+        assert_eq!(nearest.segment, SegmentId(1));
+    }
+
+    #[test]
+    fn empty_category_yields_empty_answers() {
+        let net = grid_city(3, 3, 100.0);
+        let store = store_with(&net, &[(0, 10.0, PoiCategory::Other)]);
+        let region = vec![SegmentId(4)];
+        assert!(range_query(&net, &store, &region, PoiCategory::Hospital, 1e6).is_empty());
+        assert!(nearest_query(&net, &store, &region, PoiCategory::Hospital).is_empty());
+    }
+
+    #[test]
+    fn visited_segments_grow_with_radius() {
+        let net = grid_city(8, 8, 100.0);
+        let store = store_with(&net, &[(0, 10.0, PoiCategory::Parking)]);
+        let region = vec![SegmentId(60)];
+        let near = range_query(&net, &store, &region, PoiCategory::Parking, 100.0);
+        let far = range_query(&net, &store, &region, PoiCategory::Parking, 800.0);
+        assert!(far.segments_visited > near.segments_visited);
+    }
+}

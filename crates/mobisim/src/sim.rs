@@ -1,0 +1,251 @@
+//! The discrete-time traffic simulation.
+//!
+//! GTMobiSim semantics, per the paper: "Once a car is generated, the
+//! associated destination is also randomly chosen and the route selection
+//! is based on shortest path routing." Cars drive their route at a cruise
+//! speed; on arrival a fresh random destination is chosen.
+
+use crate::car::{Car, CarId, RoadPosition};
+use crate::placement::{place_cars, PlacementModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roadnet::{shortest_path, JunctionId, RoadNetwork, SegmentId, SegmentIndex};
+
+/// Configuration of a [`Simulation`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of cars (the paper uses 10,000).
+    pub cars: usize,
+    /// Placement model for initial positions.
+    pub placement: PlacementModel,
+    /// Cruise speed range in m/s (sampled uniformly per car).
+    pub speed_range: (f64, f64),
+    /// PRNG seed for reproducible traffic.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cars: 10_000,
+            placement: PlacementModel::default(),
+            speed_range: (8.0, 20.0), // ~30–70 km/h
+            seed: 42,
+        }
+    }
+}
+
+/// A running traffic simulation over a road network.
+///
+/// ```
+/// use mobisim::{SimConfig, Simulation};
+/// use roadnet::grid_city;
+///
+/// let net = grid_city(6, 6, 100.0);
+/// let mut sim = Simulation::new(net, SimConfig { cars: 100, ..Default::default() });
+/// sim.step(5.0);
+/// assert_eq!(sim.cars().len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    net: RoadNetwork,
+    cars: Vec<Car>,
+    rng: StdRng,
+    clock: f64,
+}
+
+impl Simulation {
+    /// Creates a simulation: places cars, assigns destinations and routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no segments.
+    pub fn new(net: RoadNetwork, cfg: SimConfig) -> Self {
+        let index = SegmentIndex::build(&net, suggested_cell(&net));
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let placements = place_cars(&net, &index, cfg.placement, cfg.cars, &mut rng);
+        let mut cars = Vec::with_capacity(cfg.cars);
+        for (i, (seg, off)) in placements.into_iter().enumerate() {
+            let speed = rng.gen_range(cfg.speed_range.0..=cfg.speed_range.1);
+            let mut car = Car::new(
+                CarId(i as u32),
+                RoadPosition {
+                    segment: seg,
+                    offset: off,
+                },
+                speed,
+            );
+            let route = plan_trip(&net, &car, &mut rng);
+            car.assign_route(route);
+            cars.push(car);
+        }
+        Simulation {
+            net,
+            cars,
+            rng,
+            clock: 0.0,
+        }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// All cars.
+    pub fn cars(&self) -> &[Car] {
+        &self.cars
+    }
+
+    /// A car by id.
+    pub fn car(&self, id: CarId) -> Option<&Car> {
+        self.cars.get(id.index())
+    }
+
+    /// Simulation time in seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advances the simulation by `dt` seconds. Cars that arrive get a new
+    /// random destination (continuous traffic, as in GTMobiSim).
+    pub fn step(&mut self, dt: f64) {
+        self.clock += dt;
+        for i in 0..self.cars.len() {
+            let finished = self.cars[i].advance(&self.net, dt);
+            if finished {
+                self.cars[i].finish_trip();
+                let route = plan_trip(&self.net, &self.cars[i], &mut self.rng);
+                self.cars[i].assign_route(route);
+            }
+        }
+    }
+
+    /// Runs `steps` steps of `dt` seconds each.
+    pub fn run(&mut self, steps: usize, dt: f64) {
+        for _ in 0..steps {
+            self.step(dt);
+        }
+    }
+
+    /// Current number of users on each segment, indexed by segment id.
+    pub fn occupancy(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.net.segment_count()];
+        for car in &self.cars {
+            counts[car.segment().index()] += 1;
+        }
+        counts
+    }
+}
+
+/// Picks a random reachable destination and returns the remaining route
+/// (segments after the car's current one).
+fn plan_trip<R: Rng + ?Sized>(net: &RoadNetwork, car: &Car, rng: &mut R) -> Vec<SegmentId> {
+    // Route from the far endpoint of the current segment.
+    let seg = net.segment(car.segment());
+    let start = seg.b();
+    for _attempt in 0..8 {
+        let dest = JunctionId(rng.gen_range(0..net.junction_count() as u32));
+        if dest == start {
+            continue;
+        }
+        if let Some(route) = shortest_path(net, start, dest) {
+            if !route.segments.is_empty() {
+                return route.segments;
+            }
+        }
+    }
+    Vec::new() // isolated pocket: car parks, will retry next arrival
+}
+
+/// A sensible spatial-index cell size: ~4 average segment lengths.
+fn suggested_cell(net: &RoadNetwork) -> f64 {
+    let total: f64 = net.segments().map(|s| s.length()).sum();
+    let mean = total / net.segment_count().max(1) as f64;
+    (mean * 4.0).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::grid_city;
+
+    fn small_sim(cars: usize, seed: u64) -> Simulation {
+        Simulation::new(
+            grid_city(6, 6, 100.0),
+            SimConfig {
+                cars,
+                seed,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn all_cars_have_routes_initially() {
+        let sim = small_sim(200, 1);
+        let en_route = sim.cars().iter().filter(|c| c.is_en_route()).count();
+        // A connected grid: virtually every car gets a route (cars whose
+        // random destination equaled their start 8 times would park —
+        // astronomically unlikely here).
+        assert_eq!(en_route, 200);
+    }
+
+    #[test]
+    fn occupancy_sums_to_car_count() {
+        let mut sim = small_sim(300, 2);
+        assert_eq!(sim.occupancy().iter().sum::<u32>(), 300);
+        sim.run(20, 10.0);
+        assert_eq!(sim.occupancy().iter().sum::<u32>(), 300);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut sim = small_sim(10, 3);
+        sim.run(5, 2.5);
+        assert!((sim.clock() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cars_actually_move() {
+        let mut sim = small_sim(100, 4);
+        let before: Vec<_> = sim.cars().iter().map(|c| (c.segment(), c.position().offset)).collect();
+        sim.run(30, 10.0);
+        let moved = sim
+            .cars()
+            .iter()
+            .zip(&before)
+            .filter(|(c, (s, o))| c.segment() != *s || (c.position().offset - o).abs() > 1.0)
+            .count();
+        assert!(moved > 90, "only {moved} cars moved");
+        let total_odometer: f64 = sim.cars().iter().map(|c| c.odometer()).sum();
+        assert!(total_odometer > 0.0);
+    }
+
+    #[test]
+    fn trips_complete_over_time() {
+        let mut sim = small_sim(50, 5);
+        sim.run(400, 10.0); // over an hour of driving on a small grid
+        let trips: u32 = sim.cars().iter().map(|c| c.trips_completed()).sum();
+        assert!(trips > 0, "no car completed a trip");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = small_sim(100, 7);
+        let mut b = small_sim(100, 7);
+        a.run(10, 5.0);
+        b.run(10, 5.0);
+        assert_eq!(a.occupancy(), b.occupancy());
+        let mut c = small_sim(100, 8);
+        c.run(10, 5.0);
+        assert_ne!(a.occupancy(), c.occupancy());
+    }
+
+    #[test]
+    fn car_lookup() {
+        let sim = small_sim(10, 9);
+        assert!(sim.car(CarId(9)).is_some());
+        assert!(sim.car(CarId(10)).is_none());
+    }
+}

@@ -1,0 +1,239 @@
+//! Incremental construction and validation of [`RoadNetwork`]s.
+
+use crate::geometry::Point;
+use crate::graph::{Junction, JunctionId, RoadNetwork, Segment, SegmentId};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a network under construction is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A segment referenced a junction id that was never added.
+    UnknownJunction(JunctionId),
+    /// A segment connected a junction to itself.
+    SelfLoop(JunctionId),
+    /// The same pair of junctions was connected twice.
+    DuplicateSegment(JunctionId, JunctionId),
+    /// The finished network would have no junctions at all.
+    EmptyNetwork,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownJunction(j) => write!(f, "unknown junction {j}"),
+            BuildError::SelfLoop(j) => write!(f, "self-loop at junction {j}"),
+            BuildError::DuplicateSegment(a, b) => {
+                write!(f, "duplicate segment between {a} and {b}")
+            }
+            BuildError::EmptyNetwork => write!(f, "network has no junctions"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Builder for [`RoadNetwork`].
+///
+/// ```
+/// use roadnet::{builder::RoadNetworkBuilder, geometry::Point};
+/// # fn main() -> Result<(), roadnet::builder::BuildError> {
+/// let mut b = RoadNetworkBuilder::new();
+/// let j0 = b.add_junction(Point::new(0.0, 0.0));
+/// let j1 = b.add_junction(Point::new(100.0, 0.0));
+/// b.add_segment(j0, j1)?;
+/// let net = b.build()?;
+/// assert_eq!(net.segment_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct RoadNetworkBuilder {
+    junctions: Vec<Junction>,
+    segments: Vec<Segment>,
+    seen_pairs: HashSet<(u32, u32)>,
+}
+
+impl RoadNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder expecting roughly the given sizes.
+    pub fn with_capacity(junctions: usize, segments: usize) -> Self {
+        RoadNetworkBuilder {
+            junctions: Vec::with_capacity(junctions),
+            segments: Vec::with_capacity(segments),
+            seen_pairs: HashSet::with_capacity(segments),
+        }
+    }
+
+    /// Adds a junction at `position` and returns its id.
+    pub fn add_junction(&mut self, position: Point) -> JunctionId {
+        let id = JunctionId(self.junctions.len() as u32);
+        self.junctions.push(Junction::new(id, position));
+        id
+    }
+
+    /// Number of junctions added so far.
+    pub fn junction_count(&self) -> usize {
+        self.junctions.len()
+    }
+
+    /// Number of segments added so far.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Position of an already-added junction.
+    pub fn junction_position(&self, id: JunctionId) -> Option<Point> {
+        self.junctions.get(id.index()).map(|j| j.position())
+    }
+
+    /// Adds a straight segment between two junctions; its length is the
+    /// Euclidean distance between them.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown endpoints, self-loops and duplicate segments.
+    pub fn add_segment(&mut self, a: JunctionId, b: JunctionId) -> Result<SegmentId, BuildError> {
+        let pa = self
+            .junction_position(a)
+            .ok_or(BuildError::UnknownJunction(a))?;
+        let pb = self
+            .junction_position(b)
+            .ok_or(BuildError::UnknownJunction(b))?;
+        self.add_segment_with_length(a, b, pa.distance(pb))
+    }
+
+    /// Adds a segment with an explicit road length (for curvy roads whose
+    /// length exceeds the straight-line distance).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown endpoints, self-loops and duplicate segments.
+    pub fn add_segment_with_length(
+        &mut self,
+        a: JunctionId,
+        b: JunctionId,
+        length: f64,
+    ) -> Result<SegmentId, BuildError> {
+        if self.junction_position(a).is_none() {
+            return Err(BuildError::UnknownJunction(a));
+        }
+        if self.junction_position(b).is_none() {
+            return Err(BuildError::UnknownJunction(b));
+        }
+        if a == b {
+            return Err(BuildError::SelfLoop(a));
+        }
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        if !self.seen_pairs.insert(key) {
+            return Err(BuildError::DuplicateSegment(a, b));
+        }
+        let id = SegmentId(self.segments.len() as u32);
+        self.segments.push(Segment::new(id, a, b, length.max(0.0)));
+        self.junctions[a.index()].push_incident(id);
+        self.junctions[b.index()].push_incident(id);
+        Ok(id)
+    }
+
+    /// Whether a segment between `a` and `b` already exists.
+    pub fn has_segment(&self, a: JunctionId, b: JunctionId) -> bool {
+        self.seen_pairs.contains(&(a.0.min(b.0), a.0.max(b.0)))
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no junction was added.
+    pub fn build(self) -> Result<RoadNetwork, BuildError> {
+        if self.junctions.is_empty() {
+            return Err(BuildError::EmptyNetwork);
+        }
+        Ok(RoadNetwork::from_parts(self.junctions, self.segments))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = RoadNetworkBuilder::new();
+        let j = b.add_junction(Point::new(0.0, 0.0));
+        assert_eq!(b.add_segment(j, j), Err(BuildError::SelfLoop(j)));
+    }
+
+    #[test]
+    fn rejects_duplicate_segment_both_orders() {
+        let mut b = RoadNetworkBuilder::new();
+        let j0 = b.add_junction(Point::new(0.0, 0.0));
+        let j1 = b.add_junction(Point::new(1.0, 0.0));
+        b.add_segment(j0, j1).unwrap();
+        assert_eq!(
+            b.add_segment(j1, j0),
+            Err(BuildError::DuplicateSegment(j1, j0))
+        );
+        assert!(b.has_segment(j0, j1));
+        assert!(b.has_segment(j1, j0));
+    }
+
+    #[test]
+    fn rejects_unknown_junction() {
+        let mut b = RoadNetworkBuilder::new();
+        let j0 = b.add_junction(Point::new(0.0, 0.0));
+        assert_eq!(
+            b.add_segment(j0, JunctionId(7)),
+            Err(BuildError::UnknownJunction(JunctionId(7)))
+        );
+    }
+
+    #[test]
+    fn rejects_empty_network() {
+        assert_eq!(
+            RoadNetworkBuilder::new().build().unwrap_err(),
+            BuildError::EmptyNetwork
+        );
+    }
+
+    #[test]
+    fn explicit_length_is_kept_and_clamped() {
+        let mut b = RoadNetworkBuilder::new();
+        let j0 = b.add_junction(Point::new(0.0, 0.0));
+        let j1 = b.add_junction(Point::new(1.0, 0.0));
+        let j2 = b.add_junction(Point::new(2.0, 0.0));
+        let s = b.add_segment_with_length(j0, j1, 42.0).unwrap();
+        let s2 = b.add_segment_with_length(j1, j2, -5.0).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.segment(s).length(), 42.0);
+        assert_eq!(net.segment(s2).length(), 0.0);
+    }
+
+    #[test]
+    fn incidence_lists_are_populated() {
+        let mut b = RoadNetworkBuilder::new();
+        let j0 = b.add_junction(Point::new(0.0, 0.0));
+        let j1 = b.add_junction(Point::new(1.0, 0.0));
+        let j2 = b.add_junction(Point::new(0.0, 1.0));
+        let s0 = b.add_segment(j0, j1).unwrap();
+        let s1 = b.add_segment(j0, j2).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.junction(j0).incident_segments(), &[s0, s1]);
+        assert_eq!(net.junction(j0).degree(), 2);
+        assert_eq!(net.junction(j1).degree(), 1);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        assert_eq!(
+            BuildError::SelfLoop(JunctionId(3)).to_string(),
+            "self-loop at junction j3"
+        );
+        assert_eq!(BuildError::EmptyNetwork.to_string(), "network has no junctions");
+    }
+}

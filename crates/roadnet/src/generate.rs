@@ -1,0 +1,395 @@
+//! Synthetic road-network generators.
+//!
+//! The paper evaluates on a USGS extract of north-west Atlanta
+//! (6,979 junctions, 9,187 segments). That data set is not redistributable,
+//! so this module provides generators whose outputs match the *structural*
+//! properties that matter to cloaking: junction/segment counts, mixed
+//! junction degrees (residential grid + arterial diagonals + pruned edges)
+//! and a realistic segment-length distribution. [`atlanta_like`] reproduces
+//! the paper's exact counts.
+
+use crate::builder::RoadNetworkBuilder;
+use crate::geometry::Point;
+use crate::graph::{JunctionId, RoadNetwork};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A rectangular grid city: `rows × cols` junctions, spaced `spacing`
+/// meters apart, with all horizontal and vertical streets.
+///
+/// Produces `rows*cols` junctions and `rows*(cols-1) + cols*(rows-1)`
+/// segments.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn grid_city(rows: usize, cols: usize, spacing: f64) -> RoadNetwork {
+    assert!(rows > 0 && cols > 0, "grid must be non-empty");
+    let mut b = RoadNetworkBuilder::with_capacity(rows * cols, 2 * rows * cols);
+    let mut ids = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            ids.push(b.add_junction(Point::new(c as f64 * spacing, r as f64 * spacing)));
+        }
+    }
+    let at = |r: usize, c: usize| ids[r * cols + c];
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_segment(at(r, c), at(r, c + 1)).expect("grid edge");
+            }
+            if r + 1 < rows {
+                b.add_segment(at(r, c), at(r + 1, c)).expect("grid edge");
+            }
+        }
+    }
+    b.build().expect("non-empty grid")
+}
+
+/// A radial city: `rings` concentric rings crossed by `spokes` radial
+/// avenues around a central junction, like a European town center.
+///
+/// # Panics
+///
+/// Panics if `rings == 0` or `spokes < 3`.
+pub fn radial_city(rings: usize, spokes: usize, ring_spacing: f64) -> RoadNetwork {
+    assert!(rings > 0, "need at least one ring");
+    assert!(spokes >= 3, "need at least three spokes");
+    let mut b = RoadNetworkBuilder::new();
+    let center = b.add_junction(Point::new(0.0, 0.0));
+    let mut ring_ids: Vec<Vec<JunctionId>> = Vec::new();
+    for ring in 1..=rings {
+        let radius = ring as f64 * ring_spacing;
+        let mut ids = Vec::with_capacity(spokes);
+        for k in 0..spokes {
+            let theta = 2.0 * std::f64::consts::PI * k as f64 / spokes as f64;
+            ids.push(b.add_junction(Point::new(radius * theta.cos(), radius * theta.sin())));
+        }
+        ring_ids.push(ids);
+    }
+    // Ring roads.
+    for ids in &ring_ids {
+        for k in 0..spokes {
+            b.add_segment(ids[k], ids[(k + 1) % spokes])
+                .expect("ring edge");
+        }
+    }
+    // Spokes: center -> ring1 -> ring2 -> ...
+    for k in 0..spokes {
+        b.add_segment(center, ring_ids[0][k]).expect("spoke edge");
+        for ring in 1..rings {
+            b.add_segment(ring_ids[ring - 1][k], ring_ids[ring][k])
+                .expect("spoke edge");
+        }
+    }
+    b.build().expect("non-empty radial city")
+}
+
+/// Configuration for [`irregular_city`] / [`atlanta_like`].
+#[derive(Debug, Clone)]
+pub struct IrregularConfig {
+    /// Target number of junctions.
+    pub junctions: usize,
+    /// Target number of segments. Must be achievable: at least
+    /// `junctions - 1` (to stay connected) and at most roughly
+    /// `2 * junctions` for a planar-ish street map.
+    pub segments: usize,
+    /// Block spacing in meters before perturbation.
+    pub spacing: f64,
+    /// Maximum random displacement of each junction, as a fraction of
+    /// `spacing` (0.0 = perfect grid; 0.35 looks like a real city).
+    pub jitter: f64,
+    /// PRNG seed so maps are reproducible.
+    pub seed: u64,
+}
+
+impl Default for IrregularConfig {
+    fn default() -> Self {
+        IrregularConfig {
+            junctions: 1000,
+            segments: 1400,
+            spacing: 120.0,
+            jitter: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+/// An irregular city: a jittered grid with random diagonal arterials added
+/// and random residential streets removed until the requested
+/// junction/segment counts are met, while keeping the network connected.
+///
+/// # Panics
+///
+/// Panics if the requested counts are infeasible (`segments <
+/// junctions - 1`, or more segments than the underlying grid + diagonals
+/// can supply).
+pub fn irregular_city(cfg: &IrregularConfig) -> RoadNetwork {
+    assert!(cfg.junctions >= 4, "need at least 4 junctions");
+    assert!(
+        cfg.segments >= cfg.junctions - 1,
+        "cannot stay connected with fewer segments than junctions - 1"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Choose grid dimensions covering the junction count.
+    let cols = (cfg.junctions as f64).sqrt().ceil() as usize;
+    let rows = cfg.junctions.div_ceil(cols);
+    let total = rows * cols;
+
+    // Build candidate edge list on the jittered grid: orthogonal streets
+    // plus one random diagonal per cell.
+    let mut positions = Vec::with_capacity(total);
+    for r in 0..rows {
+        for c in 0..cols {
+            let dx = rng.gen_range(-cfg.jitter..=cfg.jitter) * cfg.spacing;
+            let dy = rng.gen_range(-cfg.jitter..=cfg.jitter) * cfg.spacing;
+            positions.push(Point::new(
+                c as f64 * cfg.spacing + dx,
+                r as f64 * cfg.spacing + dy,
+            ));
+        }
+    }
+    // Keep exactly cfg.junctions of them (drop extras from the last row).
+    positions.truncate(cfg.junctions);
+
+    let index_of = |r: usize, c: usize| r * cols + c;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let a = index_of(r, c);
+            if a >= cfg.junctions {
+                continue;
+            }
+            if c + 1 < cols && index_of(r, c + 1) < cfg.junctions {
+                edges.push((a, index_of(r, c + 1)));
+            }
+            if r + 1 < rows && index_of(r + 1, c) < cfg.junctions {
+                edges.push((a, index_of(r + 1, c)));
+            }
+            // Diagonal arterial with 30% probability.
+            if c + 1 < cols && r + 1 < rows && index_of(r + 1, c + 1) < cfg.junctions
+                && rng.gen_bool(0.3) {
+                    edges.push((a, index_of(r + 1, c + 1)));
+                }
+        }
+    }
+    assert!(
+        edges.len() >= cfg.segments,
+        "requested {} segments but the lattice only offers {}; lower the count",
+        cfg.segments,
+        edges.len()
+    );
+
+    // Build a random spanning tree first (guarantees connectivity), then add
+    // random extra edges until the segment target is met.
+    edges.shuffle(&mut rng);
+    let mut dsu = Dsu::new(cfg.junctions);
+    let mut chosen = Vec::with_capacity(cfg.segments);
+    let mut extras = Vec::new();
+    for &(a, bq) in &edges {
+        if dsu.union(a, bq) {
+            chosen.push((a, bq));
+        } else {
+            extras.push((a, bq));
+        }
+    }
+    // The lattice restricted to the first cfg.junctions vertices may be
+    // disconnected at the frayed last row; stitch components with direct
+    // connector roads.
+    let mut roots: Vec<usize> = (0..cfg.junctions).map(|v| dsu.find(v)).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    if roots.len() > 1 {
+        let base = roots[0];
+        for &r in &roots[1..] {
+            chosen.push((base, r));
+            dsu.union(base, r);
+        }
+    }
+    for &(a, bq) in &extras {
+        if chosen.len() >= cfg.segments {
+            break;
+        }
+        chosen.push((a, bq));
+    }
+    assert!(
+        chosen.len() >= cfg.segments,
+        "could not reach the requested segment count"
+    );
+    chosen.truncate(cfg.segments.max(chosen.len().min(cfg.segments)));
+
+    let mut b = RoadNetworkBuilder::with_capacity(cfg.junctions, chosen.len());
+    for &p in &positions {
+        b.add_junction(p);
+    }
+    for (a, bq) in chosen {
+        let (ja, jb) = (JunctionId(a as u32), JunctionId(bq as u32));
+        if !b.has_segment(ja, jb) {
+            // Curvy roads: 0-12% longer than straight-line.
+            let straight = positions[a].distance(positions[bq]);
+            let length = straight * (1.0 + rng.gen_range(0.0..0.12));
+            b.add_segment_with_length(ja, jb, length).expect("edge");
+        }
+    }
+    b.build().expect("non-empty irregular city")
+}
+
+/// The paper's evaluation map, structurally: 6,979 junctions and 9,187
+/// segments like the USGS north-west Atlanta extract, deterministic for a
+/// given seed.
+///
+/// This is the substitution documented in DESIGN.md §1: cloaking behaviour
+/// depends on graph size/degree/length statistics, which this generator
+/// reproduces, not on geographic fidelity.
+pub fn atlanta_like(seed: u64) -> RoadNetwork {
+    irregular_city(&IrregularConfig {
+        junctions: 6979,
+        segments: 9187,
+        spacing: 110.0,
+        jitter: 0.32,
+        seed,
+    })
+}
+
+/// A small fixed 5×5 demo network used by examples and documentation; 25
+/// junctions, 40 segments.
+pub fn demo_network() -> RoadNetwork {
+    grid_city(5, 5, 100.0)
+}
+
+/// Minimal disjoint-set for the spanning-tree construction.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Returns true when the two sets were merged (x, y were separate).
+    fn union(&mut self, x: usize, y: usize) -> bool {
+        let (rx, ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        self.parent[rx] = ry;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        let net = grid_city(4, 6, 100.0);
+        assert_eq!(net.junction_count(), 24);
+        assert_eq!(net.segment_count(), 4 * 5 + 6 * 3);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let net = grid_city(3, 3, 100.0);
+        let degrees: Vec<usize> = net.junctions().map(|j| j.degree()).collect();
+        // Corners 2, edges 3, center 4.
+        assert_eq!(degrees.iter().filter(|&&d| d == 2).count(), 4);
+        assert_eq!(degrees.iter().filter(|&&d| d == 3).count(), 4);
+        assert_eq!(degrees.iter().filter(|&&d| d == 4).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn grid_rejects_zero() {
+        let _ = grid_city(0, 3, 100.0);
+    }
+
+    #[test]
+    fn radial_counts_and_connectivity() {
+        let rings = 3;
+        let spokes = 8;
+        let net = radial_city(rings, spokes, 150.0);
+        assert_eq!(net.junction_count(), 1 + rings * spokes);
+        // rings*spokes ring edges + spokes*rings spoke edges.
+        assert_eq!(net.segment_count(), 2 * rings * spokes);
+        assert!(net.is_connected());
+        // Center has degree = spokes.
+        assert_eq!(net.junction(JunctionId(0)).degree(), spokes);
+    }
+
+    #[test]
+    fn irregular_hits_exact_counts_and_stays_connected() {
+        let cfg = IrregularConfig {
+            junctions: 500,
+            segments: 660,
+            ..Default::default()
+        };
+        let net = irregular_city(&cfg);
+        assert_eq!(net.junction_count(), 500);
+        assert_eq!(net.segment_count(), 660);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn irregular_is_deterministic_per_seed() {
+        let cfg = IrregularConfig {
+            junctions: 200,
+            segments: 260,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = irregular_city(&cfg);
+        let b = irregular_city(&cfg);
+        assert_eq!(a, b);
+        let c = irregular_city(&IrregularConfig { seed: 8, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn atlanta_like_matches_paper_counts() {
+        let net = atlanta_like(1);
+        assert_eq!(net.junction_count(), 6979);
+        assert_eq!(net.segment_count(), 9187);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn curvy_lengths_at_least_straight_line() {
+        let net = irregular_city(&IrregularConfig {
+            junctions: 100,
+            segments: 130,
+            ..Default::default()
+        });
+        for seg in net.segments() {
+            let straight = net
+                .junction(seg.a())
+                .position()
+                .distance(net.junction(seg.b()).position());
+            assert!(
+                seg.length() >= straight - 1e-9,
+                "curvy length below straight-line"
+            );
+        }
+    }
+
+    #[test]
+    fn demo_network_shape() {
+        let net = demo_network();
+        assert_eq!(net.junction_count(), 25);
+        assert_eq!(net.segment_count(), 40);
+    }
+}

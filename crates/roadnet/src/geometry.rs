@@ -1,0 +1,308 @@
+//! Planar geometry primitives used by the road-network model.
+//!
+//! The paper's maps are small metropolitan extracts, so a flat Euclidean
+//! plane (meters) is an adequate model; no geodesic math is needed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the plane, in meters.
+///
+/// ```
+/// use roadnet::geometry::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting coordinate in meters.
+    pub x: f64,
+    /// Northing coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance (cheaper when only comparing).
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    ///
+    /// `t` outside `[0, 1]` extrapolates along the same line.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// An axis-aligned bounding box.
+///
+/// The empty box is represented by [`BoundingBox::empty`], which behaves as
+/// the identity for [`BoundingBox::expand`] / [`BoundingBox::union`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Minimum corner.
+    pub min: Point,
+    /// Maximum corner.
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// An empty box (contains nothing; union identity).
+    pub fn empty() -> Self {
+        BoundingBox {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// A box spanning the two corner points (in any order).
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        BoundingBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The tightest box around an iterator of points.
+    pub fn around<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        let mut bb = Self::empty();
+        for p in points {
+            bb.expand(p);
+        }
+        bb
+    }
+
+    /// Whether no point has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Grows the box to include `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// The union of two boxes.
+    pub fn union(mut self, other: BoundingBox) -> BoundingBox {
+        if !other.is_empty() {
+            self.expand(other.min);
+            self.expand(other.max);
+        }
+        self
+    }
+
+    /// Whether the box contains `p` (inclusive on all edges).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether two boxes overlap (inclusive).
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Box width (0 when empty).
+    pub fn width(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max.x - self.min.x
+        }
+    }
+
+    /// Box height (0 when empty).
+    pub fn height(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max.y - self.min.y
+        }
+    }
+
+    /// Diagonal length of the box — the paper's "spatial resolution" proxy.
+    pub fn diagonal(&self) -> f64 {
+        self.width().hypot(self.height())
+    }
+
+    /// Area of the box (0 when empty).
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center of the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box is empty.
+    pub fn center(&self) -> Point {
+        assert!(!self.is_empty(), "center of an empty bounding box");
+        self.min.midpoint(self.max)
+    }
+}
+
+impl Default for BoundingBox {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// Distance from point `p` to the closed segment `(a, b)`.
+pub fn point_segment_distance(p: Point, a: Point, b: Point) -> f64 {
+    let len_sq = a.distance_sq(b);
+    if len_sq == 0.0 {
+        return p.distance(a);
+    }
+    let t = ((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / len_sq;
+    let t = t.clamp(0.0, 1.0);
+    p.distance(a.lerp(b, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 7.5);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_distance_345() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_mid() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point::new(5.0, -2.0));
+    }
+
+    #[test]
+    fn empty_box_behaves_as_identity() {
+        let mut bb = BoundingBox::empty();
+        assert!(bb.is_empty());
+        assert_eq!(bb.width(), 0.0);
+        assert_eq!(bb.diagonal(), 0.0);
+        bb.expand(Point::new(1.0, 1.0));
+        assert!(!bb.is_empty());
+        assert_eq!(bb.min, bb.max);
+    }
+
+    #[test]
+    fn box_from_corners_normalizes() {
+        let bb = BoundingBox::from_corners(Point::new(5.0, -1.0), Point::new(-2.0, 3.0));
+        assert_eq!(bb.min, Point::new(-2.0, -1.0));
+        assert_eq!(bb.max, Point::new(5.0, 3.0));
+        assert_eq!(bb.width(), 7.0);
+        assert_eq!(bb.height(), 4.0);
+        assert_eq!(bb.area(), 28.0);
+    }
+
+    #[test]
+    fn box_contains_and_intersects() {
+        let bb = BoundingBox::from_corners(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        assert!(bb.contains(Point::new(0.0, 0.0)));
+        assert!(bb.contains(Point::new(10.0, 10.0)));
+        assert!(bb.contains(Point::new(5.0, 5.0)));
+        assert!(!bb.contains(Point::new(10.01, 5.0)));
+
+        let other = BoundingBox::from_corners(Point::new(9.0, 9.0), Point::new(20.0, 20.0));
+        assert!(bb.intersects(&other));
+        let disjoint = BoundingBox::from_corners(Point::new(11.0, 0.0), Point::new(20.0, 5.0));
+        assert!(!bb.intersects(&disjoint));
+        assert!(!bb.intersects(&BoundingBox::empty()));
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let bb = BoundingBox::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert_eq!(bb.union(BoundingBox::empty()), bb);
+        assert_eq!(BoundingBox::empty().union(bb), bb);
+    }
+
+    #[test]
+    fn around_collects_all_points() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.0),
+            Point::new(4.0, 2.0),
+        ];
+        let bb = BoundingBox::around(pts);
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+        assert_eq!(bb.min, Point::new(-2.0, 0.0));
+        assert_eq!(bb.max, Point::new(4.0, 5.0));
+    }
+
+    #[test]
+    fn center_of_unit_box() {
+        let bb = BoundingBox::from_corners(Point::new(0.0, 0.0), Point::new(2.0, 4.0));
+        assert_eq!(bb.center(), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bounding box")]
+    fn center_of_empty_panics() {
+        let _ = BoundingBox::empty().center();
+    }
+
+    #[test]
+    fn point_segment_distance_cases() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        // Perpendicular foot inside the segment.
+        assert!((point_segment_distance(Point::new(5.0, 3.0), a, b) - 3.0).abs() < 1e-12);
+        // Beyond endpoint b.
+        assert!((point_segment_distance(Point::new(13.0, 4.0), a, b) - 5.0).abs() < 1e-12);
+        // Degenerate zero-length segment.
+        assert!((point_segment_distance(Point::new(3.0, 4.0), a, a) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,274 @@
+//! Uniform-grid spatial index over segments.
+//!
+//! Used by the trace generator (snap a Gaussian sample to the nearest road)
+//! and the renderers (cull segments outside the viewport).
+
+use crate::geometry::{point_segment_distance, BoundingBox, Point};
+use crate::graph::{RoadNetwork, SegmentId};
+
+/// A uniform-grid spatial index over the segments of a road network.
+///
+/// ```
+/// use roadnet::{generate::grid_city, index::SegmentIndex, geometry::Point};
+/// let net = grid_city(5, 5, 100.0);
+/// let idx = SegmentIndex::build(&net, 64.0);
+/// let (seg, d) = idx.nearest_segment(&net, Point::new(151.0, 207.0)).unwrap();
+/// assert!(d <= 10.0);
+/// # let _ = seg;
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentIndex {
+    bounds: BoundingBox,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// For each grid cell, the segments whose bounding box overlaps it.
+    cells: Vec<Vec<SegmentId>>,
+}
+
+impl SegmentIndex {
+    /// Builds the index with the given cell size in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive or the network has no
+    /// junctions.
+    pub fn build(net: &RoadNetwork, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let bounds = net.bounding_box();
+        assert!(!bounds.is_empty(), "cannot index an empty network");
+        let cols = (bounds.width() / cell_size).ceil().max(1.0) as usize;
+        let rows = (bounds.height() / cell_size).ceil().max(1.0) as usize;
+        let mut cells = vec![Vec::new(); cols * rows];
+        let mut index = SegmentIndex {
+            bounds,
+            cell: cell_size,
+            cols,
+            rows,
+            cells: Vec::new(),
+        };
+        for seg in net.segments() {
+            let pa = net.junction(seg.a()).position();
+            let pb = net.junction(seg.b()).position();
+            let bb = BoundingBox::from_corners(pa, pb);
+            let (c0, r0) = index.cell_of(bb.min);
+            let (c1, r1) = index.cell_of(bb.max);
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    cells[r * cols + c].push(seg.id());
+                }
+            }
+        }
+        index.cells = cells;
+        index
+    }
+
+    /// The indexed area.
+    pub fn bounds(&self) -> BoundingBox {
+        self.bounds
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn grid_size(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let c = ((p.x - self.bounds.min.x) / self.cell).floor();
+        let r = ((p.y - self.bounds.min.y) / self.cell).floor();
+        (
+            (c.max(0.0) as usize).min(self.cols - 1),
+            (r.max(0.0) as usize).min(self.rows - 1),
+        )
+    }
+
+    /// Segments whose bounding boxes intersect the query box. May contain
+    /// duplicates-free deterministic order.
+    pub fn segments_in_box(&self, query: BoundingBox) -> Vec<SegmentId> {
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let (c0, r0) = self.cell_of(query.min);
+        let (c1, r1) = self.cell_of(query.max);
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                for &s in &self.cells[r * self.cols + c] {
+                    if seen.insert(s) {
+                        out.push(s);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The segment nearest to `p` and its distance, or `None` for a network
+    /// with no segments.
+    ///
+    /// Searches outward ring by ring, so the cost is proportional to the
+    /// local density rather than the network size.
+    pub fn nearest_segment(&self, net: &RoadNetwork, p: Point) -> Option<(SegmentId, f64)> {
+        if net.segment_count() == 0 {
+            return None;
+        }
+        let (pc, pr) = self.cell_of(p);
+        let max_ring = self.cols.max(self.rows);
+        let mut best: Option<(SegmentId, f64)> = None;
+        for ring in 0..=max_ring {
+            // Once we have a candidate, one extra ring is enough to make the
+            // result exact (a closer segment can only live one ring further
+            // than the ring where the candidate was found).
+            if let Some((_, d)) = best {
+                if d <= (ring.saturating_sub(1)) as f64 * self.cell {
+                    break;
+                }
+            }
+            let mut any_cell = false;
+            for (c, r) in ring_cells(pc, pr, ring, self.cols, self.rows) {
+                any_cell = true;
+                for &s in &self.cells[r * self.cols + c] {
+                    let seg = net.segment(s);
+                    let d = point_segment_distance(
+                        p,
+                        net.junction(seg.a()).position(),
+                        net.junction(seg.b()).position(),
+                    );
+                    if best.is_none_or(|(bs, bd)| d < bd || (d == bd && s < bs)) {
+                        best = Some((s, d));
+                    }
+                }
+            }
+            if !any_cell && ring > 0 && best.is_some() {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// The cells on the square ring at Chebyshev distance `ring` from `(pc,
+/// pr)`, clipped to the grid.
+fn ring_cells(
+    pc: usize,
+    pr: usize,
+    ring: usize,
+    cols: usize,
+    rows: usize,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let (pc, pr, ring) = (pc as isize, pr as isize, ring as isize);
+    let inside = |c: isize, r: isize| c >= 0 && r >= 0 && (c as usize) < cols && (r as usize) < rows;
+    if ring == 0 {
+        if inside(pc, pr) {
+            out.push((pc as usize, pr as usize));
+        }
+        return out;
+    }
+    for c in (pc - ring)..=(pc + ring) {
+        for r in [pr - ring, pr + ring] {
+            if inside(c, r) {
+                out.push((c as usize, r as usize));
+            }
+        }
+    }
+    for r in (pr - ring + 1)..=(pr + ring - 1) {
+        for c in [pc - ring, pc + ring] {
+            if inside(c, r) {
+                out.push((c as usize, r as usize));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{grid_city, irregular_city, IrregularConfig};
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let net = irregular_city(&IrregularConfig {
+            junctions: 120,
+            segments: 160,
+            seed: 3,
+            ..Default::default()
+        });
+        let idx = SegmentIndex::build(&net, 80.0);
+        let bb = net.bounding_box();
+        let mut rng_x = 0.37_f64;
+        for i in 0..50 {
+            // Cheap deterministic pseudo-random points.
+            rng_x = (rng_x * 997.0 + i as f64).fract();
+            let p = Point::new(
+                bb.min.x + rng_x * bb.width(),
+                bb.min.y + ((rng_x * 13.7).fract()) * bb.height(),
+            );
+            let (got, gd) = idx.nearest_segment(&net, p).unwrap();
+            // Brute force.
+            let mut best = None;
+            for seg in net.segments() {
+                let d = point_segment_distance(
+                    p,
+                    net.junction(seg.a()).position(),
+                    net.junction(seg.b()).position(),
+                );
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((seg.id(), d));
+                }
+            }
+            let (_, bd) = best.unwrap();
+            assert!(
+                (gd - bd).abs() < 1e-9,
+                "index found distance {gd}, brute force {bd} for {p} (segment {got})"
+            );
+        }
+    }
+
+    #[test]
+    fn query_box_returns_overlapping_segments() {
+        let net = grid_city(5, 5, 100.0);
+        let idx = SegmentIndex::build(&net, 50.0);
+        let q = BoundingBox::from_corners(Point::new(-10.0, -10.0), Point::new(110.0, 110.0));
+        let found = idx.segments_in_box(q);
+        // The 2x2 corner block has 4 horizontal + 4 vertical candidate
+        // segments overlapping the box (by bounding boxes, a superset is
+        // allowed but every true overlap must be present).
+        for seg in net.segments() {
+            let pa = net.junction(seg.a()).position();
+            let pb = net.junction(seg.b()).position();
+            if BoundingBox::from_corners(pa, pb).intersects(&q) {
+                assert!(found.contains(&seg.id()), "missing {}", seg.id());
+            }
+        }
+        assert!(idx.segments_in_box(BoundingBox::empty()).is_empty());
+    }
+
+    #[test]
+    fn nearest_from_far_away_still_works() {
+        let net = grid_city(3, 3, 100.0);
+        let idx = SegmentIndex::build(&net, 64.0);
+        let (_, d) = idx
+            .nearest_segment(&net, Point::new(-5000.0, -5000.0))
+            .unwrap();
+        assert!((d - (5000.0_f64.powi(2) * 2.0).sqrt()).abs() < 1.0);
+    }
+
+    #[test]
+    fn grid_size_sane() {
+        let net = grid_city(5, 5, 100.0);
+        let idx = SegmentIndex::build(&net, 100.0);
+        let (c, r) = idx.grid_size();
+        assert!(c >= 4 && r >= 4);
+        assert_eq!(idx.bounds(), net.bounding_box());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_panics() {
+        let net = grid_city(2, 2, 10.0);
+        let _ = SegmentIndex::build(&net, 0.0);
+    }
+}

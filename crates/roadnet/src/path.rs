@@ -1,0 +1,414 @@
+//! Shortest-path routing over the road network.
+//!
+//! GTMobiSim-style trip planning uses length-weighted Dijkstra between
+//! junctions; the cloaking algorithms additionally use unweighted
+//! segment-hop BFS distances for analysis.
+
+use crate::graph::{JunctionId, RoadNetwork, SegmentId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A shortest route between two junctions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Junctions visited, from source to destination inclusive.
+    pub junctions: Vec<JunctionId>,
+    /// Segments traversed, one fewer than `junctions`.
+    pub segments: Vec<SegmentId>,
+    /// Total length in meters.
+    pub length: f64,
+}
+
+impl Route {
+    /// Number of segments on the route.
+    pub fn hop_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the route is a single point (source == destination).
+    pub fn is_trivial(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    junction: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are finite non-NaN by
+        // construction (segment lengths are finite and non-negative).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.junction.cmp(&self.junction))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Length-weighted Dijkstra shortest path from `src` to `dst`.
+///
+/// Returns `None` when `dst` is unreachable from `src`.
+///
+/// ```
+/// use roadnet::{generate::grid_city, path::shortest_path, RoadNetwork, JunctionId};
+/// let net = RoadNetwork::from(grid_city(3, 3, 100.0));
+/// let r = shortest_path(&net, JunctionId(0), JunctionId(8)).unwrap();
+/// assert_eq!(r.hop_count(), 4); // two right + two up in any order
+/// assert!((r.length - 400.0).abs() < 1e-9);
+/// ```
+pub fn shortest_path(net: &RoadNetwork, src: JunctionId, dst: JunctionId) -> Option<Route> {
+    let n = net.junction_count();
+    if src.index() >= n || dst.index() >= n {
+        return None;
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(JunctionId, SegmentId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        junction: src.0,
+    });
+    while let Some(HeapEntry { dist: d, junction }) = heap.pop() {
+        let j = JunctionId(junction);
+        if d > dist[j.index()] {
+            continue;
+        }
+        if j == dst {
+            break;
+        }
+        for &s in net.junction(j).incident_segments() {
+            let seg = net.segment(s);
+            let other = seg.other_endpoint(j).expect("incident segment endpoint");
+            let nd = d + seg.length();
+            if nd < dist[other.index()] {
+                dist[other.index()] = nd;
+                prev[other.index()] = Some((j, s));
+                heap.push(HeapEntry {
+                    dist: nd,
+                    junction: other.0,
+                });
+            }
+        }
+    }
+    if dist[dst.index()].is_infinite() {
+        return None;
+    }
+    // Reconstruct.
+    let mut junctions = vec![dst];
+    let mut segments = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (p, s) = prev[cur.index()].expect("path predecessor");
+        junctions.push(p);
+        segments.push(s);
+        cur = p;
+    }
+    junctions.reverse();
+    segments.reverse();
+    Some(Route {
+        junctions,
+        segments,
+        length: dist[dst.index()],
+    })
+}
+
+/// Unweighted hop distance between two segments under the shared-junction
+/// adjacency (0 for the same segment). `None` when unreachable.
+pub fn segment_hop_distance(net: &RoadNetwork, from: SegmentId, to: SegmentId) -> Option<usize> {
+    if from == to {
+        return Some(0);
+    }
+    let n = net.segment_count();
+    if from.index() >= n || to.index() >= n {
+        return None;
+    }
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[from.index()] = 0;
+    queue.push_back(from);
+    while let Some(s) = queue.pop_front() {
+        let d = dist[s.index()];
+        for nb in net.neighbor_segments(s) {
+            if dist[nb.index()] == usize::MAX {
+                dist[nb.index()] = d + 1;
+                if nb == to {
+                    return Some(d + 1);
+                }
+                queue.push_back(nb);
+            }
+        }
+    }
+    None
+}
+
+/// All segments within `hops` segment-adjacency steps of `center`
+/// (including `center` itself). Deterministic BFS order.
+pub fn segments_within_hops(net: &RoadNetwork, center: SegmentId, hops: usize) -> Vec<SegmentId> {
+    let n = net.segment_count();
+    if center.index() >= n {
+        return Vec::new();
+    }
+    let mut dist = vec![usize::MAX; n];
+    let mut order = vec![center];
+    let mut queue = std::collections::VecDeque::new();
+    dist[center.index()] = 0;
+    queue.push_back(center);
+    while let Some(s) = queue.pop_front() {
+        let d = dist[s.index()];
+        if d == hops {
+            continue;
+        }
+        for nb in net.neighbor_segments(s) {
+            if dist[nb.index()] == usize::MAX {
+                dist[nb.index()] = d + 1;
+                order.push(nb);
+                queue.push_back(nb);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RoadNetworkBuilder;
+    use crate::generate::grid_city;
+    use crate::geometry::Point;
+
+    #[test]
+    fn trivial_path() {
+        let net = grid_city(2, 2, 50.0);
+        let r = shortest_path(&net, JunctionId(0), JunctionId(0)).unwrap();
+        assert!(r.is_trivial());
+        assert_eq!(r.length, 0.0);
+        assert_eq!(r.junctions, vec![JunctionId(0)]);
+    }
+
+    #[test]
+    fn grid_path_length() {
+        let net = grid_city(4, 4, 100.0);
+        // Corner to corner: 3 + 3 hops of 100 m.
+        let r = shortest_path(&net, JunctionId(0), JunctionId(15)).unwrap();
+        assert_eq!(r.hop_count(), 6);
+        assert!((r.length - 600.0).abs() < 1e-9);
+        // Junction list is consistent with segment list.
+        assert_eq!(r.junctions.len(), r.segments.len() + 1);
+        for (i, &s) in r.segments.iter().enumerate() {
+            let seg = net.segment(s);
+            assert!(seg.touches(r.junctions[i]));
+            assert!(seg.touches(r.junctions[i + 1]));
+        }
+    }
+
+    #[test]
+    fn prefers_shorter_detour() {
+        // j0 --100-- j1 --100-- j2, plus a direct long road j0-j2 of 350.
+        let mut b = RoadNetworkBuilder::new();
+        let j0 = b.add_junction(Point::new(0.0, 0.0));
+        let j1 = b.add_junction(Point::new(100.0, 0.0));
+        let j2 = b.add_junction(Point::new(200.0, 0.0));
+        b.add_segment(j0, j1).unwrap();
+        b.add_segment(j1, j2).unwrap();
+        b.add_segment_with_length(j0, j2, 350.0).unwrap();
+        let net = b.build().unwrap();
+        let r = shortest_path(&net, j0, j2).unwrap();
+        assert_eq!(r.hop_count(), 2);
+        assert!((r.length - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = RoadNetworkBuilder::new();
+        let j0 = b.add_junction(Point::new(0.0, 0.0));
+        let j1 = b.add_junction(Point::new(1.0, 0.0));
+        let j2 = b.add_junction(Point::new(10.0, 0.0));
+        let j3 = b.add_junction(Point::new(11.0, 0.0));
+        b.add_segment(j0, j1).unwrap();
+        b.add_segment(j2, j3).unwrap();
+        let net = b.build().unwrap();
+        assert!(shortest_path(&net, j0, j3).is_none());
+        assert!(segment_hop_distance(&net, SegmentId(0), SegmentId(1)).is_none());
+    }
+
+    #[test]
+    fn out_of_range_ids_return_none() {
+        let net = grid_city(2, 2, 10.0);
+        assert!(shortest_path(&net, JunctionId(0), JunctionId(99)).is_none());
+        assert!(segment_hop_distance(&net, SegmentId(99), SegmentId(0)).is_none());
+    }
+
+    #[test]
+    fn segment_hops_on_grid() {
+        let net = grid_city(3, 3, 100.0);
+        assert_eq!(segment_hop_distance(&net, SegmentId(0), SegmentId(0)), Some(0));
+        for nb in net.neighbor_segments(SegmentId(0)) {
+            assert_eq!(segment_hop_distance(&net, SegmentId(0), nb), Some(1));
+        }
+    }
+
+    #[test]
+    fn within_hops_monotone_growth() {
+        let net = grid_city(5, 5, 100.0);
+        let center = SegmentId(0);
+        let mut prev = 0;
+        for h in 0..5 {
+            let got = segments_within_hops(&net, center, h).len();
+            assert!(got >= prev, "hop ball must grow");
+            prev = got;
+        }
+        assert_eq!(segments_within_hops(&net, center, 0), vec![center]);
+        // Large radius covers the whole (connected) network.
+        assert_eq!(
+            segments_within_hops(&net, center, 100).len(),
+            net.segment_count()
+        );
+    }
+
+    #[test]
+    fn within_hops_matches_hop_distance() {
+        let net = grid_city(4, 4, 100.0);
+        let center = SegmentId(5);
+        let ball = segments_within_hops(&net, center, 2);
+        for s in net.segment_ids() {
+            let d = segment_hop_distance(&net, center, s).unwrap();
+            assert_eq!(ball.contains(&s), d <= 2, "segment {s} distance {d}");
+        }
+    }
+}
+
+/// A* shortest path with the straight-line-distance heuristic.
+///
+/// Returns the same routes as [`shortest_path`] (the heuristic is
+/// admissible because segment lengths are at least the Euclidean distance
+/// between their endpoints) while expanding fewer junctions on large
+/// maps.
+///
+/// ```
+/// use roadnet::{generate::grid_city, path::{astar, shortest_path}, JunctionId};
+/// let net = grid_city(6, 6, 100.0);
+/// let a = astar(&net, JunctionId(0), JunctionId(35)).unwrap();
+/// let d = shortest_path(&net, JunctionId(0), JunctionId(35)).unwrap();
+/// assert!((a.length - d.length).abs() < 1e-9);
+/// ```
+pub fn astar(net: &RoadNetwork, src: JunctionId, dst: JunctionId) -> Option<Route> {
+    let n = net.junction_count();
+    if src.index() >= n || dst.index() >= n {
+        return None;
+    }
+    let goal = net.junction(dst).position();
+    let h = |j: JunctionId| net.junction(j).position().distance(goal);
+    let mut g = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(JunctionId, SegmentId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    g[src.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: h(src),
+        junction: src.0,
+    });
+    while let Some(HeapEntry { dist: f, junction }) = heap.pop() {
+        let j = JunctionId(junction);
+        if j == dst {
+            break;
+        }
+        // Stale entry: the recorded g plus heuristic is smaller than the
+        // popped f only when this entry was superseded.
+        if f > g[j.index()] + h(j) + 1e-9 {
+            continue;
+        }
+        for &s in net.junction(j).incident_segments() {
+            let seg = net.segment(s);
+            let other = seg.other_endpoint(j).expect("incident segment endpoint");
+            let ng = g[j.index()] + seg.length();
+            if ng < g[other.index()] {
+                g[other.index()] = ng;
+                prev[other.index()] = Some((j, s));
+                heap.push(HeapEntry {
+                    dist: ng + h(other),
+                    junction: other.0,
+                });
+            }
+        }
+    }
+    if g[dst.index()].is_infinite() {
+        return None;
+    }
+    let mut junctions = vec![dst];
+    let mut segments = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (p, s) = prev[cur.index()].expect("path predecessor");
+        junctions.push(p);
+        segments.push(s);
+        cur = p;
+    }
+    junctions.reverse();
+    segments.reverse();
+    Some(Route {
+        junctions,
+        segments,
+        length: g[dst.index()],
+    })
+}
+
+#[cfg(test)]
+mod astar_tests {
+    use super::*;
+    use crate::generate::{grid_city, irregular_city, IrregularConfig};
+
+    #[test]
+    fn astar_matches_dijkstra_on_grid() {
+        let net = grid_city(7, 7, 100.0);
+        for (a, b) in [(0u32, 48u32), (3, 45), (10, 38), (0, 0)] {
+            let d = shortest_path(&net, JunctionId(a), JunctionId(b)).unwrap();
+            let s = astar(&net, JunctionId(a), JunctionId(b)).unwrap();
+            assert!(
+                (d.length - s.length).abs() < 1e-9,
+                "{a}->{b}: dijkstra {} vs astar {}",
+                d.length,
+                s.length
+            );
+        }
+    }
+
+    #[test]
+    fn astar_matches_dijkstra_on_irregular_maps() {
+        for seed in 0..5 {
+            let net = irregular_city(&IrregularConfig {
+                junctions: 150,
+                segments: 200,
+                seed,
+                ..Default::default()
+            });
+            for pair in [(0u32, 149u32), (10, 90), (77, 3)] {
+                let d = shortest_path(&net, JunctionId(pair.0), JunctionId(pair.1)).unwrap();
+                let s = astar(&net, JunctionId(pair.0), JunctionId(pair.1)).unwrap();
+                assert!(
+                    (d.length - s.length).abs() < 1e-6,
+                    "seed {seed} {pair:?}: {} vs {}",
+                    d.length,
+                    s.length
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn astar_unreachable_and_out_of_range() {
+        let net = grid_city(3, 3, 100.0);
+        assert!(astar(&net, JunctionId(0), JunctionId(99)).is_none());
+    }
+}

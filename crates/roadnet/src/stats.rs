@@ -1,0 +1,134 @@
+//! Descriptive statistics over road networks, used to validate that
+//! generated maps structurally resemble the paper's Atlanta extract.
+
+use crate::graph::RoadNetwork;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a road network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Number of junctions.
+    pub junctions: usize,
+    /// Number of segments.
+    pub segments: usize,
+    /// Number of connected components.
+    pub components: usize,
+    /// Histogram of junction degrees; index = degree.
+    pub degree_histogram: Vec<usize>,
+    /// Mean junction degree.
+    pub mean_degree: f64,
+    /// Total road length in meters.
+    pub total_length: f64,
+    /// Mean segment length in meters.
+    pub mean_segment_length: f64,
+    /// Minimum segment length.
+    pub min_segment_length: f64,
+    /// Maximum segment length.
+    pub max_segment_length: f64,
+}
+
+impl NetworkStats {
+    /// Computes statistics for `net`.
+    pub fn compute(net: &RoadNetwork) -> Self {
+        let mut degree_histogram = Vec::new();
+        let mut degree_sum = 0usize;
+        for j in net.junctions() {
+            let d = j.degree();
+            if degree_histogram.len() <= d {
+                degree_histogram.resize(d + 1, 0);
+            }
+            degree_histogram[d] += 1;
+            degree_sum += d;
+        }
+        let mut total = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for s in net.segments() {
+            total += s.length();
+            min = min.min(s.length());
+            max = max.max(s.length());
+        }
+        let nseg = net.segment_count();
+        NetworkStats {
+            junctions: net.junction_count(),
+            segments: nseg,
+            components: net.junction_components().len(),
+            mean_degree: degree_sum as f64 / net.junction_count().max(1) as f64,
+            degree_histogram,
+            total_length: total,
+            mean_segment_length: if nseg == 0 { 0.0 } else { total / nseg as f64 },
+            min_segment_length: if nseg == 0 { 0.0 } else { min },
+            max_segment_length: max,
+        }
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "junctions: {}  segments: {}  components: {}",
+            self.junctions, self.segments, self.components
+        )?;
+        writeln!(
+            f,
+            "mean degree: {:.2}  total length: {:.1} km",
+            self.mean_degree,
+            self.total_length / 1000.0
+        )?;
+        writeln!(
+            f,
+            "segment length: mean {:.1} m, min {:.1} m, max {:.1} m",
+            self.mean_segment_length, self.min_segment_length, self.max_segment_length
+        )?;
+        write!(f, "degree histogram:")?;
+        for (d, n) in self.degree_histogram.iter().enumerate() {
+            if *n > 0 {
+                write!(f, " {d}:{n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{atlanta_like, grid_city};
+
+    #[test]
+    fn grid_stats() {
+        let net = grid_city(3, 3, 100.0);
+        let st = NetworkStats::compute(&net);
+        assert_eq!(st.junctions, 9);
+        assert_eq!(st.segments, 12);
+        assert_eq!(st.components, 1);
+        assert_eq!(st.degree_histogram[2], 4);
+        assert_eq!(st.degree_histogram[3], 4);
+        assert_eq!(st.degree_histogram[4], 1);
+        assert!((st.mean_degree - 24.0 / 9.0).abs() < 1e-12);
+        assert_eq!(st.mean_segment_length, 100.0);
+        assert_eq!(st.min_segment_length, 100.0);
+        assert_eq!(st.max_segment_length, 100.0);
+    }
+
+    #[test]
+    fn atlanta_like_stats_resemble_a_city() {
+        let st = NetworkStats::compute(&atlanta_like(0));
+        assert_eq!(st.junctions, 6979);
+        assert_eq!(st.segments, 9187);
+        assert_eq!(st.components, 1);
+        // Mean degree of a street network sits between 2 and 4.
+        assert!(st.mean_degree > 2.0 && st.mean_degree < 4.0, "{}", st.mean_degree);
+        assert!(st.mean_segment_length > 50.0 && st.mean_segment_length < 400.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let st = NetworkStats::compute(&grid_city(2, 2, 10.0));
+        let text = st.to_string();
+        assert!(text.contains("junctions: 4"));
+        assert!(text.contains("degree histogram"));
+    }
+}

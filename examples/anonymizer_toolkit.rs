@@ -1,0 +1,148 @@
+//! Figure 4: the Anonymizer toolkit over the paper's evaluation map.
+//!
+//! Builds the Atlanta-scale network (6,979 junctions / 9,187 segments),
+//! simulates 10,000 Gaussian-placed cars with shortest-path trips, cloaks
+//! one car's location at three levels, and renders the colored multi-level
+//! regions as SVG plus an ASCII zoom — the headless equivalent of the
+//! paper's GUI screenshot.
+//!
+//! Run with: `cargo run --release --example anonymizer_toolkit`
+//! Writes `target/anonymizer_toolkit.svg`.
+
+use anonymizer::{render_regions, render_svg, AnonymizerConfig, AnonymizerService, Deanonymizer, Engine};
+use reversecloak::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's map, structurally.
+    let t0 = Instant::now();
+    let net = roadnet::atlanta_like(42);
+    println!(
+        "map: {} junctions, {} segments ({} ms)",
+        net.junction_count(),
+        net.segment_count(),
+        t0.elapsed().as_millis()
+    );
+    println!("{}", roadnet::NetworkStats::compute(&net));
+
+    // 10,000 cars, Gaussian along the roads, shortest-path routing.
+    let t0 = Instant::now();
+    let mut sim = Simulation::new(
+        net,
+        SimConfig {
+            cars: 10_000,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    sim.run(6, 10.0); // a minute of traffic
+    let snapshot = OccupancySnapshot::capture(&sim);
+    println!(
+        "traffic: {} cars placed and driven for {:.0} s ({} ms)",
+        snapshot.total_users(),
+        sim.clock(),
+        t0.elapsed().as_millis()
+    );
+
+    // The owner is car 0; the Anonymizer service cloaks its segment.
+    let user_segment = sim.cars()[0].segment();
+    let mut service = AnonymizerService::new(sim.network().clone(), AnonymizerConfig::default());
+    service.update_snapshot(snapshot);
+    let mut rng = rand::thread_rng();
+    let t0 = Instant::now();
+    let receipt = service.anonymize_owner("car-0", user_segment, None, &mut rng)?;
+    println!(
+        "anonymized {user_segment} into {} segments in {} attempt(s) ({} ms)",
+        receipt.payload.region_size(),
+        receipt.attempts,
+        t0.elapsed().as_millis()
+    );
+
+    // Colored multi-level regions, like the GUI map.
+    let regions = AnonymizerService::level_regions(&receipt.outcome);
+    let svg = render_svg(service.network(), &regions, 1200);
+    let out_path = std::path::Path::new("target").join("anonymizer_toolkit.svg");
+    std::fs::create_dir_all("target")?;
+    std::fs::write(&out_path, &svg)?;
+    println!("wrote {} ({} bytes)", out_path.display(), svg.len());
+
+    // ASCII zoom into the cloaked neighborhood.
+    let zoom = zoom_network(service.network(), &receipt.payload.segments, 3);
+    println!("\ncloaked neighborhood (ASCII zoom):");
+    println!("{}", render_regions(&zoom.0, &remap(&regions, &zoom.1), 100, 34));
+    println!("{}", anonymizer::legend(receipt.payload.levels.len()));
+
+    // The De-anonymizer side: a fully-trusted requester peels to L0.
+    service.register_requester("car-0", "emergency", TrustDegree(10), Level(0));
+    let keys = service.fetch_keys("car-0", "emergency")?;
+    let dean = Deanonymizer::new(
+        service.network_arc(),
+        Engine::build(service.network(), service.config().engine),
+    );
+    let t0 = Instant::now();
+    let views = dean.peel_progressively(&receipt.payload, &keys)?;
+    for view in &views {
+        println!(
+            "de-anonymizer at level {}: {} segments",
+            view.level,
+            view.segments.len()
+        );
+    }
+    println!("full peel took {} ms", t0.elapsed().as_millis());
+    assert_eq!(views.last().unwrap().segments, vec![user_segment]);
+    println!("exact segment recovered: {user_segment}");
+    Ok(())
+}
+
+/// Extracts the sub-network within `hops` of the cloaked region so the
+/// ASCII raster shows detail instead of the whole metro area. Returns the
+/// sub-network and the old->new segment id mapping.
+fn zoom_network(
+    net: &RoadNetwork,
+    region: &[SegmentId],
+    hops: usize,
+) -> (RoadNetwork, std::collections::HashMap<SegmentId, SegmentId>) {
+    use std::collections::HashMap;
+    let mut keep: Vec<SegmentId> = Vec::new();
+    for &s in region {
+        for n in roadnet::segments_within_hops(net, s, hops) {
+            if !keep.contains(&n) {
+                keep.push(n);
+            }
+        }
+    }
+    let mut b = roadnet::RoadNetworkBuilder::new();
+    let mut jmap: HashMap<JunctionId, JunctionId> = HashMap::new();
+    let mut smap: HashMap<SegmentId, SegmentId> = HashMap::new();
+    for &s in &keep {
+        let seg = net.segment(s);
+        let (a, bq) = seg.endpoints();
+        let na = *jmap
+            .entry(a)
+            .or_insert_with(|| b.add_junction(net.junction(a).position()));
+        let nb = *jmap
+            .entry(bq)
+            .or_insert_with(|| b.add_junction(net.junction(bq).position()));
+        let ns = b
+            .add_segment_with_length(na, nb, seg.length())
+            .expect("sub-network edges are valid");
+        smap.insert(s, ns);
+    }
+    (b.build().expect("non-empty zoom"), smap)
+}
+
+/// Remaps level regions into the zoomed network's id space.
+fn remap(
+    regions: &[(Level, Vec<SegmentId>)],
+    smap: &std::collections::HashMap<SegmentId, SegmentId>,
+) -> Vec<(Level, Vec<SegmentId>)> {
+    regions
+        .iter()
+        .map(|(l, segs)| {
+            (
+                *l,
+                segs.iter().filter_map(|s| smap.get(s).copied()).collect(),
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,73 @@
+//! # reversecloak — reversible multi-level location privacy over road networks
+//!
+//! A full reproduction of *ReverseCloak: A Reversible Multi-level Location
+//! Privacy Protection System* (Li, Palanisamy, Kalaivanan, Raghunathan;
+//! ICDCS 2017) and its companion algorithms paper (CIKM 2015), as a Rust
+//! workspace:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`roadnet`] | Road networks: graphs, routing, spatial index, synthetic map generators |
+//! | [`mobisim`] | GTMobiSim-style traffic: Gaussian car placement, shortest-path trips, occupancy snapshots |
+//! | [`keystream`] | Access keys, keyed draw streams, key management, access control |
+//! | [`cloak`] | The core: RGE and RPLE reversible cloaking, multi-level protocol, payload codec, baseline, attack analysis |
+//! | [`anonymizer`] | The demonstration toolkit: Anonymizer/De-anonymizer services, concurrent server, map rendering |
+//! | [`lbs`] | POIs and anonymous query processing over cloaked regions |
+//!
+//! This facade re-exports everything; depend on it and `use
+//! reversecloak::prelude::*` for the common surface.
+//!
+//! ## Example
+//!
+//! ```
+//! use reversecloak::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A road network and traffic.
+//! let net = roadnet::grid_city(6, 6, 100.0);
+//! let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+//!
+//! // A 2-level profile and keys.
+//! let profile = PrivacyProfile::builder()
+//!     .level(LevelRequirement::with_k(5))
+//!     .level(LevelRequirement::with_k(12))
+//!     .build()?;
+//! let manager = KeyManager::from_seed(2, 7);
+//! let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
+//!
+//! // Cloak, then peel back with the keys.
+//! let engine = RgeEngine::new();
+//! let out = cloak::anonymize(&net, &snapshot, SegmentId(17), &profile, &keys, 1, &engine)?;
+//! let view = cloak::deanonymize(&net, &out.payload, &manager.keys_down_to(Level(0))?, &engine)?;
+//! assert_eq!(view.segments, vec![SegmentId(17)]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use anonymizer;
+pub use lbs;
+pub use cloak;
+pub use keystream;
+pub use mobisim;
+pub use roadnet;
+
+/// The commonly used types, re-exported flat.
+pub mod prelude {
+    pub use anonymizer::{
+        AnonymizeReceipt, AnonymizerConfig, AnonymizerServer, AnonymizerService, Deanonymizer,
+        Engine, EngineChoice,
+    };
+    pub use cloak::{
+        anonymize, anonymize_with_retry, deanonymize, CloakError, CloakPayload, DeanonError,
+        LevelRequirement, PrivacyProfile, RegionQuality, ReversibleEngine, RgeEngine, RpleEngine,
+        SpatialTolerance, SuccessRate,
+    };
+    pub use keystream::{
+        AccessControlProfile, DrawStream, Key256, KeyManager, Level, TrustDegree,
+    };
+    pub use mobisim::{OccupancySnapshot, SimConfig, Simulation};
+    pub use roadnet::{JunctionId, RoadNetwork, SegmentId};
+}

@@ -1,0 +1,237 @@
+//! Failure injection: the system must fail loudly and cleanly, never
+//! silently mis-anonymize or mis-recover.
+
+use anonymizer::{AnonymizerConfig, AnonymizerService, Deanonymizer, Engine, EngineChoice};
+use reversecloak::prelude::*;
+use roadnet::RoadNetworkBuilder;
+
+/// Two disconnected islands of roads.
+fn disconnected_net() -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new();
+    let mut last = None;
+    // Island A: a chain of 4 junctions.
+    for i in 0..4 {
+        let j = b.add_junction(roadnet::Point::new(i as f64 * 100.0, 0.0));
+        if let Some(p) = last {
+            b.add_segment(p, j).unwrap();
+        }
+        last = Some(j);
+    }
+    // Island B: far away.
+    let mut lastb = None;
+    for i in 0..4 {
+        let j = b.add_junction(roadnet::Point::new(i as f64 * 100.0, 10_000.0));
+        if let Some(p) = lastb {
+            b.add_segment(p, j).unwrap();
+        }
+        lastb = Some(j);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn frontier_exhaustion_on_disconnected_island() {
+    let net = disconnected_net();
+    // Only 3 users reachable on the island but k = 50.
+    let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+    let profile = PrivacyProfile::builder()
+        .level(LevelRequirement::with_k(50).l(1))
+        .build()
+        .unwrap();
+    let keys = vec![Key256::from_seed(1)];
+    let err = cloak::anonymize(
+        &net,
+        &snapshot,
+        SegmentId(0),
+        &profile,
+        &keys,
+        1,
+        &RgeEngine::new(),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, CloakError::CloakingFailed { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn zero_user_map_cannot_reach_k() {
+    let net = roadnet::grid_city(4, 4, 100.0);
+    let snapshot = OccupancySnapshot::uniform(net.segment_count(), 0);
+    let profile = PrivacyProfile::builder()
+        .level(LevelRequirement::with_k(2).l(1))
+        .build()
+        .unwrap();
+    let keys = vec![Key256::from_seed(1)];
+    let err = cloak::anonymize(
+        &net,
+        &snapshot,
+        SegmentId(0),
+        &profile,
+        &keys,
+        1,
+        &RgeEngine::new(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CloakError::CloakingFailed { .. }));
+}
+
+#[test]
+fn impossible_tolerance_fails_not_hangs() {
+    let net = roadnet::grid_city(6, 6, 100.0);
+    let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+    let profile = PrivacyProfile::builder()
+        .level(
+            LevelRequirement::with_k(20)
+                .tolerance(SpatialTolerance::TotalLength(300.0)),
+        )
+        .build()
+        .unwrap();
+    let keys = vec![Key256::from_seed(2)];
+    for engine in [
+        Box::new(RgeEngine::new()) as Box<dyn ReversibleEngine>,
+        Box::new(RpleEngine::build(&net, 8)),
+    ] {
+        let start = std::time::Instant::now();
+        let result = cloak::anonymize_with_retry(
+            &net,
+            &snapshot,
+            SegmentId(0),
+            &profile,
+            &keys,
+            1,
+            engine.as_ref(),
+            4,
+        );
+        assert!(result.is_err(), "{}", engine.name());
+        assert!(
+            start.elapsed().as_secs() < 30,
+            "{} took too long to fail",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn truncated_and_corrupted_payloads_rejected() {
+    let net = roadnet::grid_city(6, 6, 100.0);
+    let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+    let profile = PrivacyProfile::builder()
+        .level(LevelRequirement::with_k(6))
+        .build()
+        .unwrap();
+    let manager = KeyManager::from_seed(1, 3);
+    let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
+    let engine = RgeEngine::new();
+    let out = cloak::anonymize(&net, &snapshot, SegmentId(10), &profile, &keys, 1, &engine)
+        .unwrap();
+    let bytes = out.payload.encode();
+
+    // Every strict prefix fails decode.
+    for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+        assert!(cloak::CloakPayload::decode(&bytes[..cut]).is_err());
+    }
+
+    // Payload referencing segments outside the map is rejected at
+    // de-anonymization time.
+    let mut p = out.payload.clone();
+    p.segments.push(SegmentId(9_999));
+    let err = cloak::deanonymize(&net, &p, &[], &engine).unwrap_err();
+    assert!(matches!(err, DeanonError::MalformedPayload(_)));
+}
+
+#[test]
+fn swapped_level_keys_are_rejected() {
+    let net = roadnet::grid_city(7, 7, 100.0);
+    let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+    let profile = PrivacyProfile::builder()
+        .level(LevelRequirement::with_k(4))
+        .level(LevelRequirement::with_k(9))
+        .build()
+        .unwrap();
+    let manager = KeyManager::from_seed(2, 5);
+    let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
+    let engine = RgeEngine::new();
+    let out = cloak::anonymize(&net, &snapshot, SegmentId(20), &profile, &keys, 1, &engine)
+        .unwrap();
+    // Keys supplied in the wrong order (bottom-up instead of top-down).
+    let k1 = manager.key_for(Level(1)).unwrap();
+    let k2 = manager.key_for(Level(2)).unwrap();
+    let err =
+        cloak::deanonymize(&net, &out.payload, &[(Level(1), k1), (Level(2), k2)], &engine)
+            .unwrap_err();
+    assert!(matches!(err, DeanonError::NonContiguousKeys { .. }));
+    // Right levels, swapped key material.
+    let err =
+        cloak::deanonymize(&net, &out.payload, &[(Level(2), k1), (Level(1), k2)], &engine)
+            .unwrap_err();
+    assert!(matches!(err, DeanonError::WrongKey(_)), "{err}");
+}
+
+#[test]
+fn requester_without_entitlement_gets_nothing() {
+    let net = roadnet::grid_city(7, 7, 100.0);
+    let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+    let mut service = AnonymizerService::new(net, AnonymizerConfig::default());
+    service.update_snapshot(snapshot);
+    let mut rng = rand::thread_rng();
+    service
+        .anonymize_owner("alice", SegmentId(10), None, &mut rng)
+        .unwrap();
+    // Nobody registered: all fetches fail.
+    assert!(service.fetch_keys("alice", "anyone").is_err());
+    // Registered but trust floor at the top level: still nothing.
+    service.register_requester("alice", "lbs", TrustDegree(1), Level(3));
+    assert!(service.fetch_keys("alice", "lbs").is_err());
+}
+
+#[test]
+fn engine_mismatch_between_sides_is_detected() {
+    let net = roadnet::grid_city(7, 7, 100.0);
+    let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+    let mut service = AnonymizerService::new(
+        net,
+        AnonymizerConfig {
+            engine: EngineChoice::Rge,
+            ..Default::default()
+        },
+    );
+    service.update_snapshot(snapshot);
+    let mut rng = rand::thread_rng();
+    let receipt = service
+        .anonymize_owner("alice", SegmentId(10), None, &mut rng)
+        .unwrap();
+    // The requester mistakenly runs RPLE.
+    let dean = Deanonymizer::new(
+        service.network_arc(),
+        Engine::build(service.network(), EngineChoice::Rple { t_len: 8 }),
+    );
+    let err = dean.reduce(&receipt.payload, &[]).unwrap_err();
+    assert!(matches!(err, DeanonError::MalformedPayload(_)));
+}
+
+#[test]
+fn deanonymize_rejects_key_below_level_zero() {
+    let net = roadnet::grid_city(6, 6, 100.0);
+    let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+    let profile = PrivacyProfile::builder()
+        .level(LevelRequirement::with_k(4))
+        .build()
+        .unwrap();
+    let manager = KeyManager::from_seed(1, 9);
+    let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
+    let engine = RgeEngine::new();
+    let out = cloak::anonymize(&net, &snapshot, SegmentId(5), &profile, &keys, 1, &engine)
+        .unwrap();
+    // Peel L1 then try to peel "L0" with another key.
+    let k1 = manager.key_for(Level(1)).unwrap();
+    let err = cloak::deanonymize(
+        &net,
+        &out.payload,
+        &[(Level(1), k1), (Level(0), k1)],
+        &engine,
+    )
+    .unwrap_err();
+    assert!(matches!(err, DeanonError::NonContiguousKeys { .. }));
+}

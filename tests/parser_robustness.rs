@@ -1,0 +1,89 @@
+//! Robustness of every parser in the workspace: arbitrary bytes must
+//! produce clean errors, never panics — these parsers sit on trust
+//! boundaries (map files, keyrings, traces, payloads from the network).
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn map_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = roadnet::io::read_map(bytes.as_slice());
+    }
+
+    #[test]
+    fn map_parser_never_panics_on_textish_input(
+        text in "[a-z0-9 .\\-\n#]{0,256}",
+    ) {
+        let _ = roadnet::io::read_map(text.as_bytes());
+    }
+
+    #[test]
+    fn keyring_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = keystream::read_keyring(bytes.as_slice());
+    }
+
+    #[test]
+    fn trace_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = mobisim::Trace::read_from(bytes.as_slice());
+    }
+
+    #[test]
+    fn payload_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = cloak::CloakPayload::decode(&bytes);
+    }
+
+    #[test]
+    fn payload_decoder_never_panics_on_near_valid_input(
+        seg_count in 0u32..10,
+        level_count in 0u8..4,
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Start from a valid header, then degrade.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RCLK");
+        bytes.push(1); // version
+        bytes.push(1); // algorithm
+        bytes.extend_from_slice(&42u64.to_le_bytes());
+        bytes.extend_from_slice(&seg_count.to_le_bytes());
+        for i in 0..seg_count {
+            bytes.extend_from_slice(&i.to_le_bytes());
+        }
+        bytes.push(level_count);
+        bytes.extend_from_slice(&tail);
+        let _ = cloak::CloakPayload::decode(&bytes);
+    }
+
+    #[test]
+    fn key_hex_parser_never_panics(text in ".{0,100}") {
+        let _ = keystream::Key256::from_hex(&text);
+    }
+}
+
+/// Renderers must not panic for any region/levels combination over a
+/// valid network (they are reachable from untrusted payloads).
+#[test]
+fn renderers_handle_arbitrary_regions() {
+    use keystream::Level;
+    use roadnet::SegmentId;
+    let net = roadnet::grid_city(4, 4, 100.0);
+    let cases: Vec<Vec<(Level, Vec<SegmentId>)>> = vec![
+        vec![],
+        vec![(Level(0), vec![])],
+        vec![(Level(9), net.segment_ids().collect())],
+        vec![
+            (Level(3), vec![SegmentId(0)]),
+            (Level(1), vec![SegmentId(0), SegmentId(1)]),
+            (Level(2), vec![SegmentId(2)]),
+        ],
+        // Levels above the color/symbol tables.
+        vec![(Level(200), vec![SegmentId(5)])],
+    ];
+    for regions in &cases {
+        let ascii = anonymizer::render_regions(&net, regions, 40, 16);
+        assert!(!ascii.is_empty());
+        let svg = anonymizer::render_svg(&net, regions, 200);
+        assert!(svg.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based tests of the core protocol invariants.
+//!
+//! * Round-trip: `deanonymize(anonymize(x)) == x` for random maps,
+//!   profiles, keys, seeds and both engines.
+//! * Level monotonicity: peeled views nest.
+//! * k-anonymity and l-diversity hold at the top level.
+//! * Wrong keys never silently recover the user's segment.
+
+use proptest::prelude::*;
+use reversecloak::prelude::*;
+
+/// A small connected world with one user per segment.
+fn world(rows: usize, cols: usize) -> (RoadNetwork, OccupancySnapshot) {
+    let net = roadnet::grid_city(rows, cols, 100.0);
+    let snap = OccupancySnapshot::uniform(net.segment_count(), 1);
+    (net, snap)
+}
+
+fn profile_from(ks: &[u32]) -> PrivacyProfile {
+    let mut b = PrivacyProfile::builder();
+    let mut prev = 0;
+    for &k in ks {
+        let k = k.max(prev); // keep non-decreasing
+        prev = k;
+        b = b.level(LevelRequirement::with_k(k));
+    }
+    b.build().expect("generated profiles are valid")
+}
+
+/// Runs anonymize with retries; skips the case if the walk dead-ends
+/// (possible for RPLE on unlucky seeds — rejected, not failed).
+fn try_anonymize(
+    net: &RoadNetwork,
+    snap: &OccupancySnapshot,
+    user: SegmentId,
+    profile: &PrivacyProfile,
+    keys: &[Key256],
+    nonce: u64,
+    engine: &dyn ReversibleEngine,
+) -> Option<cloak::AnonymizationOutcome> {
+    cloak::anonymize_with_retry(net, snap, user, profile, keys, nonce, engine, 8)
+        .ok()
+        .map(|(o, _)| o)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rge_roundtrip_recovers_exact_segment(
+        seg in 0u32..84,
+        key_seed in any::<u64>(),
+        nonce in any::<u64>(),
+        k1 in 2u32..8,
+        k2 in 8u32..20,
+    ) {
+        let (net, snap) = world(7, 7);
+        let profile = profile_from(&[k1, k2]);
+        let manager = KeyManager::from_seed(2, key_seed);
+        let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
+        let engine = RgeEngine::new();
+        let user = SegmentId(seg);
+        let out = try_anonymize(&net, &snap, user, &profile, &keys, nonce, &engine)
+            .expect("RGE never dead-ends on an open grid");
+        // Wire round-trip.
+        let payload = cloak::CloakPayload::decode(&out.payload.encode()).unwrap();
+        let view = cloak::deanonymize(&net, &payload, &manager.keys_down_to(Level(0)).unwrap(), &engine).unwrap();
+        prop_assert_eq!(view.segments, vec![user]);
+        prop_assert_eq!(view.anchor, user);
+    }
+
+    #[test]
+    fn rple_roundtrip_recovers_exact_segment(
+        seg in 0u32..84,
+        key_seed in any::<u64>(),
+        nonce in any::<u64>(),
+        t_len in 6usize..12,
+    ) {
+        let (net, snap) = world(7, 7);
+        let profile = profile_from(&[4, 10]);
+        let manager = KeyManager::from_seed(2, key_seed);
+        let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
+        let engine = RpleEngine::build(&net, t_len);
+        let user = SegmentId(seg);
+        // RPLE may dead-end even with retries; such cases are skipped
+        // (they are failures of *availability*, measured elsewhere, not of
+        // reversibility).
+        if let Some(out) = try_anonymize(&net, &snap, user, &profile, &keys, nonce, &engine) {
+            let view = cloak::deanonymize(&net, &out.payload, &manager.keys_down_to(Level(0)).unwrap(), &engine).unwrap();
+            prop_assert_eq!(view.segments, vec![user]);
+        }
+    }
+
+    #[test]
+    fn peeled_views_nest_and_satisfy_k(
+        seg in 0u32..60,
+        key_seed in any::<u64>(),
+        nonce in any::<u64>(),
+        base_k in 2u32..6,
+        levels in 2usize..5,
+    ) {
+        let (net, snap) = world(8, 8);
+        let ks: Vec<u32> = (0..levels).map(|i| base_k << i).collect();
+        let profile = profile_from(&ks);
+        let manager = KeyManager::from_seed(levels, key_seed);
+        let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
+        let engine = RgeEngine::new();
+        let user = SegmentId(seg);
+        let out = try_anonymize(&net, &snap, user, &profile, &keys, nonce, &engine).unwrap();
+
+        // Top-level k and l hold (1 user per segment: users == segments).
+        let top = profile.top_requirement();
+        prop_assert!(out.payload.region_size() as u64 >= top.k as u64);
+        prop_assert!(out.payload.region_size() >= top.l as usize);
+
+        // Views nest as keys accumulate.
+        let all_keys = manager.keys_down_to(Level(0)).unwrap();
+        let mut prev: Option<Vec<SegmentId>> = None;
+        for take in 0..=all_keys.len() {
+            let view = cloak::deanonymize(&net, &out.payload, &all_keys[..take], &engine).unwrap();
+            prop_assert!(net.segments_connected(&view.segments));
+            if let Some(bigger) = prev {
+                for s in &view.segments {
+                    prop_assert!(bigger.contains(s), "views must nest");
+                }
+                prop_assert!(view.segments.len() <= bigger.len());
+            }
+            prev = Some(view.segments);
+        }
+        prop_assert_eq!(prev.unwrap(), vec![user]);
+    }
+
+    #[test]
+    fn wrong_key_never_silently_recovers_the_user(
+        seg in 0u32..84,
+        key_seed in 0u64..1_000,
+        wrong_seed in 1_000u64..2_000,
+        nonce in any::<u64>(),
+    ) {
+        let (net, snap) = world(7, 7);
+        let profile = profile_from(&[6]);
+        let manager = KeyManager::from_seed(1, key_seed);
+        let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
+        let engine = RgeEngine::new();
+        let user = SegmentId(seg);
+        let out = try_anonymize(&net, &snap, user, &profile, &keys, nonce, &engine).unwrap();
+        let wrong = Key256::from_seed(wrong_seed);
+        match cloak::deanonymize(&net, &out.payload, &[(Level(1), wrong)], &engine) {
+            // The overwhelmingly common case: the bootstrap tag rejects.
+            Err(_) => {}
+            // A false tag match is cryptographically negligible with a
+            // real PRF; with the simulation PRF it must still never
+            // produce the true segment for a wrong key.
+            Ok(view) => prop_assert_ne!(view.segments, vec![user]),
+        }
+    }
+
+    #[test]
+    fn payload_decode_never_panics_on_mutations(
+        seg in 0u32..48,
+        key_seed in any::<u64>(),
+        flip_at in 0usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        let (net, snap) = world(7, 7);
+        let profile = profile_from(&[5]);
+        let manager = KeyManager::from_seed(1, key_seed);
+        let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
+        let engine = RgeEngine::new();
+        let out = try_anonymize(&net, &snap, SegmentId(seg), &profile, &keys, 7, &engine).unwrap();
+        let mut bytes = out.payload.encode().to_vec();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        // Must not panic; may decode to something (further validated by
+        // deanonymize) or fail cleanly.
+        if let Ok(p) = cloak::CloakPayload::decode(&bytes) {
+            let _ = cloak::deanonymize(
+                &net,
+                &p,
+                &manager.keys_down_to(Level(0)).unwrap(),
+                &engine,
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn preassignment_duality_on_random_irregular_maps(
+        seed in any::<u64>(),
+        t_len in 2usize..10,
+        junctions in 30usize..120,
+    ) {
+        let net = roadnet::irregular_city(&roadnet::IrregularConfig {
+            junctions,
+            segments: junctions + junctions / 3,
+            seed,
+            ..Default::default()
+        });
+        let tables = cloak::PreassignedTables::build(&net, t_len);
+        prop_assert_eq!(tables.duality_violations(), 0);
+        // Every placed link is a real adjacency.
+        for s in net.segment_ids() {
+            for cell in tables.forward_list(s).iter().flatten() {
+                prop_assert!(net.segments_adjacent(s, *cell));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_and_region_accounting_agree(
+        seed in any::<u64>(),
+        cars in 50usize..400,
+    ) {
+        let net = roadnet::grid_city(6, 6, 100.0);
+        let mut sim = Simulation::new(net, SimConfig { cars, seed, ..Default::default() });
+        sim.run(5, 7.0);
+        let snap = OccupancySnapshot::capture(&sim);
+        prop_assert_eq!(snap.total_users(), cars as u64);
+        let all: u64 = snap.users_in(sim.network().segment_ids());
+        prop_assert_eq!(all, cars as u64);
+    }
+}
