@@ -13,16 +13,20 @@
 //! rcloak deanonymize --map city.map --payload cloak.bin \
 //!        (--keys k3,k2 | --keyring keyring.txt) [--engine rge|rple]
 //! rcloak render --map city.map [--payload cloak.bin] [--width 100] [--height 40]
+//! rcloak batch --map city.map --input requests.csv [--engine rge|rple]
+//!        [--workers N] [--cars N] [--seed N] [--out results.csv]
 //! ```
+//!
+//! `batch` reads one `owner,segment` pair per CSV line (blank lines and
+//! `#` comments skipped), fans the requests across the server's worker
+//! pool, and reports one result line per request in input order.
 //!
 //! Keys are 64-digit hex strings; `--keys` lists them **top level first**
 //! for `deanonymize` and **level 1 first** for `anonymize` (matching the
 //! paper's `Key_i` numbering).
 
 use anonymizer::{render_regions, render_svg, Engine, EngineChoice};
-use cloak::{
-    anonymize_with_retry, deanonymize, CloakPayload, LevelRequirement, PrivacyProfile,
-};
+use cloak::{anonymize_with_retry, deanonymize, CloakPayload, LevelRequirement, PrivacyProfile};
 use keystream::{Key256, Level};
 use mobisim::{OccupancySnapshot, SimConfig, Simulation};
 use roadnet::{RoadNetwork, SegmentId};
@@ -45,6 +49,7 @@ fn main() -> ExitCode {
         "anonymize" => cmd_anonymize(&opts),
         "deanonymize" => cmd_deanonymize(&opts),
         "render" => cmd_render(&opts),
+        "batch" => cmd_batch(&opts),
         other => Err(format!("unknown subcommand `{other}`")),
     };
     match result {
@@ -61,7 +66,8 @@ fn usage(err: &str) -> ExitCode {
          rcloak anonymize --map FILE --segment ID --k K1,K2,.. --keys HEX,.. \
          [--engine rge|rple] [--cars N] [--seed N] [--out FILE] [--svg FILE]\n  \
          rcloak deanonymize --map FILE --payload FILE (--keys HEX,.. | --keyring FILE) [--engine rge|rple]\n  \
-         rcloak render --map FILE [--payload FILE] [--width W] [--height H]"
+         rcloak render --map FILE [--payload FILE] [--width W] [--height H]\n  \
+         rcloak batch --map FILE --input FILE [--engine rge|rple] [--workers N] [--cars N] [--seed N] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -205,16 +211,9 @@ fn cmd_anonymize(opts: &Opts) -> Result<(), String> {
     }
     let profile = builder.build().map_err(|e| e.to_string())?;
 
-    // Traffic for the k-anonymity check.
-    let cars = opts
-        .get("cars")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10_000.min(net.segment_count() * 2));
     let seed = get_seed(opts);
-    let mut sim = Simulation::new(net, SimConfig { cars, seed, ..Default::default() });
-    sim.run(3, 10.0);
-    let snapshot = OccupancySnapshot::capture(&sim);
-    let net = sim.network();
+    let (net, snapshot) = traffic_snapshot(opts, net);
+    let net = &net;
 
     let choice = parse_engine(opts)?;
     let engine = Engine::build(net, choice);
@@ -248,6 +247,27 @@ fn cmd_anonymize(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Simulates traffic over `net` for the k-anonymity check (`--cars`,
+/// `--seed`), returning the network and the captured occupancy snapshot.
+fn traffic_snapshot(opts: &Opts, net: RoadNetwork) -> (RoadNetwork, OccupancySnapshot) {
+    let cars = opts
+        .get("cars")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000.min(net.segment_count() * 2));
+    let seed = get_seed(opts);
+    let mut sim = Simulation::new(
+        net,
+        SimConfig {
+            cars,
+            seed,
+            ..Default::default()
+        },
+    );
+    sim.run(3, 10.0);
+    let snapshot = OccupancySnapshot::capture(&sim);
+    (sim.network().clone(), snapshot)
+}
+
 /// Cumulative level regions from an outcome (seed + per-level spans).
 fn regions_of(out: &cloak::AnonymizationOutcome) -> Vec<(Level, Vec<SegmentId>)> {
     let chain_set: std::collections::HashSet<_> = out.chain.iter().copied().collect();
@@ -262,7 +282,11 @@ fn regions_of(out: &cloak::AnonymizationOutcome) -> Vec<(Level, Vec<SegmentId>)>
     let mut regions = vec![(Level(0), acc.clone())];
     let mut cursor = 0;
     for (i, meta) in out.payload.levels.iter().enumerate() {
-        acc.extend(out.chain[cursor..cursor + meta.count as usize].iter().copied());
+        acc.extend(
+            out.chain[cursor..cursor + meta.count as usize]
+                .iter()
+                .copied(),
+        );
         cursor += meta.count as usize;
         regions.push((Level(i as u8 + 1), acc.clone()));
     }
@@ -288,9 +312,12 @@ fn cmd_deanonymize(opts: &Opts) -> Result<(), String> {
         .collect();
     let choice = parse_engine(opts)?;
     let engine = Engine::build(&net, choice);
-    let view = deanonymize(&net, &payload, &leveled, engine.as_dyn())
-        .map_err(|e| e.to_string())?;
-    println!("reduced to level L{}: {} segments", view.level.0, view.segments.len());
+    let view = deanonymize(&net, &payload, &leveled, engine.as_dyn()).map_err(|e| e.to_string())?;
+    println!(
+        "reduced to level L{}: {} segments",
+        view.level.0,
+        view.segments.len()
+    );
     let ids: Vec<String> = view.segments.iter().map(|s| s.to_string()).collect();
     println!("{{{}}}", ids.join(", "));
     if view.level == Level(0) {
@@ -299,10 +326,113 @@ fn cmd_deanonymize(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_batch(opts: &Opts) -> Result<(), String> {
+    use anonymizer::{AnonymizeRequest, AnonymizerConfig, AnonymizerServer};
+
+    let net = load_map(opts)?;
+    let input = opts.get("input").ok_or("--input is required")?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?;
+    let mut requests = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (owner, segment) = line
+            .split_once(',')
+            .ok_or_else(|| format!("{input}:{}: expected `owner,segment`", lineno + 1))?;
+        let segment: u32 = segment.trim().parse().map_err(|_| {
+            format!(
+                "{input}:{}: bad segment id `{}`",
+                lineno + 1,
+                segment.trim()
+            )
+        })?;
+        // Seeds derive from --seed and the row number, so a batch rerun
+        // with the same inputs reproduces byte-identical payloads.
+        let row_seed = get_seed(opts)
+            ^ 0xba7c_c10a
+            ^ (requests.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        requests.push(AnonymizeRequest::new(
+            owner.trim(),
+            SegmentId(segment),
+            row_seed,
+        ));
+    }
+    if requests.is_empty() {
+        return Err(format!("{input}: no requests"));
+    }
+
+    let seed = get_seed(opts);
+    let (net, snapshot) = traffic_snapshot(opts, net);
+
+    let workers = opts
+        .get("workers")
+        .map(|s| s.parse().map_err(|_| format!("bad --workers `{s}`")))
+        .transpose()?
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let config = AnonymizerConfig {
+        engine: parse_engine(opts)?,
+        ..Default::default()
+    };
+    let server = AnonymizerServer::start(net, snapshot, config, workers, seed ^ 0xba7c_c10a);
+    let t0 = std::time::Instant::now();
+    let results = server.anonymize_batch(requests.clone());
+    let elapsed = t0.elapsed();
+
+    let mut ok = 0usize;
+    let mut lines = Vec::with_capacity(results.len());
+    for (req, result) in requests.iter().zip(&results) {
+        match result {
+            Ok(receipt) => {
+                ok += 1;
+                lines.push(format!(
+                    "{},{},ok,{},{}",
+                    req.owner,
+                    req.segment.0,
+                    receipt.payload.region_size(),
+                    receipt.attempts
+                ));
+            }
+            Err(e) => lines.push(format!("{},{},error,{e},", req.owner, req.segment.0)),
+        }
+    }
+    println!(
+        "anonymized {ok}/{} requests on {workers} worker(s) in {:.1} ms ({:.0} req/s)",
+        results.len(),
+        elapsed.as_secs_f64() * 1e3,
+        results.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    if let Some(path) = opts.get("out") {
+        let mut csv = String::from("owner,segment,status,region_size,attempts\n");
+        csv.push_str(&lines.join("\n"));
+        csv.push('\n');
+        std::fs::write(path, csv).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote results to {path}");
+    } else {
+        for line in &lines {
+            println!("{line}");
+        }
+    }
+    if ok == 0 {
+        return Err("every request failed".into());
+    }
+    Ok(())
+}
+
 fn cmd_render(opts: &Opts) -> Result<(), String> {
     let net = load_map(opts)?;
-    let width = opts.get("width").and_then(|s| s.parse().ok()).unwrap_or(100);
-    let height = opts.get("height").and_then(|s| s.parse().ok()).unwrap_or(36);
+    let width = opts
+        .get("width")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let height = opts
+        .get("height")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(36);
     let regions = match opts.get("payload") {
         Some(path) => {
             let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -314,7 +444,7 @@ fn cmd_render(opts: &Opts) -> Result<(), String> {
     };
     println!("{}", render_regions(&net, &regions, width, height));
     if !regions.is_empty() {
-        println!("{}", anonymizer::legend(regions[0].0.0 as usize));
+        println!("{}", anonymizer::legend(regions[0].0 .0 as usize));
     }
     Ok(())
 }

@@ -12,8 +12,7 @@ use cloak::{LevelRequirement, PrivacyProfile, SpatialTolerance};
 use serde::{Deserialize, Serialize};
 
 /// Which cloaking algorithm the service runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum EngineChoice {
     /// Reversible Global Expansion.
     #[default]
@@ -26,7 +25,6 @@ pub enum EngineChoice {
     },
 }
 
-
 /// Service configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnonymizerConfig {
@@ -37,6 +35,13 @@ pub struct AnonymizerConfig {
     pub default_profile: PrivacyProfile,
     /// Attempts for dead-ended walks before reporting failure.
     pub max_attempts: u32,
+    /// Shards for the owner-record and requester-registry maps. More
+    /// shards mean less lock contention between concurrent requests for
+    /// different owners; values past the worker count buy little.
+    pub shard_count: usize,
+    /// Worker threads for `AnonymizerService::anonymize_batch`
+    /// (`0` = all available cores).
+    pub batch_parallelism: usize,
 }
 
 impl Default for AnonymizerConfig {
@@ -47,12 +52,13 @@ impl Default for AnonymizerConfig {
                 .level(LevelRequirement::with_k(5))
                 .level(LevelRequirement::with_k(10))
                 .level(
-                    LevelRequirement::with_k(20)
-                        .tolerance(SpatialTolerance::TotalLength(20_000.0)),
+                    LevelRequirement::with_k(20).tolerance(SpatialTolerance::TotalLength(20_000.0)),
                 )
                 .build()
                 .expect("default profile is valid"),
             max_attempts: 8,
+            shard_count: 16,
+            batch_parallelism: 0,
         }
     }
 }
@@ -67,6 +73,8 @@ mod tests {
         assert_eq!(cfg.default_profile.level_count(), 3);
         assert_eq!(cfg.engine, EngineChoice::Rge);
         assert!(cfg.max_attempts >= 1);
+        assert!(cfg.shard_count >= 1);
+        assert_eq!(cfg.batch_parallelism, 0, "0 means all cores");
     }
 
     #[test]

@@ -92,7 +92,7 @@ mod tests {
     fn setup(engine: EngineChoice) -> (AnonymizerService, Deanonymizer) {
         let net = grid_city(7, 7, 100.0);
         let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
-        let mut service = AnonymizerService::new(
+        let service = AnonymizerService::new(
             net,
             AnonymizerConfig {
                 engine,
@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn end_to_end_owner_to_requester() {
         for engine in [EngineChoice::Rge, EngineChoice::Rple { t_len: 8 }] {
-            let (mut service, dean) = setup(engine);
+            let (service, dean) = setup(engine);
             let mut rng = StdRng::seed_from_u64(7);
             let receipt = service
                 .anonymize_owner("alice", SegmentId(24), None, &mut rng)
@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn progressive_peeling_shrinks_monotonically() {
-        let (mut service, dean) = setup(EngineChoice::Rge);
+        let (service, dean) = setup(EngineChoice::Rge);
         let mut rng = StdRng::seed_from_u64(8);
         let receipt = service
             .anonymize_owner("alice", SegmentId(30), None, &mut rng)
@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn partial_keys_reach_partial_level() {
-        let (mut service, dean) = setup(EngineChoice::Rge);
+        let (service, dean) = setup(EngineChoice::Rge);
         let mut rng = StdRng::seed_from_u64(9);
         let receipt = service
             .anonymize_owner("alice", SegmentId(30), None, &mut rng)

@@ -15,6 +15,11 @@
 //! * [`render_ascii`] / [`render_svg()`](fn@render_svg) — the map visualizations (the GUI
 //!   substitute; see DESIGN.md §1).
 //!
+//! The whole anonymize path works from `&self` (sharded record maps, an
+//! `Arc`-swapped snapshot), so services are shared across threads through
+//! a plain `Arc` — see the `service` module docs for the concurrency
+//! model.
+//!
 //! ```
 //! use anonymizer::{AnonymizerConfig, AnonymizerService, Deanonymizer, Engine};
 //! use keystream::{Level, TrustDegree};
@@ -23,7 +28,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let net = grid_city(6, 6, 100.0);
-//! let mut service = AnonymizerService::new(net, AnonymizerConfig::default());
+//! let service = AnonymizerService::new(net, AnonymizerConfig::default());
 //! service.update_snapshot(OccupancySnapshot::uniform(
 //!     service.network().segment_count(),
 //!     1,
@@ -58,4 +63,4 @@ pub use deanonymizer::Deanonymizer;
 pub use render_ascii::{legend, render_map, render_regions};
 pub use render_svg::render_svg;
 pub use server::AnonymizerServer;
-pub use service::{AnonymizeReceipt, AnonymizerService, Engine, OwnerRecord};
+pub use service::{AnonymizeReceipt, AnonymizeRequest, AnonymizerService, Engine, OwnerRecord};

@@ -69,12 +69,8 @@ pub fn render_regions(
             // Level symbols overwrite plain road; lower levels overwrite
             // higher ones (drawn via the symbol map, so any symbol wins
             // over ROAD and digits keep the lowest symbol drawn last).
-            if *cell == ' ' || *cell == ROAD || ch != ROAD {
-                if *cell == ' ' || *cell == ROAD {
-                    *cell = ch;
-                } else if ch != ROAD && ch < *cell {
-                    *cell = ch;
-                }
+            if *cell == ' ' || *cell == ROAD || (ch != ROAD && ch < *cell) {
+                *cell = ch;
             }
         }
     }

@@ -24,11 +24,7 @@ const ROAD_COLOR: &str = "#c8c8c8";
 ///
 /// `regions` lists `(level, segments)` pairs (cumulative regions nest, as
 /// produced by `AnonymizerService::level_regions`).
-pub fn render_svg(
-    net: &RoadNetwork,
-    regions: &[(Level, Vec<SegmentId>)],
-    width_px: u32,
-) -> String {
+pub fn render_svg(net: &RoadNetwork, regions: &[(Level, Vec<SegmentId>)], width_px: u32) -> String {
     let bb = net.bounding_box();
     let aspect = if bb.width() > 0.0 {
         (bb.height() / bb.width()).max(0.05)

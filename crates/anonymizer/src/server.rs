@@ -4,24 +4,26 @@
 //! anonymization server". This module runs the [`AnonymizerService`]
 //! behind a crossbeam channel with a pool of worker threads, serving many
 //! owners concurrently — the shape a real deployment would take.
+//!
+//! The service's whole anonymize path works from `&self` (sharded record
+//! maps, snapshot behind an `Arc` swap), so every worker holds a plain
+//! `Arc<AnonymizerService>` and requests for different owners run fully
+//! in parallel: adding workers adds throughput. There is no global lock.
 
 use crate::config::AnonymizerConfig;
-use crate::service::{AnonymizeReceipt, AnonymizerService};
+use crate::service::{AnonymizeReceipt, AnonymizeRequest, AnonymizerService};
 use cloak::{CloakError, PrivacyProfile};
 use crossbeam::channel::{bounded, Sender};
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use roadnet::{RoadNetwork, SegmentId};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// An anonymization job submitted to the server.
 struct Job {
-    owner: String,
-    segment: SegmentId,
-    profile: Option<PrivacyProfile>,
-    reply: Sender<Result<AnonymizeReceipt, CloakError>>,
+    request: AnonymizeRequest,
+    reply: Sender<(usize, Result<AnonymizeReceipt, CloakError>)>,
+    index: usize,
 }
 
 /// Handle to a running anonymization server.
@@ -40,13 +42,25 @@ struct Job {
 /// let server = AnonymizerServer::start(net, snapshot, AnonymizerConfig::default(), 2, 42);
 /// let receipt = server.anonymize("alice", SegmentId(10), None)?;
 /// assert!(receipt.payload.region_size() >= 20);
+/// assert!(server.service().owner_record("alice").is_some());
 /// # Ok(())
 /// # }
 /// ```
 pub struct AnonymizerServer {
-    service: Arc<Mutex<AnonymizerService>>,
+    service: Arc<AnonymizerService>,
     submit: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    base_seed: u64,
+    job_counter: AtomicU64,
+}
+
+/// Derives the per-job seed from the server seed and job number, so
+/// results are reproducible regardless of which worker runs the job.
+fn job_seed(base: u64, n: u64) -> u64 {
+    let mut z = base ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl AnonymizerServer {
@@ -63,28 +77,31 @@ impl AnonymizerServer {
         seed: u64,
     ) -> Self {
         assert!(workers > 0, "need at least one worker");
-        let mut service = AnonymizerService::new(net, config);
+        let service = AnonymizerService::new(net, config);
         service.update_snapshot(snapshot);
-        let service = Arc::new(Mutex::new(service));
+        let service = Arc::new(service);
         let (tx, rx) = bounded::<Job>(1024);
         let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
+        for _ in 0..workers {
             let rx = rx.clone();
             let service = Arc::clone(&service);
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(w as u64));
             handles.push(std::thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
-                    // The engine holds per-map state (RPLE tables), so the
-                    // whole service runs under one lock; contention is on
-                    // the anonymization itself, which is the measured cost
-                    // anyway.
-                    let result = service.lock().anonymize_owner(
-                        &job.owner,
-                        job.segment,
-                        job.profile,
-                        &mut rng,
+                    // The anonymize path is `&self`: workers proceed in
+                    // parallel, contending only on the owner's record
+                    // shard for the final store.
+                    let Job {
+                        request,
+                        reply,
+                        index,
+                    } = job;
+                    let result = service.anonymize_seeded(
+                        &request.owner,
+                        request.segment,
+                        request.profile,
+                        request.seed,
                     );
-                    let _ = job.reply.send(result);
+                    let _ = reply.send((index, result));
                 }
             }));
         }
@@ -92,7 +109,22 @@ impl AnonymizerServer {
             service,
             submit: Some(tx),
             workers: handles,
+            base_seed: seed,
+            job_counter: AtomicU64::new(0),
         }
+    }
+
+    fn next_seed(&self) -> u64 {
+        job_seed(
+            self.base_seed,
+            self.job_counter.fetch_add(1, Ordering::Relaxed),
+        )
+    }
+
+    /// A fresh request seed derived from the server seed and an internal
+    /// counter, for callers that do not need to pin request randomness.
+    pub fn derive_seed(&self) -> u64 {
+        self.next_seed()
     }
 
     /// Anonymizes synchronously through the worker pool.
@@ -111,20 +143,85 @@ impl AnonymizerServer {
             .as_ref()
             .expect("server is running")
             .send(Job {
-                owner: owner.to_string(),
-                segment,
-                profile,
+                request: AnonymizeRequest {
+                    owner: owner.to_string(),
+                    segment,
+                    profile,
+                    seed: self.next_seed(),
+                },
                 reply: reply_tx,
+                index: 0,
             })
             .expect("workers are alive while the handle exists");
         reply_rx
             .recv()
+            .map(|(_, result)| result)
             .expect("worker replies before dropping the job")
     }
 
-    /// Shared access to the underlying service (for key fetches and
-    /// record inspection).
-    pub fn service(&self) -> Arc<Mutex<AnonymizerService>> {
+    /// Anonymizes a whole batch through the worker pool, pipelining all
+    /// jobs at once and collecting results in request order. Every
+    /// request's `seed` is honored as given (use
+    /// [`AnonymizerServer::derive_seed`] for server-derived seeds), so a
+    /// batch is reproducible no matter how many workers serve it.
+    pub fn anonymize_batch(
+        &self,
+        requests: Vec<AnonymizeRequest>,
+    ) -> Vec<Result<AnonymizeReceipt, CloakError>> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Duplicated owners race on the stored record across workers;
+        // remember each such owner's last request so the record can be
+        // pinned to sequential (last-wins) semantics after the batch.
+        let mut per_owner = std::collections::HashMap::new();
+        for (i, r) in requests.iter().enumerate() {
+            let entry = per_owner.entry(r.owner.as_str()).or_insert((0usize, i));
+            entry.0 += 1;
+            entry.1 = i;
+        }
+        let reruns: Vec<AnonymizeRequest> = per_owner
+            .values()
+            .filter(|(count, _)| *count > 1)
+            .map(|&(_, last)| requests[last].clone())
+            .collect();
+        let (reply_tx, reply_rx) = bounded(n);
+        let submit = self.submit.as_ref().expect("server is running");
+        for (index, request) in requests.into_iter().enumerate() {
+            submit
+                .send(Job {
+                    request,
+                    reply: reply_tx.clone(),
+                    index,
+                })
+                .expect("workers are alive while the handle exists");
+        }
+        drop(reply_tx);
+        let mut results: Vec<Option<Result<AnonymizeReceipt, CloakError>>> =
+            (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (index, result) = reply_rx
+                .recv()
+                .expect("every job replies before its sender drops");
+            results[index] = Some(result);
+        }
+        // Pin stored records for duplicated owners (receipts are seeded,
+        // so the re-run reproduces the already-returned result exactly).
+        for r in reruns {
+            let _ = self
+                .service
+                .anonymize_seeded(&r.owner, r.segment, r.profile, r.seed);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every index received exactly one reply"))
+            .collect()
+    }
+
+    /// Shared access to the underlying service (for key fetches, record
+    /// inspection, and snapshot updates — all `&self`).
+    pub fn service(&self) -> Arc<AnonymizerService> {
         Arc::clone(&self.service)
     }
 
@@ -164,11 +261,7 @@ mod tests {
         let server = start(2);
         let receipt = server.anonymize("alice", SegmentId(10), None).unwrap();
         assert!(receipt.payload.region_size() >= 20);
-        assert!(server
-            .service()
-            .lock()
-            .owner_record("alice")
-            .is_some());
+        assert!(server.service().owner_record("alice").is_some());
         server.shutdown();
     }
 
@@ -196,9 +289,42 @@ mod tests {
         assert_eq!(ok, 16);
         // All records stored.
         let service = server.service();
-        let guard = service.lock();
         for i in 0..16 {
-            assert!(guard.owner_record(&format!("owner-{i}")).is_some());
+            assert!(service.owner_record(&format!("owner-{i}")).is_some());
+        }
+    }
+
+    #[test]
+    fn batch_runs_through_the_pool_in_order() {
+        let server = start(4);
+        let requests: Vec<AnonymizeRequest> = (0..32)
+            .map(|i| {
+                AnonymizeRequest::new(format!("owner-{i}"), SegmentId(i * 3 % 80), 500 + i as u64)
+            })
+            .collect();
+        let results = server.anonymize_batch(requests.clone());
+        assert_eq!(results.len(), 32);
+        let service = server.service();
+        for (req, result) in requests.iter().zip(&results) {
+            let receipt = result.as_ref().unwrap();
+            assert!(receipt.payload.contains(req.segment), "{}", req.owner);
+            // Order preserved: result i belongs to request i.
+            let stored = service.owner_record(&req.owner).unwrap();
+            assert_eq!(stored.payload, receipt.payload);
+        }
+    }
+
+    #[test]
+    fn batch_seeds_make_results_reproducible() {
+        let a = start(4);
+        let b = start(2);
+        let requests: Vec<AnonymizeRequest> = (0..8)
+            .map(|i| AnonymizeRequest::new(format!("o{i}"), SegmentId(i * 5 % 80), 900 + i as u64))
+            .collect();
+        let ra = a.anonymize_batch(requests.clone());
+        let rb = b.anonymize_batch(requests);
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.as_ref().unwrap().payload, y.as_ref().unwrap().payload);
         }
     }
 

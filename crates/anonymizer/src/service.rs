@@ -6,19 +6,44 @@
 //! stores each owner's keys and access-control profile locally ("managed
 //! locally by the 'Anonymizer'"), and hands out keys to requesters
 //! according to their trust degree.
+//!
+//! # Concurrency model
+//!
+//! The anonymization path is read-mostly: the road network, the built
+//! engine (including RPLE's pre-assigned tables), and the configuration
+//! are immutable after construction, and the traffic snapshot changes
+//! only on [`AnonymizerService::update_snapshot`]. The service is
+//! therefore built so the whole hot path works from `&self`:
+//!
+//! * immutable shared state ([`RoadNetwork`], [`Engine`],
+//!   [`AnonymizerConfig`]) is plain fields read through `&self`;
+//! * the occupancy snapshot sits behind an `RwLock<Arc<_>>` that readers
+//!   clone out of in O(1) — [`update_snapshot`] swaps the `Arc` without
+//!   blocking in-flight anonymizations;
+//! * the owner-record and requester-registry maps are sharded N ways by
+//!   key hash, each shard its own `RwLock`, so concurrent requests for
+//!   different owners never contend.
+//!
+//! Workers share the service via `Arc<AnonymizerService>`; no global
+//! lock exists anywhere on the anonymize path.
+//!
+//! [`update_snapshot`]: AnonymizerService::update_snapshot
 
 use crate::config::{AnonymizerConfig, EngineChoice};
 use cloak::{
     anonymize_with_retry, AnonymizationOutcome, CloakError, CloakPayload, PrivacyProfile,
     ReversibleEngine, RgeEngine, RpleEngine,
 };
-use keystream::{
-    AccessControlProfile, AccessError, Key256, KeyManager, Level, TrustDegree,
-};
+use keystream::{AccessControlProfile, AccessError, Key256, KeyManager, Level, TrustDegree};
 use mobisim::OccupancySnapshot;
-use rand::Rng;
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use roadnet::{RoadNetwork, SegmentId};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A built engine, either variant.
@@ -66,7 +91,107 @@ pub struct OwnerRecord {
     pub access: AccessControlProfile,
 }
 
+/// A hash-sharded `String → V` map: each shard is an independent
+/// `RwLock<HashMap>`, so operations on different keys rarely contend and
+/// readers never block readers.
+struct ShardedMap<V> {
+    shards: Vec<RwLock<HashMap<String, V>>>,
+}
+
+impl<V> ShardedMap<V> {
+    fn new(shard_count: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        ShardedMap {
+            shards: (0..shard_count)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, V>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Inserts or updates atomically under one shard write lock: `update`
+    /// runs when the key exists, `insert` builds the value otherwise.
+    fn upsert(&self, key: &str, update: impl FnOnce(&mut V), insert: impl FnOnce() -> V) {
+        let mut shard = self.shard(key).write();
+        match shard.get_mut(key) {
+            Some(v) => update(v),
+            None => {
+                shard.insert(key.to_string(), insert());
+            }
+        }
+    }
+
+    /// Inserts `value`, merging state from a previous entry under one
+    /// shard write lock when the key already exists.
+    fn insert_merging(&self, key: String, mut value: V, merge: impl FnOnce(&V, &mut V)) {
+        let mut shard = self.shard(&key).write();
+        if let Some(old) = shard.get(&key) {
+            merge(old, &mut value);
+        }
+        shard.insert(key, value);
+    }
+
+    fn get_cloned(&self, key: &str) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Runs `f` on the value under the shard's write lock.
+    fn update<T>(&self, key: &str, f: impl FnOnce(&mut V) -> T) -> Option<T> {
+        self.shard(key).write().get_mut(key).map(f)
+    }
+
+    /// Runs `f` on the value under the shard's read lock.
+    fn read<T>(&self, key: &str, f: impl FnOnce(&V) -> T) -> Option<T> {
+        self.shard(key).read().get(key).map(f)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+/// One anonymization request for [`AnonymizerService::anonymize_batch`].
+///
+/// The `seed` deterministically drives key generation and the nonce, so a
+/// batch run is bit-identical to sequential
+/// [`AnonymizerService::anonymize_seeded`] calls with the same seeds —
+/// results do not depend on how the batch was scheduled.
+#[derive(Debug, Clone)]
+pub struct AnonymizeRequest {
+    /// The owner identity.
+    pub owner: String,
+    /// The owner's true segment.
+    pub segment: SegmentId,
+    /// Per-request profile (`None` uses the configured default).
+    pub profile: Option<PrivacyProfile>,
+    /// Seed for key generation and the nonce.
+    pub seed: u64,
+}
+
+impl AnonymizeRequest {
+    /// A request with the default profile.
+    pub fn new(owner: impl Into<String>, segment: SegmentId, seed: u64) -> Self {
+        AnonymizeRequest {
+            owner: owner.into(),
+            segment,
+            profile: None,
+            seed,
+        }
+    }
+}
+
 /// The trusted anonymization service.
+///
+/// The whole anonymize path works from `&self`, so workers share one
+/// instance through an `Arc` with no external lock:
 ///
 /// ```
 /// use anonymizer::{AnonymizerConfig, AnonymizerService};
@@ -76,7 +201,7 @@ pub struct OwnerRecord {
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let net = grid_city(6, 6, 100.0);
 /// let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
-/// let mut service = AnonymizerService::new(net, AnonymizerConfig::default());
+/// let service = AnonymizerService::new(net, AnonymizerConfig::default());
 /// service.update_snapshot(snapshot);
 /// let receipt = service.anonymize_owner("alice", SegmentId(17), None, &mut rand::thread_rng())?;
 /// assert!(receipt.payload.region_size() >= 20);
@@ -87,8 +212,13 @@ pub struct AnonymizerService {
     net: Arc<RoadNetwork>,
     engine: Engine,
     config: AnonymizerConfig,
-    snapshot: OccupancySnapshot,
-    records: HashMap<String, OwnerRecord>,
+    snapshot: RwLock<Arc<OccupancySnapshot>>,
+    records: ShardedMap<OwnerRecord>,
+    /// Reverse index: requester → every owner that granted it access,
+    /// with the granted trust. Kept separate from the per-owner
+    /// access-control profiles so key-distribution decisions stay an
+    /// isolated, auditable layer.
+    requesters: ShardedMap<HashMap<String, TrustDegree>>,
 }
 
 /// What the owner gets back from an anonymization: the payload to upload
@@ -109,12 +239,14 @@ impl AnonymizerService {
         let net = Arc::new(net);
         let engine = Engine::build(&net, config.engine);
         let segment_count = net.segment_count();
+        let shards = config.shard_count;
         AnonymizerService {
             net,
             engine,
+            snapshot: RwLock::new(Arc::new(OccupancySnapshot::uniform(segment_count, 0))),
+            records: ShardedMap::new(shards),
+            requesters: ShardedMap::new(shards),
             config,
-            snapshot: OccupancySnapshot::uniform(segment_count, 0),
-            records: HashMap::new(),
         }
     }
 
@@ -138,20 +270,32 @@ impl AnonymizerService {
         &self.config
     }
 
-    /// Installs a fresh traffic snapshot (users per segment).
-    pub fn update_snapshot(&mut self, snapshot: OccupancySnapshot) {
-        self.snapshot = snapshot;
+    /// Installs a fresh traffic snapshot (users per segment) by swapping
+    /// the shared `Arc`; in-flight anonymizations keep reading the
+    /// snapshot they started with and are never blocked.
+    pub fn update_snapshot(&self, snapshot: OccupancySnapshot) {
+        *self.snapshot.write() = Arc::new(snapshot);
+    }
+
+    /// The snapshot currently served to new requests (O(1) `Arc` clone).
+    pub fn snapshot(&self) -> Arc<OccupancySnapshot> {
+        Arc::clone(&self.snapshot.read())
     }
 
     /// Anonymizes `owner`'s location with `profile` (or the default
     /// profile), auto-generating keys — the GUI's 'Auto key generation'.
     /// Stores the owner record for later key fetches.
     ///
+    /// Keys and nonce draw directly from the caller's `rng` at full
+    /// width, so key entropy is whatever the caller's generator provides
+    /// (256 bits per key with a CSPRNG). For pinned randomness use
+    /// [`anonymize_seeded`](Self::anonymize_seeded).
+    ///
     /// # Errors
     ///
     /// Propagates [`CloakError`] when the requirement cannot be met.
     pub fn anonymize_owner<R: Rng + ?Sized>(
-        &mut self,
+        &self,
         owner: &str,
         user_segment: SegmentId,
         profile: Option<PrivacyProfile>,
@@ -159,11 +303,50 @@ impl AnonymizerService {
     ) -> Result<AnonymizeReceipt, CloakError> {
         let profile = profile.unwrap_or_else(|| self.config.default_profile.clone());
         let keys = KeyManager::generate(profile.level_count(), rng);
-        let key_vec: Vec<Key256> = keys.iter().map(|(_, k)| k).collect();
         let nonce: u64 = rng.gen();
+        self.anonymize_with_keys(owner, user_segment, profile, keys, nonce)
+    }
+
+    /// Like [`anonymize_owner`](Self::anonymize_owner) with the request's
+    /// randomness pinned by `seed`: the same seed always generates the
+    /// same keys and nonce, which makes batch and sequential execution
+    /// bit-identical. Key entropy is bounded by the 64-bit seed — use
+    /// this for reproducible pipelines and experiments, and
+    /// [`anonymize_owner`](Self::anonymize_owner) with a strong RNG when
+    /// key secrecy matters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CloakError`] when the requirement cannot be met.
+    pub fn anonymize_seeded(
+        &self,
+        owner: &str,
+        user_segment: SegmentId,
+        profile: Option<PrivacyProfile>,
+        seed: u64,
+    ) -> Result<AnonymizeReceipt, CloakError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = profile.unwrap_or_else(|| self.config.default_profile.clone());
+        let keys = KeyManager::generate(profile.level_count(), &mut rng);
+        let nonce: u64 = rng.gen();
+        self.anonymize_with_keys(owner, user_segment, profile, keys, nonce)
+    }
+
+    /// The shared core: runs the cloak with the given keys and nonce and
+    /// stores the owner record.
+    fn anonymize_with_keys(
+        &self,
+        owner: &str,
+        user_segment: SegmentId,
+        profile: PrivacyProfile,
+        keys: KeyManager,
+        nonce: u64,
+    ) -> Result<AnonymizeReceipt, CloakError> {
+        let key_vec: Vec<Key256> = keys.iter().map(|(_, k)| k).collect();
+        let snapshot = self.snapshot();
         let (outcome, attempts) = anonymize_with_retry(
             &self.net,
-            &self.snapshot,
+            &snapshot,
             user_segment,
             &profile,
             &key_vec,
@@ -177,7 +360,13 @@ impl AnonymizerService {
             keys,
             access: AccessControlProfile::new(),
         };
-        self.records.insert(owner.to_string(), record);
+        // Re-anonymizing rotates payload and keys but keeps the owner's
+        // access-control profile, so existing requester grants (and the
+        // requester registry audit view) stay consistent.
+        self.records
+            .insert_merging(owner.to_string(), record, |old, new| {
+                new.access = old.access.clone();
+            });
         Ok(AnonymizeReceipt {
             payload: outcome.payload.clone(),
             attempts,
@@ -185,29 +374,148 @@ impl AnonymizerService {
         })
     }
 
-    /// The stored record for an owner.
-    pub fn owner_record(&self, owner: &str) -> Option<&OwnerRecord> {
-        self.records.get(owner)
+    /// Anonymizes a batch of requests, fanned across a scoped worker pool
+    /// in chunks. Results keep request order, and — because every request
+    /// carries its own seed — are identical to running
+    /// [`anonymize_seeded`](Self::anonymize_seeded) sequentially.
+    ///
+    /// Parallelism comes from
+    /// [`AnonymizerConfig::batch_parallelism`] (`0` = all available
+    /// cores).
+    pub fn anonymize_batch(
+        &self,
+        requests: &[AnonymizeRequest],
+    ) -> Vec<Result<AnonymizeReceipt, CloakError>> {
+        let workers = match self.config.batch_parallelism {
+            0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
+            n => n,
+        }
+        .min(requests.len().max(1));
+        if workers <= 1 || requests.len() <= 1 {
+            return requests
+                .iter()
+                .map(|r| self.anonymize_seeded(&r.owner, r.segment, r.profile.clone(), r.seed))
+                .collect();
+        }
+        // Chunked work-stealing: a shared cursor hands out runs of
+        // requests so threads stay busy even when per-request cost varies
+        // (RPLE retries, dense vs sparse regions).
+        let chunk = (requests.len() / (workers * 4)).clamp(1, 64);
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Option<Result<AnonymizeReceipt, CloakError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= requests.len() {
+                                return done;
+                            }
+                            let end = (start + chunk).min(requests.len());
+                            for (i, r) in requests[start..end].iter().enumerate() {
+                                done.push((
+                                    start + i,
+                                    self.anonymize_seeded(
+                                        &r.owner,
+                                        r.segment,
+                                        r.profile.clone(),
+                                        r.seed,
+                                    ),
+                                ));
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("batch worker never panics") {
+                    results[i] = Some(result);
+                }
+            }
+        });
+        // A batch may repeat an owner; parallel workers then race on the
+        // stored record. Re-run each duplicated owner's last request
+        // sequentially (seeded, so the receipt is unchanged) to pin the
+        // stored record to sequential semantics: last request wins.
+        let mut per_owner: HashMap<&str, (usize, usize)> = HashMap::new();
+        for (i, r) in requests.iter().enumerate() {
+            let entry = per_owner.entry(&r.owner).or_insert((0, i));
+            entry.0 += 1;
+            entry.1 = i;
+        }
+        for &(count, last) in per_owner.values() {
+            if count > 1 {
+                let r = &requests[last];
+                results[last] =
+                    Some(self.anonymize_seeded(&r.owner, r.segment, r.profile.clone(), r.seed));
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request index was claimed by exactly one worker"))
+            .collect()
     }
 
-    /// Registers a requester in an owner's access-control profile.
+    /// The stored record for an owner (a clone; records are shared across
+    /// shards and threads).
+    pub fn owner_record(&self, owner: &str) -> Option<OwnerRecord> {
+        self.records.get_cloned(owner)
+    }
+
+    /// Number of owners with stored records.
+    pub fn owner_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Registers a requester in an owner's access-control profile and in
+    /// the requester registry.
     ///
     /// Returns `false` when the owner is unknown.
     pub fn register_requester(
-        &mut self,
+        &self,
         owner: &str,
         requester: &str,
         trust: TrustDegree,
         floor: Level,
     ) -> bool {
-        match self.records.get_mut(owner) {
-            Some(rec) => {
+        // The registry upsert runs while the owner's record shard is
+        // still write-locked, so concurrent re-registrations of the same
+        // (owner, requester) pair cannot leave the audit view
+        // disagreeing with the access profile. Lock order is always
+        // records-shard → requesters-shard; nothing takes them the other
+        // way around.
+        self.records
+            .update(owner, |rec| {
                 rec.access.register_requester(requester, trust);
                 rec.access.set_trust_floor(trust, floor);
-                true
-            }
-            None => false,
-        }
+                self.requesters.upsert(
+                    requester,
+                    |grants| {
+                        grants.insert(owner.to_string(), trust);
+                    },
+                    || HashMap::from([(owner.to_string(), trust)]),
+                );
+            })
+            .is_some()
+    }
+
+    /// Audit view of the requester registry: every owner that granted
+    /// `requester` access, with the granted trust degree (unordered).
+    pub fn requester_grants(&self, requester: &str) -> Vec<(String, TrustDegree)> {
+        self.requesters
+            .read(requester, |grants| {
+                grants.iter().map(|(o, &t)| (o.clone(), t)).collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct requesters registered with any owner.
+    pub fn requester_count(&self) -> usize {
+        self.requesters.len()
     }
 
     /// A requester fetches the keys it is entitled to for an owner's
@@ -224,11 +532,9 @@ impl AnonymizerService {
         owner: &str,
         requester: &str,
     ) -> Result<Vec<(Level, Key256)>, AccessError> {
-        let rec = self
-            .records
-            .get(owner)
-            .ok_or_else(|| AccessError::UnknownRequester(format!("owner:{owner}")))?;
-        rec.access.keys_for(&rec.keys, requester)
+        self.records
+            .read(owner, |rec| rec.access.keys_for(&rec.keys, requester))
+            .unwrap_or_else(|| Err(AccessError::UnknownRequester(format!("owner:{owner}"))))
     }
 
     /// Per-level cumulative regions of an outcome, for rendering: level 0
@@ -264,6 +570,7 @@ impl std::fmt::Debug for AnonymizerService {
         f.debug_struct("AnonymizerService")
             .field("engine", &self.engine)
             .field("owners", &self.records.len())
+            .field("shards", &self.records.shards.len())
             .finish()
     }
 }
@@ -278,14 +585,14 @@ mod tests {
     fn service() -> AnonymizerService {
         let net = grid_city(7, 7, 100.0);
         let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
-        let mut s = AnonymizerService::new(net, AnonymizerConfig::default());
+        let s = AnonymizerService::new(net, AnonymizerConfig::default());
         s.update_snapshot(snapshot);
         s
     }
 
     #[test]
     fn anonymize_and_store_record() {
-        let mut s = service();
+        let s = service();
         let mut rng = StdRng::seed_from_u64(1);
         let receipt = s
             .anonymize_owner("alice", SegmentId(40), None, &mut rng)
@@ -296,11 +603,12 @@ mod tests {
         assert_eq!(rec.payload, receipt.payload);
         assert_eq!(rec.keys.level_count(), 3);
         assert!(s.owner_record("bob").is_none());
+        assert_eq!(s.owner_count(), 1);
     }
 
     #[test]
     fn key_fetch_respects_access_control() {
-        let mut s = service();
+        let s = service();
         let mut rng = StdRng::seed_from_u64(2);
         s.anonymize_owner("alice", SegmentId(40), None, &mut rng)
             .unwrap();
@@ -318,10 +626,120 @@ mod tests {
     }
 
     #[test]
+    fn requester_registry_tracks_grants() {
+        let s = service();
+        let mut rng = StdRng::seed_from_u64(7);
+        s.anonymize_owner("alice", SegmentId(40), None, &mut rng)
+            .unwrap();
+        s.anonymize_owner("bob", SegmentId(12), None, &mut rng)
+            .unwrap();
+        s.register_requester("alice", "police", TrustDegree(10), Level(0));
+        s.register_requester("bob", "police", TrustDegree(9), Level(1));
+        s.register_requester("alice", "friend", TrustDegree(5), Level(2));
+        // Re-registration updates in place rather than duplicating.
+        s.register_requester("alice", "police", TrustDegree(8), Level(1));
+
+        let mut grants = s.requester_grants("police");
+        grants.sort();
+        assert_eq!(
+            grants,
+            vec![
+                ("alice".to_string(), TrustDegree(8)),
+                ("bob".to_string(), TrustDegree(9)),
+            ]
+        );
+        assert_eq!(s.requester_grants("friend").len(), 1);
+        assert!(s.requester_grants("nobody").is_empty());
+        assert_eq!(s.requester_count(), 2);
+    }
+
+    #[test]
+    fn reanonymizing_rotates_keys_but_keeps_grants() {
+        let s = service();
+        let mut rng = StdRng::seed_from_u64(11);
+        s.anonymize_owner("alice", SegmentId(40), None, &mut rng)
+            .unwrap();
+        s.register_requester("alice", "police", TrustDegree(10), Level(0));
+        let old_keys = s.fetch_keys("alice", "police").unwrap();
+
+        // Fresh cloak for the same owner: payload and keys rotate, the
+        // access grant (and the registry audit view) survive.
+        s.anonymize_owner("alice", SegmentId(12), None, &mut rng)
+            .unwrap();
+        let new_keys = s.fetch_keys("alice", "police").unwrap();
+        assert_eq!(new_keys.len(), 3);
+        assert_ne!(old_keys, new_keys, "keys must rotate");
+        assert_eq!(
+            s.requester_grants("police"),
+            vec![("alice".to_string(), TrustDegree(10))]
+        );
+    }
+
+    #[test]
+    fn seeded_anonymization_is_deterministic() {
+        let s = service();
+        let a = s
+            .anonymize_seeded("alice", SegmentId(40), None, 1234)
+            .unwrap();
+        let b = s
+            .anonymize_seeded("alice", SegmentId(40), None, 1234)
+            .unwrap();
+        assert_eq!(a.payload, b.payload);
+        let c = s
+            .anonymize_seeded("alice", SegmentId(40), None, 1235)
+            .unwrap();
+        assert_ne!(a.payload.segments, c.payload.segments);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let s = service();
+        let requests: Vec<AnonymizeRequest> = (0..24)
+            .map(|i| {
+                AnonymizeRequest::new(format!("owner-{i}"), SegmentId(i * 3 % 80), 100 + i as u64)
+            })
+            .collect();
+        let batch = s.anonymize_batch(&requests);
+        for (req, result) in requests.iter().zip(&batch) {
+            let solo = s
+                .anonymize_seeded(&req.owner, req.segment, None, req.seed)
+                .unwrap();
+            assert_eq!(
+                result.as_ref().unwrap().payload,
+                solo.payload,
+                "{}",
+                req.owner
+            );
+        }
+        assert_eq!(s.owner_count(), 24);
+    }
+
+    #[test]
+    fn batch_reports_per_request_errors() {
+        let s = service();
+        let requests = vec![
+            AnonymizeRequest::new("good", SegmentId(10), 1),
+            AnonymizeRequest::new("bad", SegmentId(9999), 2),
+        ];
+        let results = s.anonymize_batch(&requests);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CloakError::UnknownSegment(_))));
+    }
+
+    #[test]
+    fn snapshot_swap_does_not_disturb_existing_handles() {
+        let s = service();
+        let before = s.snapshot();
+        s.update_snapshot(OccupancySnapshot::uniform(s.network().segment_count(), 9));
+        assert_eq!(before.users_on(SegmentId(0)), 1, "old handle unchanged");
+        assert_eq!(s.snapshot().users_on(SegmentId(0)), 9);
+    }
+
+    #[test]
     fn rple_engine_choice_builds() {
         let net = grid_city(5, 5, 100.0);
         let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
-        let mut s = AnonymizerService::new(
+        let s = AnonymizerService::new(
             net,
             AnonymizerConfig {
                 engine: EngineChoice::Rple { t_len: 8 },
@@ -339,7 +757,7 @@ mod tests {
 
     #[test]
     fn level_regions_are_monotone() {
-        let mut s = service();
+        let s = service();
         let mut rng = StdRng::seed_from_u64(4);
         let receipt = s
             .anonymize_owner("alice", SegmentId(30), None, &mut rng)

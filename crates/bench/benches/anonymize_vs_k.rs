@@ -6,8 +6,7 @@
 
 use bench::{World, DEFAULT_T};
 use cloak::{
-    anonymize_with_retry, random_expansion, LevelRequirement, PrivacyProfile, RgeEngine,
-    RpleEngine,
+    anonymize_with_retry, random_expansion, LevelRequirement, PrivacyProfile, RgeEngine, RpleEngine,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use keystream::KeyManager;

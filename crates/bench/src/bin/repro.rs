@@ -93,7 +93,11 @@ fn print_timed<F: FnOnce() -> bench::Table>(f: F) {
     let t0 = Instant::now();
     let table = f();
     println!("{table}");
-    println!("  ({} ran in {:.1} s)\n", table.id, t0.elapsed().as_secs_f64());
+    println!(
+        "  ({} ran in {:.1} s)\n",
+        table.id,
+        t0.elapsed().as_secs_f64()
+    );
 }
 
 fn usage() -> ! {

@@ -308,7 +308,13 @@ pub fn b4_preassign(world: &World, ts: &[usize]) -> Table {
     Table {
         id: "B4",
         title: "RPLE pre-assignment vs transition-list length T",
-        headers: vec!["T", "build ms", "memory MiB", "links placed", "links dropped"],
+        headers: vec![
+            "T",
+            "build ms",
+            "memory MiB",
+            "links placed",
+            "links dropped",
+        ],
         rows,
     }
 }
@@ -494,7 +500,8 @@ pub fn b7_quality_vs_k(world: &World, ks: &[u32], trials: usize) -> Table {
     }
     Table {
         id: "B7",
-        title: "relative anonymity (achieved/requested k) and relative spatial resolution vs k (RGE)",
+        title:
+            "relative anonymity (achieved/requested k) and relative spatial resolution vs k (RGE)",
         headers: vec!["k", "rel. anonymity", "rel. resolution", "succeeded"],
         rows,
     }
@@ -543,50 +550,6 @@ pub fn b8_overhead(world: &World, ks: &[u32], trials: usize) -> Table {
         title: "reversibility overhead: draw rounds per added segment (ablation)",
         headers: vec!["k", "RGE draws", "RGE voided", "RPLE draws", "RPLE voided"],
         rows,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn small_world_builds() {
-        let w = World::small(1);
-        assert!(w.occupied.len() > 100);
-        assert_eq!(w.snapshot.total_users(), 1500);
-        let sites = w.request_sites(10, 2);
-        assert_eq!(sites.len(), 10);
-        for s in sites {
-            assert!(w.snapshot.users_on(s) > 0);
-        }
-    }
-
-    #[test]
-    fn b1_on_small_world_has_expected_shape() {
-        let w = World::small(2);
-        let t = b1_anonymize_vs_k(&w, &[5, 10], 5);
-        assert_eq!(t.rows.len(), 2);
-        assert_eq!(t.headers.len(), t.rows[0].cells.len());
-        let text = t.to_string();
-        assert!(text.contains("B1"));
-    }
-
-    #[test]
-    fn b4_memory_grows_with_t() {
-        let w = World::small(3);
-        let t = b4_preassign(&w, &[4, 8]);
-        let m4: f64 = t.rows[0].cells[2].parse().unwrap();
-        let m8: f64 = t.rows[1].cells[2].parse().unwrap();
-        assert!(m8 > m4);
-    }
-
-    #[test]
-    fn b5_recovery_is_total() {
-        let w = World::small(4);
-        let t = b5_privacy(&w, 10, 60);
-        let recovery: f64 = t.rows[3].cells[1].parse().unwrap();
-        assert_eq!(recovery, 1.0);
     }
 }
 
@@ -723,5 +686,49 @@ pub fn b10_collision_ablation(world: &World, ks: &[u32], trials: usize) -> Table
             "RPLE mean cands",
         ],
         rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_world_builds() {
+        let w = World::small(1);
+        assert!(w.occupied.len() > 100);
+        assert_eq!(w.snapshot.total_users(), 1500);
+        let sites = w.request_sites(10, 2);
+        assert_eq!(sites.len(), 10);
+        for s in sites {
+            assert!(w.snapshot.users_on(s) > 0);
+        }
+    }
+
+    #[test]
+    fn b1_on_small_world_has_expected_shape() {
+        let w = World::small(2);
+        let t = b1_anonymize_vs_k(&w, &[5, 10], 5);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.headers.len(), t.rows[0].cells.len());
+        let text = t.to_string();
+        assert!(text.contains("B1"));
+    }
+
+    #[test]
+    fn b4_memory_grows_with_t() {
+        let w = World::small(3);
+        let t = b4_preassign(&w, &[4, 8]);
+        let m4: f64 = t.rows[0].cells[2].parse().unwrap();
+        let m8: f64 = t.rows[1].cells[2].parse().unwrap();
+        assert!(m8 > m4);
+    }
+
+    #[test]
+    fn b5_recovery_is_total() {
+        let w = World::small(4);
+        let t = b5_privacy(&w, 10, 60);
+        let recovery: f64 = t.rows[3].cells[1].parse().unwrap();
+        assert_eq!(recovery, 1.0);
     }
 }

@@ -40,9 +40,7 @@ pub fn peel_candidates(net: &RoadNetwork, region: &[SegmentId]) -> Vec<SegmentId
             .filter(|&(j, _)| j != i)
             .map(|(_, &x)| x)
             .collect();
-        if net.segments_connected(&rest)
-            && rest.iter().any(|&r| net.segments_adjacent(r, s))
-        {
+        if net.segments_connected(&rest) && rest.iter().any(|&r| net.segments_adjacent(r, s)) {
             out.push(s);
         }
     }
@@ -206,15 +204,8 @@ mod tests {
             .build()
             .unwrap();
         let engine = RgeEngine::new();
-        let (hit, predicted) = guess_success_rate(
-            &net,
-            &snapshot,
-            SegmentId(20),
-            &profile,
-            &engine,
-            400,
-            42,
-        );
+        let (hit, predicted) =
+            guess_success_rate(&net, &snapshot, SegmentId(20), &profile, &engine, 400, 42);
         // With k=8 and 1 user/segment, regions have 8 segments: predicted
         // success 1/8. Allow Monte-Carlo noise.
         assert!((predicted - 0.125).abs() < 0.01, "predicted {predicted}");
@@ -350,15 +341,8 @@ mod density_tests {
             .build()
             .unwrap();
         let engine = RgeEngine::new();
-        let adv = density_guess_success_rate(
-            &net,
-            &snapshot,
-            SegmentId(20),
-            &profile,
-            &engine,
-            300,
-            3,
-        );
+        let adv =
+            density_guess_success_rate(&net, &snapshot, SegmentId(20), &profile, &engine, 300, 3);
         assert!(
             (adv.hit_rate - adv.true_posterior_mass).abs() < 0.07,
             "hit {} vs posterior {}",
@@ -382,15 +366,8 @@ mod density_tests {
             .build()
             .unwrap();
         let engine = RgeEngine::new();
-        let adv = density_guess_success_rate(
-            &net,
-            &snapshot,
-            SegmentId(20),
-            &profile,
-            &engine,
-            200,
-            5,
-        );
+        let adv =
+            density_guess_success_rate(&net, &snapshot, SegmentId(20), &profile, &engine, 200, 5);
         // The posterior mass sits on the hotspot, which is NOT the user.
         assert!(adv.hit_rate < 0.2, "hit {}", adv.hit_rate);
         assert!(

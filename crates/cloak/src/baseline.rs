@@ -55,12 +55,8 @@ pub fn random_expansion<R: Rng + ?Sized>(
         let admissible: Vec<SegmentId> = cans
             .into_iter()
             .filter(|&c| {
-                req.tolerance.allows_extended(
-                    net,
-                    region.total_length(),
-                    region.bounding_box(),
-                    c,
-                )
+                req.tolerance
+                    .allows_extended(net, region.total_length(), region.bounding_box(), c)
             })
             .collect();
         if admissible.is_empty() {

@@ -116,8 +116,11 @@ impl<'a> DrawCache<'a> {
 
 /// A reversible cloaking engine (RGE or RPLE).
 ///
-/// The trait is object-safe so services can hold `&dyn ReversibleEngine`.
-pub trait ReversibleEngine {
+/// The trait is object-safe so services can hold `&dyn ReversibleEngine`,
+/// and requires `Send + Sync`: every step works from `&self`, so one
+/// engine instance (including RPLE's pre-assigned tables) serves all
+/// worker threads concurrently without locks.
+pub trait ReversibleEngine: Send + Sync {
     /// Human-readable algorithm name.
     fn name(&self) -> &'static str;
 
@@ -152,6 +155,7 @@ pub trait ReversibleEngine {
     ///
     /// Fails when no predecessor is consistent (wrong key or corrupted
     /// payload) or required hints are missing.
+    #[allow(clippy::too_many_arguments)]
     fn backward_step(
         &self,
         net: &RoadNetwork,
@@ -213,8 +217,7 @@ impl RgeEngine {
             let p = (rv % n as u64) as usize;
             let j = table.forward_col(i_s, p);
             let cand = table.cols()[j];
-            if !tolerance.allows_extended(net, region.total_length(), region.bounding_box(), cand)
-            {
+            if !tolerance.allows_extended(net, region.total_length(), region.bounding_box(), cand) {
                 continue;
             }
             return Some((r, cand));
@@ -249,9 +252,8 @@ impl ReversibleEngine for RgeEngine {
             .row_of(net, last)
             .expect("chain anchor must be in the region");
         let mut cache = DrawCache::new(stream);
-        let (round, cand) =
-            Self::simulate_row(net, region, &table, tolerance, &mut cache, i0)
-                .ok_or(StepFailure::RedrawBudgetExhausted)?;
+        let (round, cand) = Self::simulate_row(net, region, &table, tolerance, &mut cache, i0)
+            .ok_or(StepFailure::RedrawBudgetExhausted)?;
         let band = i0 / table.col_count();
         Ok(StepAccept {
             segment: cand,
@@ -392,8 +394,7 @@ impl RpleEngine {
                 Some(c) if !region.contains(c) => c,
                 _ => continue,
             };
-            if !tolerance.allows_extended(net, region.total_length(), region.bounding_box(), cand)
-            {
+            if !tolerance.allows_extended(net, region.total_length(), region.bounding_box(), cand) {
                 continue;
             }
             return Some((r, cand));
@@ -471,9 +472,7 @@ impl ReversibleEngine for RpleEngine {
         // expected round: two anchors accepting at the same round would
         // need the same `BT[removed]` cell (the pre-assignment duality).
         for s in self.hypotheses(region, removed) {
-            if let Some((r, cand)) =
-                self.simulate_anchor(net, region, tolerance, &mut cache, s)
-            {
+            if let Some((r, cand)) = self.simulate_anchor(net, region, tolerance, &mut cache, s) {
                 if cand == removed && r as u32 + 1 == expected_round {
                     return Ok(s);
                 }
@@ -680,7 +679,10 @@ mod tests {
                 ok += 1;
             }
         }
-        assert!(ok >= 45, "too many dead-ended walks under tolerance: {ok}/60");
+        assert!(
+            ok >= 45,
+            "too many dead-ended walks under tolerance: {ok}/60"
+        );
     }
 
     #[test]
@@ -760,8 +762,12 @@ mod tests {
                 Err(_) => break,
             }
         }
-        let expected: Vec<SegmentId> =
-            chain[..7].iter().rev().copied().chain([SegmentId(20)]).collect();
+        let expected: Vec<SegmentId> = chain[..7]
+            .iter()
+            .rev()
+            .copied()
+            .chain([SegmentId(20)])
+            .collect();
         assert_ne!(recovered, expected, "wrong key must not reverse the chain");
     }
 

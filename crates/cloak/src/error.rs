@@ -69,7 +69,10 @@ impl fmt::Display for StepFailure {
         match self {
             StepFailure::NoCandidates => write!(f, "no candidate segments on the frontier"),
             StepFailure::RedrawBudgetExhausted => {
-                write!(f, "redraw budget exhausted (tolerance or collision avoidance)")
+                write!(
+                    f,
+                    "redraw budget exhausted (tolerance or collision avoidance)"
+                )
             }
             StepFailure::StepLimit => write!(f, "step limit reached"),
             StepFailure::Collision => {
@@ -158,6 +161,8 @@ mod tests {
         .to_string()
         .contains("step 4"));
         assert!(StepFailure::StepLimit.to_string().contains("limit"));
-        assert!(StepFailure::RedrawBudgetExhausted.to_string().contains("redraw"));
+        assert!(StepFailure::RedrawBudgetExhausted
+            .to_string()
+            .contains("redraw"));
     }
 }

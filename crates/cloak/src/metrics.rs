@@ -155,10 +155,7 @@ mod tests {
         let net = grid_city(6, 6, 100.0);
         let snapshot = OccupancySnapshot::uniform(net.segment_count(), 2);
         let profile = PrivacyProfile::builder()
-            .level(
-                LevelRequirement::with_k(10)
-                    .tolerance(SpatialTolerance::TotalLength(5000.0)),
-            )
+            .level(LevelRequirement::with_k(10).tolerance(SpatialTolerance::TotalLength(5000.0)))
             .build()
             .unwrap();
         let keys = vec![Key256::from_seed(1)];

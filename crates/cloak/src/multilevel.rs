@@ -98,18 +98,12 @@ fn tag_context(level: Level, nonce: u64) -> Vec<u8> {
 
 fn xor_hints(key: Key256, algorithm: u8, level: Level, nonce: u64, hints: &[u32]) -> Vec<u32> {
     let mut ks = DrawStream::new(key, &hint_context(algorithm, level, nonce));
-    hints
-        .iter()
-        .map(|&h| h ^ (ks.next_u64() as u32))
-        .collect()
+    hints.iter().map(|&h| h ^ (ks.next_u64() as u32)).collect()
 }
 
 fn xor_rounds(key: Key256, algorithm: u8, level: Level, nonce: u64, rounds: &[u32]) -> Vec<u32> {
     let mut ks = DrawStream::new(key, &round_context(algorithm, level, nonce));
-    rounds
-        .iter()
-        .map(|&r| r ^ (ks.next_u64() as u32))
-        .collect()
+    rounds.iter().map(|&r| r ^ (ks.next_u64() as u32)).collect()
 }
 
 /// Anonymizes `user_segment` under `profile`, driving level `Li` with
@@ -164,8 +158,7 @@ pub fn anonymize(
                 });
             }
             let step = added + 1;
-            let mut stream =
-                DrawStream::new(key, &step_context(algorithm, level, step, nonce));
+            let mut stream = DrawStream::new(key, &step_context(algorithm, level, step, nonce));
             let accept = engine
                 .forward_step(net, &region, last, &mut stream, &req.tolerance)
                 .map_err(|reason| CloakError::CloakingFailed { level, reason })?;
@@ -234,13 +227,15 @@ pub fn anonymize_with_retry(
         let derived = nonce.wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         match anonymize(net, snapshot, user_segment, profile, keys, derived, engine) {
             Ok(out) => return Ok((out, attempt + 1)),
-            Err(e @ CloakError::CloakingFailed {
-                reason:
-                    crate::error::StepFailure::NoCandidates
-                    | crate::error::StepFailure::RedrawBudgetExhausted
-                    | crate::error::StepFailure::Collision,
-                ..
-            }) => last_err = Some(e),
+            Err(
+                e @ CloakError::CloakingFailed {
+                    reason:
+                        crate::error::StepFailure::NoCandidates
+                        | crate::error::StepFailure::RedrawBudgetExhausted
+                        | crate::error::StepFailure::Collision,
+                    ..
+                },
+            ) => last_err = Some(e),
             Err(e) => return Err(e),
         }
     }
@@ -326,8 +321,20 @@ pub fn deanonymize(
 
         // Decrypt the level's round numbers and quotient hints, then walk
         // backward.
-        let rounds = xor_rounds(key, payload.algorithm, level, payload.nonce, &meta.enc_rounds);
-        let hints = xor_hints(key, payload.algorithm, level, payload.nonce, &meta.enc_hints);
+        let rounds = xor_rounds(
+            key,
+            payload.algorithm,
+            level,
+            payload.nonce,
+            &meta.enc_rounds,
+        );
+        let hints = xor_hints(
+            key,
+            payload.algorithm,
+            level,
+            payload.nonce,
+            &meta.enc_hints,
+        );
         let mut hint_stack = HintStack::new(hints);
         let mut current = last;
         for t in (1..=meta.count).rev() {
@@ -436,8 +443,7 @@ mod tests {
         let (net, snapshot, profile, mgr) = setup();
         let engine = RgeEngine::new();
         let user = SegmentId(30);
-        let out = anonymize(&net, &snapshot, user, &profile, &keys_of(&mgr), 11, &engine)
-            .unwrap();
+        let out = anonymize(&net, &snapshot, user, &profile, &keys_of(&mgr), 11, &engine).unwrap();
 
         // Reconstruct intermediate region sets from the secret chain.
         let counts: Vec<u32> = out.payload.levels.iter().map(|l| l.count).collect();
@@ -579,23 +585,12 @@ mod tests {
         let (net, snapshot, _, mgr) = setup();
         let engine = RgeEngine::new();
         let profile = PrivacyProfile::builder()
-            .level(
-                LevelRequirement::with_k(10)
-                    .tolerance(SpatialTolerance::TotalLength(150.0)),
-            )
+            .level(LevelRequirement::with_k(10).tolerance(SpatialTolerance::TotalLength(150.0)))
             .build()
             .unwrap();
         let keys: Vec<Key256> = mgr.iter().map(|(_, k)| k).take(1).collect();
-        let err = anonymize(
-            &net,
-            &snapshot,
-            SegmentId(0),
-            &profile,
-            &keys,
-            1,
-            &engine,
-        )
-        .unwrap_err();
+        let err =
+            anonymize(&net, &snapshot, SegmentId(0), &profile, &keys, 1, &engine).unwrap_err();
         assert!(matches!(err, CloakError::CloakingFailed { .. }), "{err}");
     }
 
@@ -655,16 +650,7 @@ mod tests {
             .build()
             .unwrap();
         let keys: Vec<Key256> = mgr.iter().map(|(_, k)| k).take(2).collect();
-        let out = anonymize(
-            &net,
-            &snapshot,
-            SegmentId(0),
-            &profile,
-            &keys,
-            1,
-            &engine,
-        )
-        .unwrap();
+        let out = anonymize(&net, &snapshot, SegmentId(0), &profile, &keys, 1, &engine).unwrap();
         assert_eq!(out.payload.levels[0].count, 0);
         assert_eq!(out.payload.levels[1].count, 0);
         assert_eq!(out.payload.region_size(), 1);
@@ -763,10 +749,8 @@ pub fn ambiguity_profile(
             let removed = outcome.chain[chain_end - 1];
             chain_end -= 1;
             region.remove(net, removed);
-            let mut stream = DrawStream::new(
-                key,
-                &step_context(algorithm, level, t, payload.nonce),
-            );
+            let mut stream =
+                DrawStream::new(key, &step_context(algorithm, level, t, payload.nonce));
             let count = engine.ambiguous_predecessors(
                 net,
                 &region,

@@ -184,12 +184,7 @@ mod tests {
         assert_eq!(tables.dropped_links(), 0);
         // Every neighbor pair appears in FT.
         for s in net.segment_ids() {
-            let placed: Vec<SegmentId> = tables
-                .forward_list(s)
-                .iter()
-                .flatten()
-                .copied()
-                .collect();
+            let placed: Vec<SegmentId> = tables.forward_list(s).iter().flatten().copied().collect();
             for n in net.neighbor_segments(s) {
                 assert!(placed.contains(&n), "missing link {s}->{n}");
             }

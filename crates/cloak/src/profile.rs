@@ -266,10 +266,7 @@ mod tests {
         let small = net.segments_bounding_box([SegmentId(0)]);
         assert!(t.allows(&net, 9999.0, &small));
         // A candidate far away blows the diagonal.
-        let far = net
-            .segment_ids()
-            .last()
-            .expect("grid has segments");
+        let far = net.segment_ids().last().expect("grid has segments");
         assert!(!t.allows_extended(&net, 0.0, &small, far));
     }
 

@@ -34,7 +34,10 @@ impl TransitionTable {
     /// Panics if either list is empty.
     pub fn from_sorted(rows: Vec<SegmentId>, cols: Vec<SegmentId>) -> Self {
         assert!(!rows.is_empty(), "transition table needs at least one row");
-        assert!(!cols.is_empty(), "transition table needs at least one column");
+        assert!(
+            !cols.is_empty(),
+            "transition table needs at least one column"
+        );
         TransitionTable { rows, cols }
     }
 
@@ -157,9 +160,9 @@ mod tests {
         // paper's ((i−1)+(j−1)) mod |CanA| in 1-based indexing.
         let t = table(3, 3);
         let expect = [[0, 1, 2], [1, 2, 0], [2, 0, 1]];
-        for i in 0..3 {
-            for j in 0..3 {
-                assert_eq!(t.value(i, j), expect[i][j]);
+        for (i, row) in expect.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(t.value(i, j), v);
             }
         }
     }

@@ -219,6 +219,8 @@ mod tests {
         assert!(AccessError::UnknownRequester("x".into())
             .to_string()
             .contains('x'));
-        assert!(AccessError::NotEntitled("y".into()).to_string().contains('y'));
+        assert!(AccessError::NotEntitled("y".into())
+            .to_string()
+            .contains('y'));
     }
 }

@@ -156,10 +156,7 @@ mod tests {
 
     #[test]
     fn from_hex_rejects_bad_input() {
-        assert_eq!(
-            Key256::from_hex("abcd"),
-            Err(ParseKeyError::WrongLength(4))
-        );
+        assert_eq!(Key256::from_hex("abcd"), Err(ParseKeyError::WrongLength(4)));
         let bad = "zz".repeat(32);
         assert_eq!(
             Key256::from_hex(&bad),

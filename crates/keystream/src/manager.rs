@@ -152,10 +152,7 @@ mod tests {
         assert!(mgr.key_for(Level(0)).is_err());
         assert!(mgr.key_for(Level(1)).is_ok());
         assert!(mgr.key_for(Level(3)).is_ok());
-        assert_eq!(
-            mgr.key_for(Level(4)),
-            Err(KeyError::NoSuchLevel(Level(4)))
-        );
+        assert_eq!(mgr.key_for(Level(4)), Err(KeyError::NoSuchLevel(Level(4))));
         assert_eq!(mgr.top_level(), Level(3));
     }
 

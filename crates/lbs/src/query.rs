@@ -118,7 +118,9 @@ fn poi_distance(
     }
     let seg = net.segment(poi.segment);
     let via_a = dist.get(&seg.a()).map(|d| d + poi.offset);
-    let via_b = dist.get(&seg.b()).map(|d| d + (seg.length() - poi.offset).max(0.0));
+    let via_b = dist
+        .get(&seg.b())
+        .map(|d| d + (seg.length() - poi.offset).max(0.0));
     match (via_a, via_b) {
         (Some(a), Some(b)) => Some(a.min(b)),
         (Some(a), None) => Some(a),
@@ -178,11 +180,7 @@ pub fn nearest_query(
             .filter(|p| p.category == category)
             .filter_map(|p| poi_distance(net, &dist, region, p).map(|d| (d, *p)))
             .collect();
-        if let Some(d_star) = with_d
-            .iter()
-            .map(|(d, _)| *d)
-            .min_by(|a, b| a.total_cmp(b))
-        {
+        if let Some(d_star) = with_d.iter().map(|(d, _)| *d).min_by(|a, b| a.total_cmp(b)) {
             let bound = d_star + diameter;
             if bound <= limit {
                 with_d.retain(|(d, _)| *d <= bound);
@@ -239,16 +237,19 @@ mod tests {
         let store = store_with(
             &net,
             &[
-                (0, 50.0, PoiCategory::GasStation), // on the region itself
-                (2, 50.0, PoiCategory::GasStation), // a block away
+                (0, 50.0, PoiCategory::GasStation),  // on the region itself
+                (2, 50.0, PoiCategory::GasStation),  // a block away
                 (39, 50.0, PoiCategory::GasStation), // far corner
-                (2, 10.0, PoiCategory::Restaurant), // wrong category
+                (2, 10.0, PoiCategory::Restaurant),  // wrong category
             ],
         );
         let region = vec![SegmentId(0)];
         let near = range_query(&net, &store, &region, PoiCategory::GasStation, 150.0);
         assert_eq!(near.len(), 2, "{:?}", near.candidates);
-        assert!(near.candidates.iter().all(|p| p.category == PoiCategory::GasStation));
+        assert!(near
+            .candidates
+            .iter()
+            .all(|p| p.category == PoiCategory::GasStation));
         // Radius 0: only on-region POIs.
         let zero = range_query(&net, &store, &region, PoiCategory::GasStation, 0.0);
         assert_eq!(zero.len(), 1);

@@ -6,7 +6,7 @@
 
 use rand::Rng;
 use rand_distr_shim::sample_standard_normal;
-use roadnet::{RoadNetwork, SegmentIndex, SegmentId};
+use roadnet::{RoadNetwork, SegmentId, SegmentIndex};
 
 /// How initial car positions are drawn.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -146,10 +146,7 @@ mod tests {
         let net = grid_city(5, 5, 100.0);
         let index = SegmentIndex::build(&net, 100.0);
         let mut rng = StdRng::seed_from_u64(2);
-        for model in [
-            PlacementModel::default(),
-            PlacementModel::UniformByLength,
-        ] {
+        for model in [PlacementModel::default(), PlacementModel::UniformByLength] {
             for (seg, off) in place_cars(&net, &index, model, 500, &mut rng) {
                 assert!(off >= 0.0 && off <= net.segment(seg).length() + 1e-9);
             }
@@ -161,9 +158,14 @@ mod tests {
         let net = grid_city(6, 6, 100.0);
         let index = SegmentIndex::build(&net, 100.0);
         let mut rng = StdRng::seed_from_u64(3);
-        let placements = place_cars(&net, &index, PlacementModel::UniformByLength, 3000, &mut rng);
-        let distinct: std::collections::HashSet<_> =
-            placements.iter().map(|(s, _)| *s).collect();
+        let placements = place_cars(
+            &net,
+            &index,
+            PlacementModel::UniformByLength,
+            3000,
+            &mut rng,
+        );
+        let distinct: std::collections::HashSet<_> = placements.iter().map(|(s, _)| *s).collect();
         // 60 segments, 3000 cars: expect nearly all segments hit.
         assert!(distinct.len() > net.segment_count() * 9 / 10);
     }

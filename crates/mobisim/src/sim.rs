@@ -209,7 +209,11 @@ mod tests {
     #[test]
     fn cars_actually_move() {
         let mut sim = small_sim(100, 4);
-        let before: Vec<_> = sim.cars().iter().map(|c| (c.segment(), c.position().offset)).collect();
+        let before: Vec<_> = sim
+            .cars()
+            .iter()
+            .map(|c| (c.segment(), c.position().offset))
+            .collect();
         sim.run(30, 10.0);
         let moved = sim
             .cars()

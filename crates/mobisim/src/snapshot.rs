@@ -219,7 +219,7 @@ mod window_tests {
     #[test]
     fn windowed_capture_never_below_instant() {
         let net = grid_city(5, 5, 100.0);
-        let mut sim = Simulation::new(
+        let sim = Simulation::new(
             net,
             SimConfig {
                 cars: 150,

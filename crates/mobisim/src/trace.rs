@@ -83,7 +83,11 @@ impl Trace {
             .filter(|s| s.car == car)
             .copied()
             .collect();
-        t.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal));
+        t.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         t
     }
 
@@ -201,6 +205,8 @@ mod tests {
     fn read_rejects_malformed() {
         assert!(Trace::read_from("1.0 2 3".as_bytes()).is_err());
         assert!(Trace::read_from("x y z w".as_bytes()).is_err());
-        assert!(Trace::read_from("# only comments\n".as_bytes()).unwrap().is_empty());
+        assert!(Trace::read_from("# only comments\n".as_bytes())
+            .unwrap()
+            .is_empty());
     }
 }

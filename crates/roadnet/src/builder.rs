@@ -234,6 +234,9 @@ mod tests {
             BuildError::SelfLoop(JunctionId(3)).to_string(),
             "self-loop at junction j3"
         );
-        assert_eq!(BuildError::EmptyNetwork.to_string(), "network has no junctions");
+        assert_eq!(
+            BuildError::EmptyNetwork.to_string(),
+            "network has no junctions"
+        );
     }
 }

@@ -70,14 +70,13 @@ pub fn radial_city(rings: usize, spokes: usize, ring_spacing: f64) -> RoadNetwor
     }
     // Ring roads.
     for ids in &ring_ids {
-        for k in 0..spokes {
-            b.add_segment(ids[k], ids[(k + 1) % spokes])
-                .expect("ring edge");
+        for (k, &id) in ids.iter().enumerate() {
+            b.add_segment(id, ids[(k + 1) % spokes]).expect("ring edge");
         }
     }
     // Spokes: center -> ring1 -> ring2 -> ...
-    for k in 0..spokes {
-        b.add_segment(center, ring_ids[0][k]).expect("spoke edge");
+    for (k, &first) in ring_ids[0].iter().enumerate() {
+        b.add_segment(center, first).expect("spoke edge");
         for ring in 1..rings {
             b.add_segment(ring_ids[ring - 1][k], ring_ids[ring][k])
                 .expect("spoke edge");
@@ -169,10 +168,13 @@ pub fn irregular_city(cfg: &IrregularConfig) -> RoadNetwork {
                 edges.push((a, index_of(r + 1, c)));
             }
             // Diagonal arterial with 30% probability.
-            if c + 1 < cols && r + 1 < rows && index_of(r + 1, c + 1) < cfg.junctions
-                && rng.gen_bool(0.3) {
-                    edges.push((a, index_of(r + 1, c + 1)));
-                }
+            if c + 1 < cols
+                && r + 1 < rows
+                && index_of(r + 1, c + 1) < cfg.junctions
+                && rng.gen_bool(0.3)
+            {
+                edges.push((a, index_of(r + 1, c + 1)));
+            }
         }
     }
     assert!(

@@ -382,7 +382,10 @@ mod tests {
         let net = triangle_with_tail();
         assert_eq!(net.junction_count(), 4);
         assert_eq!(net.segment_count(), 4);
-        assert_eq!(net.segment(SegmentId(0)).endpoints(), (JunctionId(0), JunctionId(1)));
+        assert_eq!(
+            net.segment(SegmentId(0)).endpoints(),
+            (JunctionId(0), JunctionId(1))
+        );
         assert!(net.get_segment(SegmentId(99)).is_none());
         assert!(net.get_junction(JunctionId(99)).is_none());
     }
@@ -445,7 +448,10 @@ mod tests {
             assert_eq!(seg.other_endpoint(seg.a()), Some(seg.b()));
             assert_eq!(seg.other_endpoint(seg.b()), Some(seg.a()));
         }
-        assert_eq!(net.segment(SegmentId(0)).other_endpoint(JunctionId(3)), None);
+        assert_eq!(
+            net.segment(SegmentId(0)).other_endpoint(JunctionId(3)),
+            None
+        );
     }
 
     #[test]

@@ -150,16 +150,11 @@ impl SegmentIndex {
 
 /// The cells on the square ring at Chebyshev distance `ring` from `(pc,
 /// pr)`, clipped to the grid.
-fn ring_cells(
-    pc: usize,
-    pr: usize,
-    ring: usize,
-    cols: usize,
-    rows: usize,
-) -> Vec<(usize, usize)> {
+fn ring_cells(pc: usize, pr: usize, ring: usize, cols: usize, rows: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let (pc, pr, ring) = (pc as isize, pr as isize, ring as isize);
-    let inside = |c: isize, r: isize| c >= 0 && r >= 0 && (c as usize) < cols && (r as usize) < rows;
+    let inside =
+        |c: isize, r: isize| c >= 0 && r >= 0 && (c as usize) < cols && (r as usize) < rows;
     if ring == 0 {
         if inside(pc, pr) {
             out.push((pc as usize, pr as usize));

@@ -123,7 +123,10 @@ pub fn read_map<R: BufRead>(r: R) -> Result<RoadNetwork, MapFormatError> {
                 if assigned.0 != id {
                     return Err(MapFormatError::Parse(
                         lineno,
-                        format!("junction ids must be dense and ordered: expected {}, got {id}", assigned.0),
+                        format!(
+                            "junction ids must be dense and ordered: expected {}, got {id}",
+                            assigned.0
+                        ),
                     ));
                 }
             }
@@ -239,7 +242,9 @@ mod tests {
     fn rejects_missing_fields_and_bad_numbers() {
         assert!(read_map("junction 0 1\n".as_bytes()).is_err());
         assert!(read_map("junction 0 x y\n".as_bytes()).is_err());
-        assert!(read_map("junction 0 0 0\njunction 1 1 0\nsegment 0 0 1 banana\n".as_bytes()).is_err());
+        assert!(
+            read_map("junction 0 0 0\njunction 1 1 0\nsegment 0 0 1 banana\n".as_bytes()).is_err()
+        );
     }
 
     #[test]

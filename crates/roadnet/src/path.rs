@@ -254,7 +254,10 @@ mod tests {
     #[test]
     fn segment_hops_on_grid() {
         let net = grid_city(3, 3, 100.0);
-        assert_eq!(segment_hop_distance(&net, SegmentId(0), SegmentId(0)), Some(0));
+        assert_eq!(
+            segment_hop_distance(&net, SegmentId(0), SegmentId(0)),
+            Some(0)
+        );
         for nb in net.neighbor_segments(SegmentId(0)) {
             assert_eq!(segment_hop_distance(&net, SegmentId(0), nb), Some(1));
         }

@@ -120,7 +120,11 @@ mod tests {
         assert_eq!(st.segments, 9187);
         assert_eq!(st.components, 1);
         // Mean degree of a street network sits between 2 and 4.
-        assert!(st.mean_degree > 2.0 && st.mean_degree < 4.0, "{}", st.mean_degree);
+        assert!(
+            st.mean_degree > 2.0 && st.mean_degree < 4.0,
+            "{}",
+            st.mean_degree
+        );
         assert!(st.mean_segment_length > 50.0 && st.mean_segment_length < 400.0);
     }
 

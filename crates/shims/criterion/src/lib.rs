@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate: a small wall-clock
+//! benchmark harness with the `Criterion` / `BenchmarkGroup` /
+//! `Bencher` / `BenchmarkId` surface the workspace's benches use. It
+//! warms up, measures for the configured time, and prints mean time per
+//! iteration (no statistical analysis or HTML reports). Swap back to the
+//! real crate by editing the manifests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+            warm_up_time: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let (mean_ns, iters) = run_one(
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            &mut f,
+        );
+        report(name, mean_ns, iters);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    warm_up_time: Option<Duration>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let (mean_ns, iters) = run_one(
+            self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            &mut |b| f(b, input),
+        );
+        report(&format!("{}/{}", self.name, id), mean_ns, iters);
+        self
+    }
+
+    /// Benchmarks `f` without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let (mean_ns, iters) = run_one(
+            self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            &mut f,
+        );
+        report(&format!("{}/{}", self.name, id), mean_ns, iters);
+        self
+    }
+
+    /// Ends the group (printing is already done per-bench).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the closure's `iter` loops for warm-up then measurement; returns
+/// (mean ns/iter, total measured iterations).
+fn run_one<F: FnMut(&mut Bencher)>(
+    warm_up: Duration,
+    measure: Duration,
+    _sample_size: usize,
+    f: &mut F,
+) -> (f64, u64) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    // Warm-up.
+    let t0 = Instant::now();
+    while t0.elapsed() < warm_up {
+        f(&mut b);
+    }
+    // Measurement.
+    b.elapsed = Duration::ZERO;
+    b.iters = 0;
+    let t0 = Instant::now();
+    while t0.elapsed() < measure || b.iters == 0 {
+        f(&mut b);
+    }
+    let mean = if b.iters == 0 {
+        0.0
+    } else {
+        b.elapsed.as_secs_f64() * 1e9 / b.iters as f64
+    };
+    (mean, b.iters)
+}
+
+fn report(label: &str, mean_ns: f64, iters: u64) {
+    let (value, unit) = if mean_ns >= 1e9 {
+        (mean_ns / 1e9, "s")
+    } else if mean_ns >= 1e6 {
+        (mean_ns / 1e6, "ms")
+    } else if mean_ns >= 1e3 {
+        (mean_ns / 1e3, "µs")
+    } else {
+        (mean_ns, "ns")
+    };
+    println!("{label:<48} time: {value:>10.3} {unit}/iter  ({iters} iters)");
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one batch of calls to `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates() {
+        let mut c = Criterion {
+            sample_size: 5,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("RGE", 5).to_string(), "RGE/5");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate. The workspace derives
+//! `Serialize`/`Deserialize` on its public types but never feeds them to
+//! a serde *format* (the wire codecs are hand-rolled), so marker traits
+//! with blanket impls and no-op derives are sufficient. Swap back to the
+//! real crate by editing the manifests.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (blanket-implemented).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`: the `serde` shim's traits are
+//! blanket-implemented, so these derives only need to exist — they emit
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]` (the shim trait is blanket-implemented).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]` (the shim trait is blanket-implemented).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example anonymizer_toolkit`
 //! Writes `target/anonymizer_toolkit.svg`.
 
-use anonymizer::{render_regions, render_svg, AnonymizerConfig, AnonymizerService, Deanonymizer, Engine};
+use anonymizer::{
+    render_regions, render_svg, AnonymizerConfig, AnonymizerService, Deanonymizer, Engine,
+};
 use reversecloak::prelude::*;
 use std::time::Instant;
 
@@ -46,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The owner is car 0; the Anonymizer service cloaks its segment.
     let user_segment = sim.cars()[0].segment();
-    let mut service = AnonymizerService::new(sim.network().clone(), AnonymizerConfig::default());
+    let service = AnonymizerService::new(sim.network().clone(), AnonymizerConfig::default());
     service.update_snapshot(snapshot);
     let mut rng = rand::thread_rng();
     let t0 = Instant::now();
@@ -69,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ASCII zoom into the cloaked neighborhood.
     let zoom = zoom_network(service.network(), &receipt.payload.segments, 3);
     println!("\ncloaked neighborhood (ASCII zoom):");
-    println!("{}", render_regions(&zoom.0, &remap(&regions, &zoom.1), 100, 34));
+    println!(
+        "{}",
+        render_regions(&zoom.0, &remap(&regions, &zoom.1), 100, 34)
+    );
     println!("{}", anonymizer::legend(receipt.payload.levels.len()));
 
     // The De-anonymizer side: a fully-trusted requester peels to L0.

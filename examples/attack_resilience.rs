@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(dev < 0.05);
 
     // 3. Posterior entropy of one concrete cloak.
-    let keys: Vec<Key256> = KeyManager::from_seed(2, 77).iter().map(|(_, k)| k).collect();
+    let keys: Vec<Key256> = KeyManager::from_seed(2, 77)
+        .iter()
+        .map(|(_, k)| k)
+        .collect();
     let out = cloak::anonymize(&net, &snapshot, user, &profile, &keys, 9, &engine)?;
     let entropy = attack::l0_posterior_entropy(&out.payload.segments);
     println!(
@@ -57,7 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. With the key: exact recovery.
     let manager = KeyManager::from_seed(2, 77);
-    let view = cloak::deanonymize(&net, &out.payload, &manager.keys_down_to(Level(0))?, &engine)?;
+    let view = cloak::deanonymize(
+        &net,
+        &out.payload,
+        &manager.keys_down_to(Level(0))?,
+        &engine,
+    )?;
     assert_eq!(view.segments, vec![user]);
     println!("with the keys: exact segment recovered ({user}), error = 0");
 

@@ -32,7 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let manager = KeyManager::generate(1, &mut rng);
         let keys: Vec<Key256> = manager.iter().map(|(_, key)| key).collect();
         let (out, _) = cloak::anonymize_with_retry(
-            &net, &snapshot, user, &profile, &keys, rand::random(), &engine, 8,
+            &net,
+            &snapshot,
+            user,
+            &profile,
+            &keys,
+            rand::random(),
+            &engine,
+            8,
         )?;
 
         // The LBS sees only the region.
@@ -66,9 +73,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let manager = KeyManager::generate(1, &mut rng);
     let keys: Vec<Key256> = manager.iter().map(|(_, key)| key).collect();
     let (out, _) = cloak::anonymize_with_retry(
-        &net, &snapshot, user, &profile, &keys, rand::random(), &engine, 8,
+        &net,
+        &snapshot,
+        user,
+        &profile,
+        &keys,
+        rand::random(),
+        &engine,
+        8,
     )?;
-    let gas = range_query(&net, &store, &out.payload.segments, PoiCategory::GasStation, 400.0);
+    let gas = range_query(
+        &net,
+        &store,
+        &out.payload.segments,
+        PoiCategory::GasStation,
+        400.0,
+    );
     println!(
         "\nrange query (gas stations within 400 m of the k=10 region): {} candidates",
         gas.len()

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sim.run(10, 5.0);
     let snapshot = OccupancySnapshot::capture(&sim);
 
-    let mut service = AnonymizerService::new(sim.network().clone(), AnonymizerConfig::default());
+    let service = AnonymizerService::new(sim.network().clone(), AnonymizerConfig::default());
     service.update_snapshot(snapshot);
 
     // The owner's actual location: wherever car 17 currently drives.

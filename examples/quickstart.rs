@@ -29,7 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Anonymize segment s40 with Reversible Global Expansion.
     let user = SegmentId(40);
     let engine = RgeEngine::new();
-    let out = cloak::anonymize(&net, &snapshot, user, &profile, &keys, rand::random(), &engine)?;
+    let out = cloak::anonymize(
+        &net,
+        &snapshot,
+        user,
+        &profile,
+        &keys,
+        rand::random(),
+        &engine,
+    )?;
     println!(
         "cloaked {user} into {} segments across {} levels",
         out.payload.region_size(),

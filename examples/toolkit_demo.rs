@@ -93,7 +93,10 @@ fn fig2() {
     print!("{table}");
     let r_i = 5u64;
     let pick = (r_i % table.col_count() as u64) as usize;
-    println!("R_i = {r_i}  =>  pick p_i = {r_i} mod {} = {pick}", table.col_count());
+    println!(
+        "R_i = {r_i}  =>  pick p_i = {r_i} mod {} = {pick}",
+        table.col_count()
+    );
     let row_s8 = 1; // s8's row index in length order
     let j = table.forward_col(row_s8, pick);
     println!(
@@ -134,7 +137,9 @@ fn fig3() {
     let r_i = 10u64;
     let idx = (r_i % t_len as u64) as usize;
     if let Some(next) = tables.forward(s8, idx) {
-        println!("forward:  from {s8}, index {r_i} mod {t_len} = {idx} -> FT[{s8}][{idx}] = {next}");
+        println!(
+            "forward:  from {s8}, index {r_i} mod {t_len} = {idx} -> FT[{s8}][{idx}] = {next}"
+        );
         let back = tables.backward(next, idx).expect("duality");
         println!("backward: from {next}, same index {idx} -> BT[{next}][{idx}] = {back}");
         assert_eq!(back, s8);
@@ -151,13 +156,9 @@ fn fig3() {
     let region = RegionState::from_segments(&net, [s8]);
     let mut stream = DrawStream::new(Key256::from_seed(99), b"fig3");
     use cloak::ReversibleEngine as _;
-    if let Ok(acc) = engine.forward_step(
-        &net,
-        &region,
-        s8,
-        &mut stream,
-        &SpatialTolerance::Unlimited,
-    ) {
+    if let Ok(acc) =
+        engine.forward_step(&net, &region, s8, &mut stream, &SpatialTolerance::Unlimited)
+    {
         println!(
             "one keyed step: {s8} -> {} (round {}, {} voided)",
             acc.segment, acc.draws, acc.voided

@@ -3,43 +3,59 @@
 //! A full reproduction of *ReverseCloak: A Reversible Multi-level Location
 //! Privacy Protection System* (Li, Palanisamy, Kalaivanan, Raghunathan;
 //! ICDCS 2017) and its companion algorithms paper (CIKM 2015), as a Rust
-//! workspace:
+//! workspace built for concurrent, production-shaped serving:
 //!
 //! | Crate | Role |
 //! |---|---|
 //! | [`roadnet`] | Road networks: graphs, routing, spatial index, synthetic map generators |
 //! | [`mobisim`] | GTMobiSim-style traffic: Gaussian car placement, shortest-path trips, occupancy snapshots |
 //! | [`keystream`] | Access keys, keyed draw streams, key management, access control |
-//! | [`cloak`] | The core: RGE and RPLE reversible cloaking, multi-level protocol, payload codec, baseline, attack analysis |
-//! | [`anonymizer`] | The demonstration toolkit: Anonymizer/De-anonymizer services, concurrent server, map rendering |
+//! | [`cloak`] | The core: RGE and RPLE reversible cloaking (all `&self`, `Send + Sync`), multi-level protocol, payload codec, baseline, attack analysis |
+//! | [`anonymizer`] | The toolkit: sharded lock-free `AnonymizerService`, multi-worker `AnonymizerServer` with a batch pipeline, De-anonymizer, map rendering, `rcloak` CLI |
 //! | [`lbs`] | POIs and anonymous query processing over cloaked regions |
+//!
+//! The anonymizer's hot path works entirely from `&self`: immutable state
+//! (network, engine, config) is shared behind `Arc`, the traffic snapshot
+//! swaps atomically without blocking readers, and owner records live in
+//! hash-sharded `RwLock` maps — so a worker pool scales with cores
+//! instead of serializing behind a global lock.
 //!
 //! This facade re-exports everything; depend on it and `use
 //! reversecloak::prelude::*` for the common surface.
 //!
-//! ## Example
+//! ## Example: a shared service and a batch pipeline
 //!
 //! ```
 //! use reversecloak::prelude::*;
+//! use std::sync::Arc;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A road network and traffic.
 //! let net = roadnet::grid_city(6, 6, 100.0);
 //! let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
 //!
-//! // A 2-level profile and keys.
-//! let profile = PrivacyProfile::builder()
-//!     .level(LevelRequirement::with_k(5))
-//!     .level(LevelRequirement::with_k(12))
-//!     .build()?;
-//! let manager = KeyManager::from_seed(2, 7);
-//! let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
+//! // The trusted anonymizer: the whole anonymize path is `&self`, so
+//! // one Arc serves every thread with no lock around the service.
+//! let service = Arc::new(AnonymizerService::new(net, AnonymizerConfig::default()));
+//! service.update_snapshot(snapshot);
 //!
-//! // Cloak, then peel back with the keys.
-//! let engine = RgeEngine::new();
-//! let out = cloak::anonymize(&net, &snapshot, SegmentId(17), &profile, &keys, 1, &engine)?;
-//! let view = cloak::deanonymize(&net, &out.payload, &manager.keys_down_to(Level(0))?, &engine)?;
-//! assert_eq!(view.segments, vec![SegmentId(17)]);
+//! // One-off request: cloak, grant a requester full access, recover.
+//! let receipt = service.anonymize_owner("alice", SegmentId(17), None, &mut rand::thread_rng())?;
+//! service.register_requester("alice", "police", TrustDegree(10), Level(0));
+//! let keys = service.fetch_keys("alice", "police")?;
+//! let dean = Deanonymizer::new(
+//!     service.network_arc(),
+//!     Engine::build(service.network(), service.config().engine),
+//! );
+//! assert_eq!(dean.reduce(&receipt.payload, &keys)?.segments, vec![SegmentId(17)]);
+//!
+//! // Batch pipeline: seeded requests fan out across cores and return in
+//! // order, bit-identical to sequential execution.
+//! let requests: Vec<AnonymizeRequest> = (0..8)
+//!     .map(|i| AnonymizeRequest::new(format!("car-{i}"), SegmentId(i * 7 % 60), 1000 + i as u64))
+//!     .collect();
+//! let receipts = service.anonymize_batch(&requests);
+//! assert!(receipts.iter().all(|r| r.is_ok()));
 //! # Ok(())
 //! # }
 //! ```
@@ -48,26 +64,24 @@
 #![warn(missing_docs)]
 
 pub use anonymizer;
-pub use lbs;
 pub use cloak;
 pub use keystream;
+pub use lbs;
 pub use mobisim;
 pub use roadnet;
 
 /// The commonly used types, re-exported flat.
 pub mod prelude {
     pub use anonymizer::{
-        AnonymizeReceipt, AnonymizerConfig, AnonymizerServer, AnonymizerService, Deanonymizer,
-        Engine, EngineChoice,
+        AnonymizeReceipt, AnonymizeRequest, AnonymizerConfig, AnonymizerServer, AnonymizerService,
+        Deanonymizer, Engine, EngineChoice,
     };
     pub use cloak::{
         anonymize, anonymize_with_retry, deanonymize, CloakError, CloakPayload, DeanonError,
         LevelRequirement, PrivacyProfile, RegionQuality, ReversibleEngine, RgeEngine, RpleEngine,
         SpatialTolerance, SuccessRate,
     };
-    pub use keystream::{
-        AccessControlProfile, DrawStream, Key256, KeyManager, Level, TrustDegree,
-    };
+    pub use keystream::{AccessControlProfile, DrawStream, Key256, KeyManager, Level, TrustDegree};
     pub use mobisim::{OccupancySnapshot, SimConfig, Simulation};
     pub use roadnet::{JunctionId, RoadNetwork, SegmentId};
 }

@@ -16,7 +16,7 @@ fn build_world(engine: EngineChoice, seed: u64) -> (AnonymizerService, Deanonymi
     );
     sim.run(12, 5.0);
     let snapshot = OccupancySnapshot::capture(&sim);
-    let mut service = AnonymizerService::new(
+    let service = AnonymizerService::new(
         sim.network().clone(),
         AnonymizerConfig {
             engine,
@@ -33,7 +33,7 @@ fn build_world(engine: EngineChoice, seed: u64) -> (AnonymizerService, Deanonymi
 
 #[test]
 fn simulated_traffic_to_exact_recovery_rge() {
-    let (mut service, dean, sim) = build_world(EngineChoice::Rge, 1);
+    let (service, dean, sim) = build_world(EngineChoice::Rge, 1);
     let mut rng = rand::thread_rng();
     for car in [0usize, 7, 42, 99] {
         let segment = sim.cars()[car].segment();
@@ -53,7 +53,7 @@ fn simulated_traffic_to_exact_recovery_rge() {
 
 #[test]
 fn simulated_traffic_to_exact_recovery_rple() {
-    let (mut service, dean, sim) = build_world(EngineChoice::Rple { t_len: 10 }, 2);
+    let (service, dean, sim) = build_world(EngineChoice::Rple { t_len: 10 }, 2);
     let mut rng = rand::thread_rng();
     for car in [3usize, 11, 77] {
         let segment = sim.cars()[car].segment();
@@ -70,7 +70,7 @@ fn simulated_traffic_to_exact_recovery_rple() {
 
 #[test]
 fn k_anonymity_holds_at_every_level() {
-    let (mut service, dean, sim) = build_world(EngineChoice::Rge, 3);
+    let (service, dean, sim) = build_world(EngineChoice::Rge, 3);
     let snapshot = OccupancySnapshot::capture(&sim);
     let mut rng = rand::thread_rng();
     let segment = sim.cars()[5].segment();
@@ -96,7 +96,7 @@ fn k_anonymity_holds_at_every_level() {
 
 #[test]
 fn regions_are_connected_at_every_level() {
-    let (mut service, dean, sim) = build_world(EngineChoice::Rge, 4);
+    let (service, dean, sim) = build_world(EngineChoice::Rge, 4);
     let mut rng = rand::thread_rng();
     let segment = sim.cars()[31].segment();
     let receipt = service
@@ -123,23 +123,27 @@ fn concurrent_server_end_to_end() {
     for i in 0..8 {
         let owner = format!("owner-{i}");
         let seg = SegmentId(i * 13 % 100);
-        receipts.push((owner.clone(), seg, server.anonymize(&owner, seg, None).unwrap()));
+        receipts.push((
+            owner.clone(),
+            seg,
+            server.anonymize(&owner, seg, None).unwrap(),
+        ));
     }
+    // The service is shared lock-free: key management runs concurrently
+    // with (and independently of) the anonymize path.
     let service = server.service();
-    let mut guard = service.lock();
     for (owner, _, _) in &receipts {
-        guard.register_requester(owner, "police", TrustDegree(10), Level(0));
+        service.register_requester(owner, "police", TrustDegree(10), Level(0));
     }
     let dean = Deanonymizer::new(
-        guard.network_arc(),
-        Engine::build(guard.network(), guard.config().engine),
+        service.network_arc(),
+        Engine::build(service.network(), service.config().engine),
     );
     for (owner, seg, receipt) in &receipts {
-        let keys = guard.fetch_keys(owner, "police").unwrap();
+        let keys = service.fetch_keys(owner, "police").unwrap();
         let view = dean.reduce(&receipt.payload, &keys).unwrap();
         assert_eq!(view.segments, vec![*seg]);
     }
-    drop(guard);
     server.shutdown();
 }
 
@@ -170,7 +174,7 @@ fn atlanta_scale_end_to_end() {
     );
     sim.run(3, 10.0);
     let snapshot = OccupancySnapshot::capture(&sim);
-    let mut service = AnonymizerService::new(sim.network().clone(), AnonymizerConfig::default());
+    let service = AnonymizerService::new(sim.network().clone(), AnonymizerConfig::default());
     service.update_snapshot(snapshot.clone());
     let mut rng = rand::thread_rng();
     let segment = sim.cars()[123].segment();

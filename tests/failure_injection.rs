@@ -82,10 +82,7 @@ fn impossible_tolerance_fails_not_hangs() {
     let net = roadnet::grid_city(6, 6, 100.0);
     let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
     let profile = PrivacyProfile::builder()
-        .level(
-            LevelRequirement::with_k(20)
-                .tolerance(SpatialTolerance::TotalLength(300.0)),
-        )
+        .level(LevelRequirement::with_k(20).tolerance(SpatialTolerance::TotalLength(300.0)))
         .build()
         .unwrap();
     let keys = vec![Key256::from_seed(2)];
@@ -124,8 +121,8 @@ fn truncated_and_corrupted_payloads_rejected() {
     let manager = KeyManager::from_seed(1, 3);
     let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
     let engine = RgeEngine::new();
-    let out = cloak::anonymize(&net, &snapshot, SegmentId(10), &profile, &keys, 1, &engine)
-        .unwrap();
+    let out =
+        cloak::anonymize(&net, &snapshot, SegmentId(10), &profile, &keys, 1, &engine).unwrap();
     let bytes = out.payload.encode();
 
     // Every strict prefix fails decode.
@@ -153,19 +150,27 @@ fn swapped_level_keys_are_rejected() {
     let manager = KeyManager::from_seed(2, 5);
     let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
     let engine = RgeEngine::new();
-    let out = cloak::anonymize(&net, &snapshot, SegmentId(20), &profile, &keys, 1, &engine)
-        .unwrap();
+    let out =
+        cloak::anonymize(&net, &snapshot, SegmentId(20), &profile, &keys, 1, &engine).unwrap();
     // Keys supplied in the wrong order (bottom-up instead of top-down).
     let k1 = manager.key_for(Level(1)).unwrap();
     let k2 = manager.key_for(Level(2)).unwrap();
-    let err =
-        cloak::deanonymize(&net, &out.payload, &[(Level(1), k1), (Level(2), k2)], &engine)
-            .unwrap_err();
+    let err = cloak::deanonymize(
+        &net,
+        &out.payload,
+        &[(Level(1), k1), (Level(2), k2)],
+        &engine,
+    )
+    .unwrap_err();
     assert!(matches!(err, DeanonError::NonContiguousKeys { .. }));
     // Right levels, swapped key material.
-    let err =
-        cloak::deanonymize(&net, &out.payload, &[(Level(2), k1), (Level(1), k2)], &engine)
-            .unwrap_err();
+    let err = cloak::deanonymize(
+        &net,
+        &out.payload,
+        &[(Level(2), k1), (Level(1), k2)],
+        &engine,
+    )
+    .unwrap_err();
     assert!(matches!(err, DeanonError::WrongKey(_)), "{err}");
 }
 
@@ -173,7 +178,7 @@ fn swapped_level_keys_are_rejected() {
 fn requester_without_entitlement_gets_nothing() {
     let net = roadnet::grid_city(7, 7, 100.0);
     let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
-    let mut service = AnonymizerService::new(net, AnonymizerConfig::default());
+    let service = AnonymizerService::new(net, AnonymizerConfig::default());
     service.update_snapshot(snapshot);
     let mut rng = rand::thread_rng();
     service
@@ -190,7 +195,7 @@ fn requester_without_entitlement_gets_nothing() {
 fn engine_mismatch_between_sides_is_detected() {
     let net = roadnet::grid_city(7, 7, 100.0);
     let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
-    let mut service = AnonymizerService::new(
+    let service = AnonymizerService::new(
         net,
         AnonymizerConfig {
             engine: EngineChoice::Rge,
@@ -222,8 +227,7 @@ fn deanonymize_rejects_key_below_level_zero() {
     let manager = KeyManager::from_seed(1, 9);
     let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
     let engine = RgeEngine::new();
-    let out = cloak::anonymize(&net, &snapshot, SegmentId(5), &profile, &keys, 1, &engine)
-        .unwrap();
+    let out = cloak::anonymize(&net, &snapshot, SegmentId(5), &profile, &keys, 1, &engine).unwrap();
     // Peel L1 then try to peel "L0" with another key.
     let k1 = manager.key_for(Level(1)).unwrap();
     let err = cloak::deanonymize(

@@ -37,11 +37,7 @@ fn windowed_snapshot_shrinks_regions_in_sparse_traffic() {
     let engine = RgeEngine::new();
 
     // Compare mean region sizes over several occupied request sites.
-    let sites: Vec<SegmentId> = instant
-        .occupied_segments()
-        .into_iter()
-        .take(10)
-        .collect();
+    let sites: Vec<SegmentId> = instant.occupied_segments().into_iter().take(10).collect();
     let mut inst_total = 0usize;
     let mut wind_total = 0usize;
     let mut pairs = 0usize;
