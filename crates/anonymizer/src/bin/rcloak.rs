@@ -15,11 +15,24 @@
 //! rcloak render --map city.map [--payload cloak.bin] [--width 100] [--height 40]
 //! rcloak batch --map city.map --input requests.csv [--engine rge|rple]
 //!        [--workers N] [--cars N] [--seed N] [--out results.csv]
+//! rcloak simulate --ticks 100 --cars 1000 [--grid RxC | --map city.map]
+//!        [--engine rge|rple] [--k 5,10,20] [--owners N] [--cadence N]
+//!        [--dt SECONDS] [--lbs N] [--seed N] [--out metrics.csv] [--no-verify]
 //! ```
 //!
 //! `batch` reads one `owner,segment` pair per CSV line (blank lines and
 //! `#` comments skipped), fans the requests across the server's worker
 //! pool, and reports one result line per request in input order.
+//! Malformed rows are reported individually on stderr with their line
+//! numbers; the valid rows still run, and the exit code is 1 when any
+//! row was malformed.
+//!
+//! `simulate` runs the continuous anonymization pipeline: traffic ticks,
+//! snapshot swaps every `--cadence` ticks, batched re-anonymization of
+//! `--owners` tracked cars, LBS probes, and (unless `--no-verify`)
+//! per-receipt verification of exact reversibility, issue-time
+//! k-anonymity, and grant preservation. Per-tick metrics go to `--out`
+//! as CSV.
 //!
 //! Keys are 64-digit hex strings; `--keys` lists them **top level first**
 //! for `deanonymize` and **level 1 first** for `anonymize` (matching the
@@ -34,6 +47,20 @@ use std::collections::HashMap;
 use std::io::BufReader;
 use std::process::ExitCode;
 
+/// How a subcommand failed: `Usage` errors print the usage text and exit
+/// 2; `Data` errors (bad input data, invariant violations) print only the
+/// message and exit 1, so scripts can tell them apart.
+enum CmdError {
+    Usage(String),
+    Data(String),
+}
+
+impl From<String> for CmdError {
+    fn from(message: String) -> Self {
+        CmdError::Usage(message)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -44,17 +71,22 @@ fn main() -> ExitCode {
         Err(e) => return usage(&e),
     };
     let result = match cmd.as_str() {
-        "map" => cmd_map(&opts),
-        "keys" => cmd_keys(&opts),
-        "anonymize" => cmd_anonymize(&opts),
-        "deanonymize" => cmd_deanonymize(&opts),
-        "render" => cmd_render(&opts),
+        "map" => cmd_map(&opts).map_err(CmdError::from),
+        "keys" => cmd_keys(&opts).map_err(CmdError::from),
+        "anonymize" => cmd_anonymize(&opts).map_err(CmdError::from),
+        "deanonymize" => cmd_deanonymize(&opts).map_err(CmdError::from),
+        "render" => cmd_render(&opts).map_err(CmdError::from),
         "batch" => cmd_batch(&opts),
-        other => Err(format!("unknown subcommand `{other}`")),
+        "simulate" => cmd_simulate(&opts),
+        other => Err(CmdError::Usage(format!("unknown subcommand `{other}`"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => usage(&e),
+        Err(CmdError::Usage(e)) => usage(&e),
+        Err(CmdError::Data(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -67,12 +99,17 @@ fn usage(err: &str) -> ExitCode {
          [--engine rge|rple] [--cars N] [--seed N] [--out FILE] [--svg FILE]\n  \
          rcloak deanonymize --map FILE --payload FILE (--keys HEX,.. | --keyring FILE) [--engine rge|rple]\n  \
          rcloak render --map FILE [--payload FILE] [--width W] [--height H]\n  \
-         rcloak batch --map FILE --input FILE [--engine rge|rple] [--workers N] [--cars N] [--seed N] [--out FILE]"
+         rcloak batch --map FILE --input FILE [--engine rge|rple] [--workers N] [--cars N] [--seed N] [--out FILE]\n  \
+         rcloak simulate --ticks N --cars N [--grid RxC | --map FILE] [--engine rge|rple] \
+         [--k K1,K2,..] [--owners N] [--cadence N] [--dt S] [--lbs N] [--seed N] [--out FILE] [--no-verify]"
     );
     ExitCode::from(2)
 }
 
 type Opts = HashMap<String, String>;
+
+/// Flags that take no value.
+const BOOL_FLAGS: [&str; 2] = ["atlanta", "no-verify"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = HashMap::new();
@@ -82,8 +119,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument `{arg}`"));
         };
-        // Flags without values.
-        if name == "atlanta" {
+        if BOOL_FLAGS.contains(&name) {
             opts.insert(name.to_string(), "true".into());
             i += 1;
             continue;
@@ -100,6 +136,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 
 fn get_seed(opts: &Opts) -> u64 {
     opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// Parses an `RxC` grid spec into a network, rejecting zero dimensions
+/// (an empty grid would panic deep in the generator).
+fn parse_grid(spec: &str) -> Result<RoadNetwork, String> {
+    let (r, c): (usize, usize) = spec
+        .split_once('x')
+        .and_then(|(r, c)| Some((r.parse().ok()?, c.parse().ok()?)))
+        .ok_or("--grid expects RxC, e.g. 10x10")?;
+    if r == 0 || c == 0 || r * c < 2 {
+        return Err(format!(
+            "--grid needs at least one segment (2 junctions), got `{spec}`"
+        ));
+    }
+    Ok(roadnet::grid_city(r, c, 100.0))
 }
 
 fn load_map(opts: &Opts) -> Result<RoadNetwork, String> {
@@ -135,11 +186,7 @@ fn cmd_map(opts: &Opts) -> Result<(), String> {
     let net = if opts.contains_key("atlanta") {
         roadnet::atlanta_like(seed)
     } else if let Some(spec) = opts.get("grid") {
-        let (r, c) = spec
-            .split_once('x')
-            .and_then(|(r, c)| Some((r.parse().ok()?, c.parse().ok()?)))
-            .ok_or("--grid expects RxC, e.g. 10x10")?;
-        roadnet::grid_city(r, c, 100.0)
+        parse_grid(spec)?
     } else {
         roadnet::grid_city(10, 10, 100.0)
     };
@@ -326,28 +373,40 @@ fn cmd_deanonymize(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_batch(opts: &Opts) -> Result<(), String> {
+fn cmd_batch(opts: &Opts) -> Result<(), CmdError> {
     use anonymizer::{AnonymizeRequest, AnonymizerConfig, AnonymizerServer};
 
     let net = load_map(opts)?;
-    let input = opts.get("input").ok_or("--input is required")?;
-    let text = std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?;
+    let input = opts
+        .get("input")
+        .ok_or_else(|| "--input is required".to_string())?;
+    let text = std::fs::read_to_string(input)
+        .map_err(|e| CmdError::Usage(format!("read {input}: {e}")))?;
     let mut requests = Vec::new();
+    let mut malformed = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (owner, segment) = line
-            .split_once(',')
-            .ok_or_else(|| format!("{input}:{}: expected `owner,segment`", lineno + 1))?;
-        let segment: u32 = segment.trim().parse().map_err(|_| {
-            format!(
-                "{input}:{}: bad segment id `{}`",
-                lineno + 1,
-                segment.trim()
-            )
-        })?;
+        // Malformed rows are collected (not aborted on): every bad row is
+        // reported with its line number, the good rows still run, and the
+        // exit code ends up nonzero.
+        let Some((owner, segment)) = line.split_once(',') else {
+            malformed.push(format!("{input}:{}: expected `owner,segment`", lineno + 1));
+            continue;
+        };
+        let segment: u32 = match segment.trim().parse() {
+            Ok(s) => s,
+            Err(_) => {
+                malformed.push(format!(
+                    "{input}:{}: bad segment id `{}`",
+                    lineno + 1,
+                    segment.trim()
+                ));
+                continue;
+            }
+        };
         // Seeds derive from --seed and the row number, so a batch rerun
         // with the same inputs reproduces byte-identical payloads.
         let row_seed = get_seed(opts)
@@ -359,8 +418,18 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
             row_seed,
         ));
     }
+    for report in &malformed {
+        eprintln!("error: {report}");
+    }
     if requests.is_empty() {
-        return Err(format!("{input}: no requests"));
+        return Err(if malformed.is_empty() {
+            CmdError::Usage(format!("{input}: no requests"))
+        } else {
+            CmdError::Data(format!(
+                "{input}: all {} row(s) malformed, nothing to run",
+                malformed.len()
+            ))
+        });
     }
 
     let seed = get_seed(opts);
@@ -372,7 +441,7 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
         .transpose()?
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
     if workers == 0 {
-        return Err("--workers must be at least 1".into());
+        return Err(CmdError::Usage("--workers must be at least 1".into()));
     }
     let config = AnonymizerConfig {
         engine: parse_engine(opts)?,
@@ -410,7 +479,9 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
         let mut csv = String::from("owner,segment,status,region_size,attempts\n");
         csv.push_str(&lines.join("\n"));
         csv.push('\n');
-        std::fs::write(path, csv).map_err(|e| format!("write {path}: {e}"))?;
+        // A failed write after the batch ran is a data error (exit 1),
+        // not a bad invocation: re-running with the same flags won't fix it.
+        std::fs::write(path, csv).map_err(|e| CmdError::Data(format!("write {path}: {e}")))?;
         println!("wrote results to {path}");
     } else {
         for line in &lines {
@@ -418,7 +489,140 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
         }
     }
     if ok == 0 {
-        return Err("every request failed".into());
+        return Err(CmdError::Data("every request failed".into()));
+    }
+    if !malformed.is_empty() {
+        return Err(CmdError::Data(format!(
+            "{} malformed row(s) in {input} (reported above); {} valid request(s) ran",
+            malformed.len(),
+            requests.len()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
+    use anonymizer::{AnonymizerConfig, ContinuousPipeline, PipelineConfig, TickReport};
+    use mobisim::SimConfig;
+
+    let parse_num = |name: &str, default: usize| -> Result<usize, String> {
+        match opts.get(name) {
+            Some(s) => s.parse().map_err(|_| format!("bad --{name} `{s}`")),
+            None => Ok(default),
+        }
+    };
+    let ticks = parse_num("ticks", 50)?;
+    let cars = parse_num("cars", 1000)?;
+    let owners = parse_num("owners", 64.min(cars.max(1)))?;
+    let cadence = parse_num("cadence", 1)?;
+    let lbs_probes = parse_num("lbs", 4)?;
+    let dt: f64 = match opts.get("dt") {
+        Some(s) => s.parse().map_err(|_| format!("bad --dt `{s}`"))?,
+        None => 10.0,
+    };
+    if ticks == 0 {
+        return Err(CmdError::Usage("--ticks must be at least 1".into()));
+    }
+    if !(dt > 0.0 && dt.is_finite()) {
+        return Err(CmdError::Usage(format!(
+            "--dt must be a positive number of seconds, got `{dt}`"
+        )));
+    }
+    let seed = get_seed(opts);
+
+    let net = if opts.contains_key("map") {
+        load_map(opts)?
+    } else if let Some(spec) = opts.get("grid") {
+        parse_grid(spec)?
+    } else {
+        roadnet::grid_city(12, 12, 100.0)
+    };
+
+    let mut config = AnonymizerConfig {
+        engine: parse_engine(opts)?,
+        ..Default::default()
+    };
+    if let Some(ks) = opts.get("k") {
+        let mut builder = PrivacyProfile::builder();
+        for part in ks.split(',') {
+            let k: u32 = part.parse().map_err(|_| format!("bad k `{part}` in --k"))?;
+            builder = builder.level(LevelRequirement::with_k(k));
+        }
+        config.default_profile = builder.build().map_err(|e| e.to_string())?;
+    }
+
+    let verify = !opts.contains_key("no-verify");
+    let mut pipeline = ContinuousPipeline::new(
+        net,
+        SimConfig {
+            cars,
+            seed,
+            ..Default::default()
+        },
+        config,
+        PipelineConfig {
+            dt,
+            snapshot_cadence: cadence,
+            tracked_owners: owners,
+            seed: seed ^ 0x51e_71c4,
+            verify,
+            lbs_probes,
+            ..Default::default()
+        },
+    );
+    println!(
+        "simulating {ticks} ticks × {dt}s: {cars} cars on {} segments, {} tracked owners, \
+         engine {}, snapshot cadence {} (verification {})",
+        pipeline.service().network().segment_count(),
+        pipeline.tracked_owner_count(),
+        pipeline.service().engine().name(),
+        cadence.max(1),
+        if verify { "on" } else { "off" },
+    );
+
+    let t0 = std::time::Instant::now();
+    let mut reports = Vec::with_capacity(ticks);
+    for _ in 0..ticks {
+        reports.push(pipeline.tick().map_err(|e| CmdError::Data(e.to_string()))?);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let issued: usize = reports.iter().map(|r| r.issued).sum();
+    let failed: usize = reports.iter().map(|r| r.failed).sum();
+    let verified: usize = reports.iter().map(|r| r.verified).sum();
+    let mut quality = cloak::QualitySummary::new();
+    let mut lbs_stats = lbs::QueryStats::new();
+    for r in &reports {
+        quality.merge(&r.quality);
+        lbs_stats.merge(&r.lbs);
+    }
+    println!(
+        "issued {issued} receipts ({failed} failed) in {:.1} ms — {:.1} ticks/s, {:.0} receipts/s",
+        elapsed * 1e3,
+        ticks as f64 / elapsed.max(1e-9),
+        issued as f64 / elapsed.max(1e-9),
+    );
+    println!("regions: {quality}");
+    if lbs_probes > 0 {
+        println!("lbs: {lbs_stats}");
+    }
+    if verify {
+        println!(
+            "verified {verified}/{issued}: exact deanonymization, issue-time k-anonymity, \
+             grant preservation"
+        );
+    }
+    if let Some(path) = opts.get("out") {
+        let mut csv = String::from(TickReport::CSV_HEADER);
+        csv.push('\n');
+        for r in &reports {
+            csv.push_str(&r.csv_row());
+            csv.push('\n');
+        }
+        // As in `batch`: the simulation already ran, so a write failure
+        // is a data error (exit 1), not a usage error.
+        std::fs::write(path, csv).map_err(|e| CmdError::Data(format!("write {path}: {e}")))?;
+        println!("wrote per-tick metrics to {path}");
     }
     Ok(())
 }

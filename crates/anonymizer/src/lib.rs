@@ -12,6 +12,9 @@
 //!   ("trusted anonymization server"),
 //! * [`Deanonymizer`] — the requester-side reduction tool, including
 //!   progressive per-level peeling,
+//! * [`ContinuousPipeline`] — the temporal loop: live traffic ticks,
+//!   snapshot swaps, batched re-anonymization, LBS probes, and per-tick
+//!   invariant verification (see the `pipeline` module docs),
 //! * [`render_ascii`] / [`render_svg()`](fn@render_svg) — the map visualizations (the GUI
 //!   substitute; see DESIGN.md §1).
 //!
@@ -53,6 +56,7 @@
 
 pub mod config;
 pub mod deanonymizer;
+pub mod pipeline;
 pub mod render_ascii;
 pub mod render_svg;
 pub mod server;
@@ -60,6 +64,7 @@ pub mod service;
 
 pub use config::{AnonymizerConfig, EngineChoice};
 pub use deanonymizer::Deanonymizer;
+pub use pipeline::{ContinuousPipeline, PipelineConfig, PipelineError, TickReport};
 pub use render_ascii::{legend, render_map, render_regions};
 pub use render_svg::render_svg;
 pub use server::AnonymizerServer;

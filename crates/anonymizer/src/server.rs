@@ -57,10 +57,7 @@ pub struct AnonymizerServer {
 /// Derives the per-job seed from the server seed and job number, so
 /// results are reproducible regardless of which worker runs the job.
 fn job_seed(base: u64, n: u64) -> u64 {
-    let mut z = base ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    crate::service::splitmix64(base ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
 impl AnonymizerServer {
@@ -225,6 +222,15 @@ impl AnonymizerServer {
         Arc::clone(&self.service)
     }
 
+    /// Installs a fresh traffic snapshot, swapping the shared `Arc`
+    /// without blocking in-flight jobs — the streaming-pipeline hook: a
+    /// snapshot feed can refresh occupancy while the workers keep
+    /// serving, and each request is judged against the snapshot current
+    /// when it started.
+    pub fn update_snapshot(&self, snapshot: mobisim::OccupancySnapshot) {
+        self.service.update_snapshot(snapshot);
+    }
+
     /// Stops the workers after draining queued jobs.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
@@ -326,6 +332,15 @@ mod tests {
         for (x, y) in ra.iter().zip(&rb) {
             assert_eq!(x.as_ref().unwrap().payload, y.as_ref().unwrap().payload);
         }
+    }
+
+    #[test]
+    fn snapshot_update_reaches_the_workers() {
+        let server = start(2);
+        let n = server.service().network().segment_count();
+        server.update_snapshot(OccupancySnapshot::uniform(n, 7));
+        assert_eq!(server.service().snapshot().users_on(SegmentId(0)), 7);
+        server.shutdown();
     }
 
     #[test]

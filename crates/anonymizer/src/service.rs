@@ -46,6 +46,15 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// SplitMix64 finalizer: the shared scrambler behind every derived
+/// request seed (server job seeds, pipeline per-tick seeds). Callers XOR
+/// their inputs into `z`; the finalizer decorrelates nearby inputs.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// A built engine, either variant.
 pub enum Engine {
     /// Reversible Global Expansion.

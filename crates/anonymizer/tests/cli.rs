@@ -235,8 +235,59 @@ fn cli_batch_anonymizes_a_csv_of_requests() {
         assert!(line.contains(",ok,"), "{line}");
     }
 
-    // A malformed CSV row is a clean error, not a panic.
-    std::fs::write(&input, "alice\n").unwrap();
+    for p in [map, input, results] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Malformed batch rows: every bad row is reported on stderr with its
+/// line number, the valid rows still run, and the exit code is nonzero
+/// (1, not the usage code 2) — with an all-good CSV exiting 0.
+#[test]
+fn cli_batch_reports_malformed_rows_with_line_numbers() {
+    let map = tmp("badrows.map");
+    let input = tmp("badrows.csv");
+
+    rcloak()
+        .args(["map", "--out", map.to_str().unwrap(), "--grid", "8x8"])
+        .output()
+        .unwrap();
+
+    // Line 3 has no comma, line 5 a non-numeric segment; 2 valid rows.
+    std::fs::write(&input, "# hdr\nalice,40\nbob\n\ncarol,4x\ndave,3\n").unwrap();
+    let out = rcloak()
+        .args([
+            "batch",
+            "--map",
+            map.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--cars",
+            "300",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "data error, not usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let input_name = input.to_str().unwrap();
+    assert!(
+        stderr.contains(&format!("{input_name}:3: expected `owner,segment`")),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains(&format!("{input_name}:5: bad segment id `4x`")),
+        "{stderr}"
+    );
+    assert!(stderr.contains("2 malformed row(s)"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "not a usage error: {stderr}");
+    // The valid rows still ran, in order.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("anonymized 2/2 requests"), "{stdout}");
+    assert!(stdout.contains("alice,40,ok,"), "{stdout}");
+    assert!(stdout.contains("dave,3,ok,"), "{stdout}");
+
+    // Nothing but malformed rows: still per-row reports, still exit 1.
+    std::fs::write(&input, "alice\nbob;7\n").unwrap();
     let out = rcloak()
         .args([
             "batch",
@@ -247,10 +298,106 @@ fn cli_batch_anonymizes_a_csv_of_requests() {
         ])
         .output()
         .unwrap();
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("expected `owner,segment`"));
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains(":1: expected `owner,segment`"), "{stderr}");
+    assert!(stderr.contains(":2: expected `owner,segment`"), "{stderr}");
+    assert!(stderr.contains("nothing to run"), "{stderr}");
 
-    for p in [map, input, results] {
+    // The fully-valid case exits 0 with no stderr noise.
+    std::fs::write(&input, "alice,40\nbob,10\n").unwrap();
+    let out = rcloak()
+        .args([
+            "batch",
+            "--map",
+            map.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--cars",
+            "300",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("malformed"));
+
+    for p in [map, input] {
         let _ = std::fs::remove_file(p);
     }
+}
+
+/// `rcloak simulate` runs the continuous pipeline end to end: every
+/// receipt verifies, and the per-tick metrics CSV has one row per tick.
+#[test]
+fn cli_simulate_runs_the_continuous_pipeline() {
+    let metrics = tmp("sim-metrics.csv");
+    let out = rcloak()
+        .args([
+            "simulate",
+            "--ticks",
+            "6",
+            "--cars",
+            "250",
+            "--grid",
+            "8x8",
+            "--owners",
+            "10",
+            "--cadence",
+            "2",
+            "--k",
+            "4,8",
+            "--seed",
+            "3",
+            "--out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("issued 60 receipts"), "{stdout}");
+    assert!(stdout.contains("verified 60/60"), "{stdout}");
+
+    let csv = std::fs::read_to_string(&metrics).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 7, "header + one row per tick");
+    assert!(lines[0].starts_with("tick,clock_s,"));
+    let header_cols = lines[0].split(',').count();
+    for row in &lines[1..] {
+        assert_eq!(row.split(',').count(), header_cols, "{row}");
+    }
+    // Cadence 2: ticks 2, 4, 6 refreshed the snapshot, odd ticks did not.
+    assert!(lines[1].contains(",false,"), "{}", lines[1]);
+    assert!(lines[2].contains(",true,"), "{}", lines[2]);
+
+    // RPLE engine works through the same surface.
+    let out = rcloak()
+        .args([
+            "simulate", "--ticks", "3", "--cars", "200", "--grid", "7x7", "--owners", "6",
+            "--engine", "rple",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Bad flag values are usage errors (exit 2).
+    let out = rcloak()
+        .args(["simulate", "--ticks", "zero"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_file(metrics);
 }

@@ -1,0 +1,62 @@
+//! Criterion bench: sustained throughput of the continuous anonymization
+//! pipeline, in ticks per second.
+//!
+//! Each iteration is one full tick — traffic step, snapshot recapture +
+//! `Arc` swap, batched re-anonymization of the tracked owners, and LBS
+//! probes — so mean time/iter is the steady-state tick latency; its
+//! reciprocal is sustained ticks/sec. Run once with verification off
+//! (pure pipeline cost) and once with the full invariant check, for both
+//! engines.
+
+use anonymizer::{AnonymizerConfig, ContinuousPipeline, EngineChoice, PipelineConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobisim::SimConfig;
+use roadnet::grid_city;
+
+fn pipeline(engine: EngineChoice, verify: bool) -> ContinuousPipeline {
+    ContinuousPipeline::new(
+        grid_city(12, 12, 100.0),
+        SimConfig {
+            cars: 1000,
+            seed: 42,
+            ..Default::default()
+        },
+        AnonymizerConfig {
+            engine,
+            ..Default::default()
+        },
+        PipelineConfig {
+            tracked_owners: 64,
+            verify,
+            ..Default::default()
+        },
+    )
+}
+
+fn bench_pipeline_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_tick_64owners");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for (engine, label) in [
+        (EngineChoice::Rge, "rge"),
+        (EngineChoice::Rple { t_len: 12 }, "rple"),
+    ] {
+        for verify in [false, true] {
+            let mut p = pipeline(engine, verify);
+            let name = if verify { "verified" } else { "raw" };
+            group.bench_with_input(BenchmarkId::new(label, name), &verify, |b, _| {
+                b.iter(|| {
+                    let report = p.tick().expect("invariants hold");
+                    assert!(report.issued > 0);
+                    report.issued
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_ticks);
+criterion_main!(benches);

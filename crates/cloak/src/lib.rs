@@ -70,7 +70,7 @@ pub mod table;
 pub use baseline::{random_expansion, BaselineOutcome};
 pub use engine::{HintStack, ReversibleEngine, RgeEngine, RpleEngine, StepAccept, MAX_REDRAWS};
 pub use error::{CloakError, DeanonError, StepFailure};
-pub use metrics::{RegionQuality, SuccessRate};
+pub use metrics::{QualitySummary, RegionQuality, SuccessRate};
 pub use multilevel::{
     ambiguity_profile, anonymize, anonymize_with_retry, deanonymize, AmbiguityReport,
     AnonymizationOutcome, DeanonymizedView, LevelStats, MAX_STEPS_PER_LEVEL,

@@ -90,6 +90,130 @@ impl fmt::Display for RegionQuality {
     }
 }
 
+/// Running aggregate of [`RegionQuality`] measurements — the per-tick /
+/// per-experiment rollup (mean region size, mean/min relative anonymity)
+/// that streaming pipelines and scenario harnesses report instead of one
+/// line per request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualitySummary {
+    count: u64,
+    sum_segments: u64,
+    sum_users: u64,
+    sum_relative_anonymity: f64,
+    sum_total_length: f64,
+    min_relative_anonymity: f64,
+    max_segments: usize,
+}
+
+impl Default for QualitySummary {
+    fn default() -> Self {
+        QualitySummary {
+            count: 0,
+            sum_segments: 0,
+            sum_users: 0,
+            sum_relative_anonymity: 0.0,
+            sum_total_length: 0.0,
+            min_relative_anonymity: f64::INFINITY,
+            max_segments: 0,
+        }
+    }
+}
+
+impl QualitySummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one measurement in.
+    pub fn record(&mut self, q: &RegionQuality) {
+        self.count += 1;
+        self.sum_segments += q.segments as u64;
+        self.sum_users += q.users;
+        self.sum_relative_anonymity += q.relative_anonymity;
+        self.sum_total_length += q.total_length;
+        self.min_relative_anonymity = self.min_relative_anonymity.min(q.relative_anonymity);
+        self.max_segments = self.max_segments.max(q.segments);
+    }
+
+    /// Measurements recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean region size in segments (0 when empty).
+    pub fn mean_segments(&self) -> f64 {
+        self.mean(self.sum_segments as f64)
+    }
+
+    /// Mean users covered per region (0 when empty).
+    pub fn mean_users(&self) -> f64 {
+        self.mean(self.sum_users as f64)
+    }
+
+    /// Mean relative anonymity (0 when empty; ≥ 1 when every region met
+    /// its k).
+    pub fn mean_relative_anonymity(&self) -> f64 {
+        self.mean(self.sum_relative_anonymity)
+    }
+
+    /// Worst (smallest) relative anonymity seen (0 when empty). A value
+    /// ≥ 1 certifies every recorded region was k-anonymous.
+    pub fn min_relative_anonymity(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_relative_anonymity
+        }
+    }
+
+    /// Mean total road length of the regions in meters (0 when empty).
+    pub fn mean_total_length(&self) -> f64 {
+        self.mean(self.sum_total_length)
+    }
+
+    /// Largest region seen, in segments.
+    pub fn max_segments(&self) -> usize {
+        self.max_segments
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &QualitySummary) {
+        self.count += other.count;
+        self.sum_segments += other.sum_segments;
+        self.sum_users += other.sum_users;
+        self.sum_relative_anonymity += other.sum_relative_anonymity;
+        self.sum_total_length += other.sum_total_length;
+        self.min_relative_anonymity = self
+            .min_relative_anonymity
+            .min(other.min_relative_anonymity);
+        self.max_segments = self.max_segments.max(other.max_segments);
+    }
+
+    fn mean(&self, sum: f64) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            sum / self.count as f64
+        }
+    }
+}
+
+impl fmt::Display for QualitySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} regions: {:.1} segments mean (max {}), rel-k mean {:.2} min {:.2}, {:.0} m mean",
+            self.count,
+            self.mean_segments(),
+            self.max_segments,
+            self.mean_relative_anonymity(),
+            self.min_relative_anonymity(),
+            self.mean_total_length()
+        )
+    }
+}
+
 /// Running success-rate aggregator across many requests (experiment B6).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SuccessRate {
@@ -200,6 +324,46 @@ mod tests {
         .unwrap();
         let q = RegionQuality::measure(&net, &snapshot, &profile, &out);
         assert_eq!(q.relative_spatial_resolution, 0.0);
+    }
+
+    #[test]
+    fn quality_summary_aggregates_means_and_extremes() {
+        let net = grid_city(6, 6, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 2);
+        let profile = PrivacyProfile::builder()
+            .level(LevelRequirement::with_k(8))
+            .build()
+            .unwrap();
+        let mut summary = QualitySummary::new();
+        assert_eq!(summary.count(), 0);
+        assert_eq!(summary.mean_segments(), 0.0);
+        assert_eq!(summary.min_relative_anonymity(), 0.0);
+        for seed in 0..4u64 {
+            let out = anonymize(
+                &net,
+                &snapshot,
+                SegmentId(10 + seed as u32),
+                &profile,
+                &[Key256::from_seed(seed)],
+                seed,
+                &RgeEngine::new(),
+            )
+            .unwrap();
+            summary.record(&RegionQuality::measure(&net, &snapshot, &profile, &out));
+        }
+        assert_eq!(summary.count(), 4);
+        assert!(summary.mean_segments() >= 4.0);
+        assert!(summary.min_relative_anonymity() >= 1.0);
+        assert!(summary.mean_relative_anonymity() >= summary.min_relative_anonymity());
+        assert!(summary.max_segments() as f64 >= summary.mean_segments());
+        assert!(summary.mean_users() >= 8.0);
+        assert!(summary.mean_total_length() > 0.0);
+
+        let mut merged = QualitySummary::new();
+        merged.merge(&summary);
+        merged.merge(&QualitySummary::new());
+        assert_eq!(merged, summary);
+        assert!(merged.to_string().contains("4 regions"));
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub mod poi;
 pub mod query;
 
 pub use poi::{Poi, PoiCategory, PoiId, PoiStore};
-pub use query::{nearest_query, range_query, refine_nearest, CandidateAnswer};
+pub use query::{nearest_query, range_query, refine_nearest, CandidateAnswer, QueryStats};

@@ -40,6 +40,81 @@ impl CandidateAnswer {
     }
 }
 
+/// Running aggregate over many [`CandidateAnswer`]s — the LBS-side cost
+/// rollup (candidate-set size, expansion work) a streaming pipeline
+/// reports per tick, mirroring the paper's query-processing cost axes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    queries: u64,
+    sum_candidates: u64,
+    sum_visited: u64,
+    max_candidates: usize,
+}
+
+impl QueryStats {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one answer in.
+    pub fn record(&mut self, answer: &CandidateAnswer) {
+        self.queries += 1;
+        self.sum_candidates += answer.len() as u64;
+        self.sum_visited += answer.segments_visited as u64;
+        self.max_candidates = self.max_candidates.max(answer.len());
+    }
+
+    /// Answers recorded.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Mean candidate-set size (0 when empty).
+    pub fn mean_candidates(&self) -> f64 {
+        self.mean(self.sum_candidates)
+    }
+
+    /// Mean segments the server expanded per query (0 when empty).
+    pub fn mean_segments_visited(&self) -> f64 {
+        self.mean(self.sum_visited)
+    }
+
+    /// Largest candidate set seen.
+    pub fn max_candidates(&self) -> usize {
+        self.max_candidates
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.queries += other.queries;
+        self.sum_candidates += other.sum_candidates;
+        self.sum_visited += other.sum_visited;
+        self.max_candidates = self.max_candidates.max(other.max_candidates);
+    }
+
+    fn mean(&self, sum: u64) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            sum as f64 / self.queries as f64
+        }
+    }
+}
+
+impl std::fmt::Display for QueryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queries: {:.1} candidates mean (max {}), {:.1} segments visited mean",
+            self.queries,
+            self.mean_candidates(),
+            self.max_candidates,
+            self.mean_segments_visited()
+        )
+    }
+}
+
 /// Multi-source Dijkstra from all junctions of the region's segments;
 /// returns road distance from the *nearest region segment* to every
 /// junction reached within `limit` meters.
@@ -320,6 +395,28 @@ mod tests {
         let region = vec![SegmentId(4)];
         assert!(range_query(&net, &store, &region, PoiCategory::Hospital, 1e6).is_empty());
         assert!(nearest_query(&net, &store, &region, PoiCategory::Hospital).is_empty());
+    }
+
+    #[test]
+    fn query_stats_aggregate_answers() {
+        let net = grid_city(6, 6, 100.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let store = PoiStore::generate(&net, 150, &mut rng);
+        let mut stats = QueryStats::new();
+        assert_eq!(stats.queries(), 0);
+        assert_eq!(stats.mean_candidates(), 0.0);
+        for s in [0u32, 10, 20] {
+            let region = vec![SegmentId(s), SegmentId(s + 1)];
+            stats.record(&nearest_query(&net, &store, &region, PoiCategory::Other));
+        }
+        assert_eq!(stats.queries(), 3);
+        assert!(stats.mean_candidates() >= 1.0);
+        assert!(stats.max_candidates() as f64 >= stats.mean_candidates());
+        assert!(stats.mean_segments_visited() >= 1.0);
+        let mut merged = QueryStats::new();
+        merged.merge(&stats);
+        assert_eq!(merged, stats);
+        assert!(merged.to_string().contains("3 queries"));
     }
 
     #[test]

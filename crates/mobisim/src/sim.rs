@@ -102,6 +102,12 @@ impl Simulation {
         self.cars.get(id.index())
     }
 
+    /// The segment a car currently occupies — what the anonymizer sees as
+    /// its true location (`None` for unknown ids).
+    pub fn car_segment(&self, id: CarId) -> Option<SegmentId> {
+        self.car(id).map(|c| c.segment())
+    }
+
     /// Simulation time in seconds.
     pub fn clock(&self) -> f64 {
         self.clock
@@ -251,5 +257,10 @@ mod tests {
         let sim = small_sim(10, 9);
         assert!(sim.car(CarId(9)).is_some());
         assert!(sim.car(CarId(10)).is_none());
+        assert_eq!(
+            sim.car_segment(CarId(9)),
+            Some(sim.car(CarId(9)).unwrap().segment())
+        );
+        assert!(sim.car_segment(CarId(10)).is_none());
     }
 }

@@ -185,6 +185,12 @@ impl OccupancySnapshot {
 
     /// Captures a windowed snapshot by stepping a simulation `samples`
     /// times at `dt` seconds and taking the per-segment maximum.
+    ///
+    /// Edge cases are well-defined: `samples` of 0 or 1 (a zero-length
+    /// window) degenerates to [`OccupancySnapshot::capture`] without
+    /// stepping the simulation, a window far longer than any trip simply
+    /// keeps accumulating per-segment maxima, and empty traffic yields an
+    /// all-zero snapshot.
     pub fn capture_window(sim: &mut Simulation, samples: usize, dt: f64) -> OccupancySnapshot {
         let mut snaps = vec![Self::capture(sim)];
         for _ in 1..samples.max(1) {

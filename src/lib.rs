@@ -11,7 +11,7 @@
 //! | [`mobisim`] | GTMobiSim-style traffic: Gaussian car placement, shortest-path trips, occupancy snapshots |
 //! | [`keystream`] | Access keys, keyed draw streams, key management, access control |
 //! | [`cloak`] | The core: RGE and RPLE reversible cloaking (all `&self`, `Send + Sync`), multi-level protocol, payload codec, baseline, attack analysis |
-//! | [`anonymizer`] | The toolkit: sharded lock-free `AnonymizerService`, multi-worker `AnonymizerServer` with a batch pipeline, De-anonymizer, map rendering, `rcloak` CLI |
+//! | [`anonymizer`] | The toolkit: sharded lock-free `AnonymizerService`, multi-worker `AnonymizerServer` with a batch pipeline, continuous tick-driven pipeline, De-anonymizer, map rendering, `rcloak` CLI |
 //! | [`lbs`] | POIs and anonymous query processing over cloaked regions |
 //!
 //! The anonymizer's hot path works entirely from `&self`: immutable state
@@ -74,14 +74,16 @@ pub use roadnet;
 pub mod prelude {
     pub use anonymizer::{
         AnonymizeReceipt, AnonymizeRequest, AnonymizerConfig, AnonymizerServer, AnonymizerService,
-        Deanonymizer, Engine, EngineChoice,
+        ContinuousPipeline, Deanonymizer, Engine, EngineChoice, PipelineConfig, PipelineError,
+        TickReport,
     };
     pub use cloak::{
         anonymize, anonymize_with_retry, deanonymize, CloakError, CloakPayload, DeanonError,
-        LevelRequirement, PrivacyProfile, RegionQuality, ReversibleEngine, RgeEngine, RpleEngine,
-        SpatialTolerance, SuccessRate,
+        LevelRequirement, PrivacyProfile, QualitySummary, RegionQuality, ReversibleEngine,
+        RgeEngine, RpleEngine, SpatialTolerance, SuccessRate,
     };
     pub use keystream::{AccessControlProfile, DrawStream, Key256, KeyManager, Level, TrustDegree};
+    pub use lbs::{nearest_query, range_query, PoiCategory, PoiStore, QueryStats};
     pub use mobisim::{OccupancySnapshot, SimConfig, Simulation};
     pub use roadnet::{JunctionId, RoadNetwork, SegmentId};
 }

@@ -1,0 +1,268 @@
+//! The cross-engine scenario/invariant harness.
+//!
+//! Runs the continuous anonymization pipeline over a scenario matrix —
+//! traffic density × k-level profile × engine (RGE vs RPLE) × snapshot
+//! cadence — and asserts, at every tick of every cell:
+//!
+//! * **reversibility** — every issued receipt deanonymizes to the exact
+//!   owner segment (checked inside `ContinuousPipeline::tick`),
+//! * **k-anonymity** — against the snapshot the receipt was issued
+//!   under, not whatever snapshot is current later,
+//! * **grant preservation** — the auditor registered at the first cloak
+//!   keeps its keys across every re-anonymization,
+//! * **batch ≡ sequential determinism** — the per-tick receipt digest is
+//!   identical at batch parallelism 1 and 3,
+//!
+//! plus differential RGE-vs-RPLE region-metric comparisons per matrix
+//! row. The default profile is sized for tier-1 speed; set
+//! `SCENARIO_PROFILE=full` for longer runs with more owners.
+
+use cloak::QualitySummary;
+use reversecloak::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    density: &'static str,
+    cars: usize,
+    ks: &'static [u32],
+    engine: EngineChoice,
+    cadence: usize,
+}
+
+impl Cell {
+    fn name(&self) -> String {
+        format!(
+            "{}/k{:?}/{:?}/cadence{}",
+            self.density, self.ks, self.engine, self.cadence
+        )
+    }
+}
+
+const DENSITIES: [(&str, usize); 2] = [("sparse", 60), ("dense", 300)];
+const K_PROFILES: [&[u32]; 2] = [&[3, 6], &[4, 8, 16]];
+const ENGINES: [EngineChoice; 2] = [EngineChoice::Rge, EngineChoice::Rple { t_len: 10 }];
+const CADENCES: [usize; 2] = [1, 3];
+
+/// The full matrix: 2 densities × 2 k-profiles × 2 engines × 2 cadences
+/// = 16 cells.
+fn matrix() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (density, cars) in DENSITIES {
+        for ks in K_PROFILES {
+            for engine in ENGINES {
+                for cadence in CADENCES {
+                    cells.push(Cell {
+                        density,
+                        cars,
+                        ks,
+                        engine,
+                        cadence,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// (ticks, tracked owners): quick by default, bigger under
+/// `SCENARIO_PROFILE=full`.
+fn profile_size() -> (usize, usize) {
+    match std::env::var("SCENARIO_PROFILE").as_deref() {
+        Ok("full") => (12, 10),
+        _ => (4, 6),
+    }
+}
+
+fn privacy_profile(ks: &[u32]) -> PrivacyProfile {
+    let mut builder = PrivacyProfile::builder();
+    for &k in ks {
+        builder = builder.level(LevelRequirement::with_k(k));
+    }
+    builder.build().expect("matrix profiles are valid")
+}
+
+/// Runs one cell at the given batch parallelism; the pipeline's per-tick
+/// verification enforces reversibility, issue-time k-anonymity and grant
+/// preservation, so an `Err` from `run` fails the cell.
+fn run_cell(
+    cell: &Cell,
+    ticks: usize,
+    owners: usize,
+    parallelism: usize,
+) -> Vec<anonymizer::TickReport> {
+    let config = AnonymizerConfig {
+        engine: cell.engine,
+        default_profile: privacy_profile(cell.ks),
+        batch_parallelism: parallelism,
+        ..Default::default()
+    };
+    let mut pipeline = anonymizer::ContinuousPipeline::new(
+        roadnet::grid_city(8, 8, 100.0),
+        SimConfig {
+            cars: cell.cars,
+            seed: 0xce11,
+            ..Default::default()
+        },
+        config,
+        anonymizer::PipelineConfig {
+            dt: 8.0,
+            snapshot_cadence: cell.cadence,
+            tracked_owners: owners,
+            seed: 0x5ce_0a10,
+            verify: true,
+            lbs_probes: 2,
+            poi_count: 60,
+        },
+    );
+    pipeline
+        .run(ticks)
+        .unwrap_or_else(|e| panic!("{}: {e}", cell.name()))
+}
+
+fn summarize(reports: &[anonymizer::TickReport]) -> (usize, usize, QualitySummary) {
+    let issued = reports.iter().map(|r| r.issued).sum();
+    let failed = reports.iter().map(|r| r.failed).sum();
+    let mut quality = QualitySummary::new();
+    for r in reports {
+        quality.merge(&r.quality);
+    }
+    (issued, failed, quality)
+}
+
+#[test]
+fn scenario_matrix_holds_invariants_in_every_cell() {
+    let cells = matrix();
+    assert!(cells.len() >= 12, "matrix must cover at least 12 cells");
+    let (ticks, owners) = profile_size();
+    let mut summaries: Vec<(Cell, usize, QualitySummary)> = Vec::new();
+
+    for cell in &cells {
+        let sequential = run_cell(cell, ticks, owners, 1);
+        let parallel = run_cell(cell, ticks, owners, 3);
+
+        // Batch ≡ sequential determinism: the receipt stream digest per
+        // tick is independent of how the batch was scheduled.
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(
+                s.digest,
+                p.digest,
+                "{}: tick {} diverged across parallelism",
+                cell.name(),
+                s.tick
+            );
+        }
+
+        let (issued, failed, quality) = summarize(&sequential);
+        // Every receipt that was issued also verified (reversibility,
+        // issue-time k-anonymity, grant preservation) — tick() would
+        // have errored otherwise; double-check the accounting.
+        for r in &sequential {
+            assert_eq!(r.verified, r.issued, "{}: tick {}", cell.name(), r.tick);
+        }
+        assert!(issued > 0, "{}: nothing issued", cell.name());
+        if matches!(cell.engine, EngineChoice::Rge) {
+            assert_eq!(failed, 0, "{}: RGE never dead-ends on a grid", cell.name());
+        } else {
+            assert!(
+                failed * 2 <= ticks * owners,
+                "{}: RPLE failed {failed}/{} requests",
+                cell.name(),
+                ticks * owners
+            );
+        }
+        assert!(
+            quality.min_relative_anonymity() >= 1.0,
+            "{}: worst relative anonymity {:.3} < 1",
+            cell.name(),
+            quality.min_relative_anonymity()
+        );
+        // Snapshot cadence is respected.
+        for r in &sequential {
+            assert_eq!(
+                r.snapshot_refreshed,
+                r.tick % cell.cadence as u64 == 0,
+                "{}: tick {}",
+                cell.name(),
+                r.tick
+            );
+        }
+        summaries.push((*cell, issued, quality));
+    }
+
+    // Differential RGE vs RPLE: for each (density, ks, cadence) row the
+    // two engines must both certify k-anonymity, and their mean region
+    // metrics must be in the same regime (RPLE trades preassigned-table
+    // memory for walk speed, not region quality).
+    let mut compared = 0;
+    for (a, issued_a, qa) in &summaries {
+        if !matches!(a.engine, EngineChoice::Rge) {
+            continue;
+        }
+        let (b, issued_b, qb) = summaries
+            .iter()
+            .find(|(b, _, _)| {
+                matches!(b.engine, EngineChoice::Rple { .. })
+                    && b.density == a.density
+                    && b.ks == a.ks
+                    && b.cadence == a.cadence
+            })
+            .map(|(b, i, q)| (b, i, q))
+            .expect("every RGE cell has an RPLE twin");
+        compared += 1;
+        assert!(*issued_a > 0 && *issued_b > 0);
+        assert!(qa.min_relative_anonymity() >= 1.0 && qb.min_relative_anonymity() >= 1.0);
+        let (small, large) = if qa.mean_segments() <= qb.mean_segments() {
+            (qa.mean_segments(), qb.mean_segments())
+        } else {
+            (qb.mean_segments(), qa.mean_segments())
+        };
+        assert!(
+            large <= small * 50.0,
+            "{} vs {:?}: mean regions {small:.1} vs {large:.1} segments are different regimes",
+            a.name(),
+            b.engine
+        );
+        // Both engines must at least reach the top-level k in segments
+        // when every segment holds at most a handful of users.
+        let k_top = *a.ks.last().unwrap() as f64;
+        let densest = a.cars as f64 / 112.0; // 8x8 grid segment count
+        assert!(
+            qa.mean_users() >= k_top && qb.mean_users() >= k_top,
+            "{}: mean users below top k ({densest:.2} cars/segment)",
+            a.name()
+        );
+    }
+    assert_eq!(compared, 8, "every matrix row compared RGE against RPLE");
+}
+
+/// Receipts stay valid against their issuing snapshot even when the
+/// traffic has moved on: re-checking an old tick's quality against the
+/// *latest* snapshot may fail, but the pipeline's per-tick check (bound
+/// to the issuing snapshot) never does. This pins the temporal contract
+/// the harness relies on.
+#[test]
+fn snapshot_churn_does_not_retroactively_invalidate_receipts() {
+    let mut pipeline = anonymizer::ContinuousPipeline::new(
+        roadnet::grid_city(8, 8, 100.0),
+        SimConfig {
+            cars: 150,
+            seed: 9,
+            ..Default::default()
+        },
+        AnonymizerConfig::default(),
+        anonymizer::PipelineConfig {
+            tracked_owners: 8,
+            snapshot_cadence: 1,
+            lbs_probes: 0,
+            ..Default::default()
+        },
+    );
+    let reports = pipeline.run(6).expect("invariants hold under churn");
+    // The snapshot genuinely churned (cars moved between ticks) …
+    let service = pipeline.service();
+    assert!(reports.iter().all(|r| r.snapshot_refreshed));
+    // … and every tick's receipts verified against their own snapshot.
+    assert!(reports.iter().all(|r| r.verified == r.issued));
+    assert_eq!(service.owner_count(), 8);
+}

@@ -86,6 +86,70 @@ fn windowed_snapshot_shrinks_regions_in_sparse_traffic() {
     );
 }
 
+/// A zero-length window (`samples` 0 or 1) degenerates to an instant
+/// capture and must not advance the simulation at all.
+#[test]
+fn zero_length_window_is_an_instant_capture() {
+    let (_, mut sim) = sparse_world(31);
+    let instant = OccupancySnapshot::capture(&sim);
+    for samples in [0usize, 1] {
+        let clock_before = sim.clock();
+        let window = OccupancySnapshot::capture_window(&mut sim, samples, 10.0);
+        assert_eq!(sim.clock(), clock_before, "samples={samples} must not step");
+        assert_eq!(window, instant, "samples={samples}");
+    }
+}
+
+/// A window far longer than any trip on the map (hours of driving on a
+/// small grid) stays well-defined: counts keep being per-segment maxima,
+/// the clock advances exactly `(samples-1)·dt`, and no segment ever
+/// reports more users than exist.
+#[test]
+fn window_longer_than_the_sim_horizon_saturates_cleanly() {
+    let (_, mut sim) = sparse_world(37);
+    let cars = sim.cars().len() as u64;
+    let samples = 40;
+    let dt = 120.0; // 78 minutes of simulated driving
+    let window = OccupancySnapshot::capture_window(&mut sim, samples, dt);
+    assert!((sim.clock() - (samples as f64 - 1.0) * dt).abs() < 1e-9);
+    assert_eq!(window.taken_at_ms(), (sim.clock() * 1000.0) as u64);
+    for s in 0..window.segment_count() as u32 {
+        assert!(window.users_on(SegmentId(s)) as u64 <= cars);
+    }
+    // Long windows accumulate: total at least the final instant's.
+    let final_instant = OccupancySnapshot::capture(&sim);
+    assert!(window.total_users() >= final_instant.total_users());
+    // On a small grid over a long window nearly every segment was
+    // visited at some point.
+    assert!(
+        window.occupied_segments().len() > window.segment_count() / 2,
+        "only {} of {} segments ever occupied",
+        window.occupied_segments().len(),
+        window.segment_count()
+    );
+}
+
+/// Empty traffic: a windowed capture over a simulation with zero cars is
+/// the all-zero snapshot, not a panic or a skewed total.
+#[test]
+fn empty_traffic_window_is_all_zeros() {
+    let mut sim = Simulation::new(
+        roadnet::grid_city(5, 5, 100.0),
+        SimConfig {
+            cars: 0,
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    let window = OccupancySnapshot::capture_window(&mut sim, 6, 10.0);
+    assert_eq!(window.total_users(), 0);
+    assert!(window.occupied_segments().is_empty());
+    assert_eq!(window.segment_count(), sim.network().segment_count());
+    for s in 0..window.segment_count() as u32 {
+        assert_eq!(window.users_on(SegmentId(s)), 0);
+    }
+}
+
 #[test]
 fn windowed_k_anonymity_is_certified_by_the_window() {
     let (_, mut sim) = sparse_world(23);
