@@ -5,7 +5,10 @@
 //! region as visualized in the 'De-anonymizer' GUI."
 
 use crate::service::Engine;
-use cloak::{deanonymize, CloakPayload, DeanonError, DeanonymizedView};
+use cloak::{
+    deanonymize, deanonymize_with_scratch, CloakPayload, CloakScratch, DeanonError,
+    DeanonymizedView,
+};
 use keystream::{Key256, Level};
 use roadnet::RoadNetwork;
 use std::sync::Arc;
@@ -48,6 +51,22 @@ impl Deanonymizer {
         keys: &[(Level, Key256)],
     ) -> Result<DeanonymizedView, DeanonError> {
         deanonymize(&self.net, payload, keys, self.engine.as_dyn())
+    }
+
+    /// [`reduce`](Self::reduce) with caller-owned scratch buffers — a
+    /// verification loop peeling many receipts reuses one
+    /// [`CloakScratch`]; results are bit-identical for any scratch state.
+    ///
+    /// # Errors
+    ///
+    /// Fails on inconsistent payloads or keys that do not match.
+    pub fn reduce_with(
+        &self,
+        payload: &CloakPayload,
+        keys: &[(Level, Key256)],
+        scratch: &mut CloakScratch,
+    ) -> Result<DeanonymizedView, DeanonError> {
+        deanonymize_with_scratch(&self.net, payload, keys, self.engine.as_dyn(), scratch)
     }
 
     /// Successive views while peeling one level at a time — what the

@@ -57,9 +57,9 @@
 use crate::config::AnonymizerConfig;
 use crate::deanonymizer::Deanonymizer;
 use crate::service::{AnonymizeRequest, AnonymizerService, Engine};
-use cloak::{PrivacyProfile, QualitySummary, RegionQuality};
+use cloak::{CloakScratch, PrivacyProfile, QualitySummary, RegionQuality};
 use keystream::{Level, TrustDegree};
-use lbs::{nearest_query, PoiCategory, PoiStore, QueryStats};
+use lbs::{nearest_query_with, PoiCategory, PoiStore, QueryStats, SearchScratch};
 use mobisim::{CarId, OccupancySnapshot, SimConfig, Simulation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -196,7 +196,17 @@ pub struct ContinuousPipeline {
     pois: Option<PoiStore>,
     cfg: PipelineConfig,
     tracked: Vec<(CarId, String)>,
+    /// Persistent request buffer: owner strings are cloned once at
+    /// construction; each tick only rewrites segment and seed in place.
+    requests: Vec<AnonymizeRequest>,
     registered: HashSet<usize>,
+    /// Snapshot buffer reclaimed from the previous cadence swap
+    /// (`Arc::try_unwrap`), recaptured into instead of reallocating.
+    spare_snapshot: Option<OccupancySnapshot>,
+    /// Scratch for per-receipt verification peels.
+    verify_scratch: CloakScratch,
+    /// Scratch for the per-tick LBS query loop.
+    lbs_scratch: SearchScratch,
     tick: u64,
 }
 
@@ -226,8 +236,12 @@ impl ContinuousPipeline {
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1b5_0001);
             PoiStore::generate(service.network(), cfg.poi_count.max(1), &mut rng)
         });
-        let tracked = (0..cfg.tracked_owners.min(sim.cars().len()))
+        let tracked: Vec<(CarId, String)> = (0..cfg.tracked_owners.min(sim.cars().len()))
             .map(|i| (CarId(i as u32), format!("car-{i}")))
+            .collect();
+        let requests = tracked
+            .iter()
+            .map(|(_, owner)| AnonymizeRequest::new(owner.clone(), roadnet::SegmentId(0), 0))
             .collect();
         ContinuousPipeline {
             sim,
@@ -237,7 +251,11 @@ impl ContinuousPipeline {
             pois,
             cfg,
             tracked,
+            requests,
             registered: HashSet::new(),
+            spare_snapshot: None,
+            verify_scratch: CloakScratch::new(),
+            lbs_scratch: SearchScratch::new(),
             tick: 0,
         }
     }
@@ -277,29 +295,38 @@ impl ContinuousPipeline {
         let cadence = self.cfg.snapshot_cadence.max(1) as u64;
         let snapshot_refreshed = self.tick.is_multiple_of(cadence);
         if snapshot_refreshed {
-            self.service
-                .update_snapshot(OccupancySnapshot::capture(&self.sim));
+            // Recapture into the buffer reclaimed from the previous swap
+            // when no in-flight reader still holds it; the steady-state
+            // cadence loop then rotates two snapshot buffers instead of
+            // allocating a fresh one each refresh.
+            let mut snap = self
+                .spare_snapshot
+                .take()
+                .unwrap_or_else(|| OccupancySnapshot::from_counts(Vec::new()));
+            self.sim.capture_into(&mut snap);
+            let previous = self.service.swap_snapshot(snap);
+            self.spare_snapshot = Arc::try_unwrap(previous).ok();
         }
         // The snapshot every receipt of this tick is issued under; later
         // swaps must never retroactively invalidate these receipts.
         let issuing = self.service.snapshot();
 
-        let requests: Vec<AnonymizeRequest> = self
+        for (i, ((car, _), request)) in self
             .tracked
             .iter()
+            .zip(self.requests.iter_mut())
             .enumerate()
-            .map(|(i, (car, owner))| {
-                let segment = self
-                    .sim
-                    .car_segment(*car)
-                    .expect("tracked cars exist for the simulation's lifetime");
-                AnonymizeRequest::new(
-                    owner.clone(),
-                    segment,
-                    mix_seed(self.cfg.seed, self.tick, i as u64),
-                )
-            })
-            .collect();
+        {
+            request.segment = self
+                .sim
+                .car_segment(*car)
+                .expect("tracked cars exist for the simulation's lifetime");
+            request.seed = mix_seed(self.cfg.seed, self.tick, i as u64);
+        }
+        // Take the request buffer so its borrow does not pin `self`
+        // across the verification calls; it is restored before returning
+        // on every path.
+        let requests = std::mem::take(&mut self.requests);
         let results = self.service.anonymize_batch(&requests);
 
         let mut report = TickReport {
@@ -313,6 +340,7 @@ impl ContinuousPipeline {
             quality: QualitySummary::new(),
             lbs: QueryStats::new(),
         };
+        let mut verify_err = None;
         for (i, (request, result)) in requests.iter().zip(&results).enumerate() {
             let receipt = match result {
                 Ok(r) => r,
@@ -334,20 +362,28 @@ impl ContinuousPipeline {
                 if (report.issued - 1) < self.cfg.lbs_probes {
                     // The LBS only ever sees the cloaked region.
                     let category = PoiCategory::ALL[i % PoiCategory::ALL.len()];
-                    report.lbs.record(&nearest_query(
+                    report.lbs.record(&nearest_query_with(
                         self.service.network(),
                         pois,
                         &receipt.payload.segments,
                         category,
+                        &mut self.lbs_scratch,
                     ));
                 }
             }
             if self.cfg.verify {
-                self.verify_receipt(i, request, receipt, &issuing)?;
+                if let Err(e) = self.verify_receipt(i, request, receipt, &issuing) {
+                    verify_err = Some(e);
+                    break;
+                }
                 report.verified += 1;
             }
         }
-        Ok(report)
+        self.requests = requests;
+        match verify_err {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
     }
 
     /// Runs `ticks` ticks, collecting one report per tick.
@@ -406,8 +442,11 @@ impl ContinuousPipeline {
         };
 
         // Exact reversibility through the normal key-fetch path.
-        match self.dean.reduce(&receipt.payload, &keys) {
-            Ok(view) if view.segments == vec![request.segment] => Ok(()),
+        match self
+            .dean
+            .reduce_with(&receipt.payload, &keys, &mut self.verify_scratch)
+        {
+            Ok(view) if view.segments == [request.segment] => Ok(()),
             Ok(view) => fail(&format!(
                 "deanonymized to {:?}, expected exactly [{}]",
                 view.segments, request.segment

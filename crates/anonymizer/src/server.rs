@@ -83,6 +83,9 @@ impl AnonymizerServer {
             let rx = rx.clone();
             let service = Arc::clone(&service);
             handles.push(std::thread::spawn(move || {
+                // Scratch pool for this worker's lifetime: steady-state
+                // jobs run allocation-free inside the cloak walk.
+                let mut scratch = cloak::CloakScratch::new();
                 while let Ok(job) = rx.recv() {
                     // The anonymize path is `&self`: workers proceed in
                     // parallel, contending only on the owner's record
@@ -92,11 +95,12 @@ impl AnonymizerServer {
                         reply,
                         index,
                     } = job;
-                    let result = service.anonymize_seeded(
+                    let result = service.anonymize_seeded_with(
                         &request.owner,
                         request.segment,
-                        request.profile,
+                        request.profile.as_ref(),
                         request.seed,
+                        &mut scratch,
                     );
                     let _ = reply.send((index, result));
                 }
@@ -208,7 +212,7 @@ impl AnonymizerServer {
         for r in reruns {
             let _ = self
                 .service
-                .anonymize_seeded(&r.owner, r.segment, r.profile, r.seed);
+                .anonymize_seeded(&r.owner, r.segment, r.profile.as_ref(), r.seed);
         }
         results
             .into_iter()

@@ -31,8 +31,8 @@
 
 use crate::config::{AnonymizerConfig, EngineChoice};
 use cloak::{
-    anonymize_with_retry, AnonymizationOutcome, CloakError, CloakPayload, PrivacyProfile,
-    ReversibleEngine, RgeEngine, RpleEngine,
+    anonymize_with_retry_scratch, AnonymizationOutcome, CloakError, CloakPayload, CloakScratch,
+    PrivacyProfile, ReversibleEngine, RgeEngine, RpleEngine,
 };
 use keystream::{AccessControlProfile, AccessError, Key256, KeyManager, Level, TrustDegree};
 use mobisim::OccupancySnapshot;
@@ -88,12 +88,16 @@ impl std::fmt::Debug for Engine {
 }
 
 /// Record the anonymizer keeps per published cloak.
+///
+/// The payload sits behind an `Arc` shared with the
+/// [`AnonymizeReceipt`] returned to the owner, so storing the record
+/// costs a pointer bump instead of a deep payload clone.
 #[derive(Debug, Clone)]
 pub struct OwnerRecord {
     /// The owner identity.
     pub owner: String,
-    /// The published payload.
-    pub payload: CloakPayload,
+    /// The published payload (shared with the issued receipt).
+    pub payload: Arc<CloakPayload>,
     /// The owner's per-level keys.
     pub keys: KeyManager,
     /// The owner's access-control profile.
@@ -234,8 +238,8 @@ pub struct AnonymizerService {
 /// plus run accounting.
 #[derive(Debug, Clone)]
 pub struct AnonymizeReceipt {
-    /// The public payload.
-    pub payload: CloakPayload,
+    /// The public payload (shared with the stored [`OwnerRecord`]).
+    pub payload: Arc<CloakPayload>,
     /// Attempts needed (dead-ended walks retried under fresh nonces).
     pub attempts: u32,
     /// The full outcome (chain and per-level stats) for inspection.
@@ -283,7 +287,17 @@ impl AnonymizerService {
     /// the shared `Arc`; in-flight anonymizations keep reading the
     /// snapshot they started with and are never blocked.
     pub fn update_snapshot(&self, snapshot: OccupancySnapshot) {
-        *self.snapshot.write() = Arc::new(snapshot);
+        let _ = self.swap_snapshot(snapshot);
+    }
+
+    /// Like [`update_snapshot`](Self::update_snapshot), returning the
+    /// previously installed snapshot. Once every in-flight reader drops
+    /// its handle the caller can reclaim the buffer with
+    /// `Arc::try_unwrap` and recapture into it
+    /// ([`mobisim::Simulation::capture_into`]) — the allocation-free
+    /// cadence loop of a continuous pipeline.
+    pub fn swap_snapshot(&self, snapshot: OccupancySnapshot) -> Arc<OccupancySnapshot> {
+        std::mem::replace(&mut *self.snapshot.write(), Arc::new(snapshot))
     }
 
     /// The snapshot currently served to new requests (O(1) `Arc` clone).
@@ -307,13 +321,20 @@ impl AnonymizerService {
         &self,
         owner: &str,
         user_segment: SegmentId,
-        profile: Option<PrivacyProfile>,
+        profile: Option<&PrivacyProfile>,
         rng: &mut R,
     ) -> Result<AnonymizeReceipt, CloakError> {
-        let profile = profile.unwrap_or_else(|| self.config.default_profile.clone());
+        let profile = profile.unwrap_or(&self.config.default_profile);
         let keys = KeyManager::generate(profile.level_count(), rng);
         let nonce: u64 = rng.gen();
-        self.anonymize_with_keys(owner, user_segment, profile, keys, nonce)
+        self.anonymize_with_keys(
+            owner,
+            user_segment,
+            profile,
+            keys,
+            nonce,
+            &mut CloakScratch::default(),
+        )
     }
 
     /// Like [`anonymize_owner`](Self::anonymize_owner) with the request's
@@ -331,14 +352,34 @@ impl AnonymizerService {
         &self,
         owner: &str,
         user_segment: SegmentId,
-        profile: Option<PrivacyProfile>,
+        profile: Option<&PrivacyProfile>,
         seed: u64,
     ) -> Result<AnonymizeReceipt, CloakError> {
+        self.anonymize_seeded_with(owner, user_segment, profile, seed, &mut CloakScratch::new())
+    }
+
+    /// [`anonymize_seeded`](Self::anonymize_seeded) with caller-owned
+    /// scratch buffers — the per-worker pool path: a worker holding one
+    /// [`CloakScratch`] anonymizes request after request with no
+    /// steady-state heap traffic beyond the receipt itself. Results are
+    /// bit-identical for any scratch state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CloakError`] when the requirement cannot be met.
+    pub fn anonymize_seeded_with(
+        &self,
+        owner: &str,
+        user_segment: SegmentId,
+        profile: Option<&PrivacyProfile>,
+        seed: u64,
+        scratch: &mut CloakScratch,
+    ) -> Result<AnonymizeReceipt, CloakError> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let profile = profile.unwrap_or_else(|| self.config.default_profile.clone());
+        let profile = profile.unwrap_or(&self.config.default_profile);
         let keys = KeyManager::generate(profile.level_count(), &mut rng);
         let nonce: u64 = rng.gen();
-        self.anonymize_with_keys(owner, user_segment, profile, keys, nonce)
+        self.anonymize_with_keys(owner, user_segment, profile, keys, nonce, scratch)
     }
 
     /// The shared core: runs the cloak with the given keys and nonce and
@@ -347,25 +388,30 @@ impl AnonymizerService {
         &self,
         owner: &str,
         user_segment: SegmentId,
-        profile: PrivacyProfile,
+        profile: &PrivacyProfile,
         keys: KeyManager,
         nonce: u64,
+        scratch: &mut CloakScratch,
     ) -> Result<AnonymizeReceipt, CloakError> {
         let key_vec: Vec<Key256> = keys.iter().map(|(_, k)| k).collect();
         let snapshot = self.snapshot();
-        let (outcome, attempts) = anonymize_with_retry(
+        let (outcome, attempts) = anonymize_with_retry_scratch(
             &self.net,
             &snapshot,
             user_segment,
-            &profile,
+            profile,
             &key_vec,
             nonce,
             self.engine.as_dyn(),
             self.config.max_attempts,
+            scratch,
         )?;
+        // One payload allocation shared by the stored record and the
+        // returned receipt (the record used to deep-clone it twice).
+        let payload = Arc::new(outcome.payload.clone());
         let record = OwnerRecord {
             owner: owner.to_string(),
-            payload: outcome.payload.clone(),
+            payload: Arc::clone(&payload),
             keys,
             access: AccessControlProfile::new(),
         };
@@ -377,7 +423,7 @@ impl AnonymizerService {
                 new.access = old.access.clone();
             });
         Ok(AnonymizeReceipt {
-            payload: outcome.payload.clone(),
+            payload,
             attempts,
             outcome,
         })
@@ -401,9 +447,19 @@ impl AnonymizerService {
         }
         .min(requests.len().max(1));
         if workers <= 1 || requests.len() <= 1 {
+            // One scratch serves the whole sequential sweep.
+            let mut scratch = CloakScratch::new();
             return requests
                 .iter()
-                .map(|r| self.anonymize_seeded(&r.owner, r.segment, r.profile.clone(), r.seed))
+                .map(|r| {
+                    self.anonymize_seeded_with(
+                        &r.owner,
+                        r.segment,
+                        r.profile.as_ref(),
+                        r.seed,
+                        &mut scratch,
+                    )
+                })
                 .collect();
         }
         // Chunked work-stealing: a shared cursor hands out runs of
@@ -418,6 +474,11 @@ impl AnonymizerService {
                 .map(|_| {
                     let cursor = &cursor;
                     scope.spawn(move || {
+                        // Per-worker scratch pool: buffers grow to the
+                        // workload's high-water mark once, then every
+                        // further request on this worker is allocation-
+                        // free inside the cloak walk.
+                        let mut scratch = CloakScratch::new();
                         let mut done = Vec::new();
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -428,11 +489,12 @@ impl AnonymizerService {
                             for (i, r) in requests[start..end].iter().enumerate() {
                                 done.push((
                                     start + i,
-                                    self.anonymize_seeded(
+                                    self.anonymize_seeded_with(
                                         &r.owner,
                                         r.segment,
-                                        r.profile.clone(),
+                                        r.profile.as_ref(),
                                         r.seed,
+                                        &mut scratch,
                                     ),
                                 ));
                             }
@@ -460,7 +522,7 @@ impl AnonymizerService {
             if count > 1 {
                 let r = &requests[last];
                 results[last] =
-                    Some(self.anonymize_seeded(&r.owner, r.segment, r.profile.clone(), r.seed));
+                    Some(self.anonymize_seeded(&r.owner, r.segment, r.profile.as_ref(), r.seed));
             }
         }
         results

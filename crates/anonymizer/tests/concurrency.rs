@@ -124,7 +124,7 @@ fn batch_is_identical_to_sequential_given_the_same_nonces() {
                 let solo = sequential.anonymize_seeded(
                     &req.owner,
                     req.segment,
-                    req.profile.clone(),
+                    req.profile.as_ref(),
                     req.seed,
                 );
                 match (batch_result, solo) {

@@ -1,0 +1,149 @@
+//! Micro-benches of the allocation-free hot path, with and without
+//! scratch reuse, isolating each layer the refactor touched:
+//!
+//! * **adjacency expansion** — walking every segment's neighbors through
+//!   the allocating `neighbor_segments` vs the borrowed CSR slice;
+//! * **single-owner cloak** — one full `anonymize` with a throwaway
+//!   [`cloak::CloakScratch`] per call vs one reused across calls;
+//! * **LBS nearest query** — one `nearest_query` with a throwaway
+//!   [`lbs::SearchScratch`] vs one reused across calls.
+//!
+//! The `fresh` and `reused` variants compute bit-identical results (the
+//! scratch is plain state), so the delta is pure allocator traffic.
+
+use cloak::{
+    anonymize_with_scratch, CloakScratch, LevelRequirement, PrivacyProfile, RgeEngine, RpleEngine,
+};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use keystream::{Key256, KeyManager};
+use lbs::{nearest_query_with, PoiCategory, PoiStore, SearchScratch};
+use mobisim::OccupancySnapshot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roadnet::{grid_city, RoadNetwork, SegmentId};
+
+fn bench_adjacency(c: &mut Criterion) {
+    let net = grid_city(20, 20, 100.0);
+    let mut group = c.benchmark_group("adjacency_full_sweep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("alloc_vec", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in net.segment_ids() {
+                acc += net.neighbor_segments(s).len();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("csr_slice", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in net.segment_ids() {
+                acc += net.neighbor_segments_csr(s).len();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn cloak_world() -> (RoadNetwork, OccupancySnapshot, PrivacyProfile, Vec<Key256>) {
+    let net = grid_city(12, 12, 100.0);
+    let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+    let profile = PrivacyProfile::builder()
+        .level(LevelRequirement::with_k(6))
+        .level(LevelRequirement::with_k(14))
+        .build()
+        .expect("valid profile");
+    let keys = KeyManager::from_seed(2, 7).iter().map(|(_, k)| k).collect();
+    (net, snapshot, profile, keys)
+}
+
+fn bench_single_cloak(c: &mut Criterion) {
+    let (net, snapshot, profile, keys) = cloak_world();
+    let rge = RgeEngine::new();
+    let rple = RpleEngine::build(&net, 12);
+    let mut group = c.benchmark_group("single_owner_cloak");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (label, engine) in [
+        ("rge", &rge as &dyn cloak::ReversibleEngine),
+        ("rple", &rple),
+    ] {
+        let mut nonce = 0u64;
+        group.bench_with_input(BenchmarkId::new(label, "fresh_scratch"), &(), |b, ()| {
+            b.iter(|| {
+                nonce += 1;
+                anonymize_with_scratch(
+                    &net,
+                    &snapshot,
+                    SegmentId(100),
+                    &profile,
+                    &keys,
+                    nonce,
+                    engine,
+                    &mut CloakScratch::new(),
+                )
+            })
+        });
+        let mut scratch = CloakScratch::new();
+        let mut nonce = 0u64;
+        group.bench_with_input(BenchmarkId::new(label, "reused_scratch"), &(), |b, ()| {
+            b.iter(|| {
+                nonce += 1;
+                anonymize_with_scratch(
+                    &net,
+                    &snapshot,
+                    SegmentId(100),
+                    &profile,
+                    &keys,
+                    nonce,
+                    engine,
+                    &mut scratch,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lbs_nearest(c: &mut Criterion) {
+    let net = grid_city(16, 16, 100.0);
+    let mut rng = StdRng::seed_from_u64(0x1b5);
+    let store = PoiStore::generate(&net, 200, &mut rng);
+    let region: Vec<SegmentId> = [200u32, 201, 216, 217].map(SegmentId).to_vec();
+    let mut group = c.benchmark_group("lbs_nearest_query");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("fresh_scratch", |b| {
+        b.iter(|| {
+            nearest_query_with(
+                &net,
+                &store,
+                &region,
+                PoiCategory::Restaurant,
+                &mut SearchScratch::new(),
+            )
+            .len()
+        })
+    });
+    let mut scratch = SearchScratch::new();
+    group.bench_function("reused_scratch", |b| {
+        b.iter(|| {
+            nearest_query_with(&net, &store, &region, PoiCategory::Restaurant, &mut scratch).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_adjacency,
+    bench_single_cloak,
+    bench_lbs_nearest
+);
+criterion_main!(benches);

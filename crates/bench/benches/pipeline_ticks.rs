@@ -7,11 +7,21 @@
 //! reciprocal is sustained ticks/sec. Run once with verification off
 //! (pure pipeline cost) and once with the full invariant check, for both
 //! engines.
+//!
+//! Environment knobs (for CI's perf-trajectory job):
+//!
+//! * `BENCH_QUICK=1` shrinks warm-up/measurement so the run finishes in
+//!   a couple of seconds;
+//! * `BENCH_OUT=path` switches to the CI trajectory mode: a single
+//!   plain-timed pass over the four configurations, written as JSON
+//!   (the `BENCH_pipeline.json` artifact) instead of the criterion
+//!   groups.
 
 use anonymizer::{AnonymizerConfig, ContinuousPipeline, EngineChoice, PipelineConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use mobisim::SimConfig;
 use roadnet::grid_city;
+use std::time::{Duration, Instant};
 
 fn pipeline(engine: EngineChoice, verify: bool) -> ContinuousPipeline {
     ContinuousPipeline::new(
@@ -33,11 +43,16 @@ fn pipeline(engine: EngineChoice, verify: bool) -> ContinuousPipeline {
     )
 }
 
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
 fn bench_pipeline_ticks(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_tick_64owners");
     group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+    let (warm_ms, measure_ms) = if quick() { (100, 400) } else { (500, 3000) };
+    group.warm_up_time(Duration::from_millis(warm_ms));
+    group.measurement_time(Duration::from_millis(measure_ms));
 
     for (engine, label) in [
         (EngineChoice::Rge, "rge"),
@@ -58,5 +73,58 @@ fn bench_pipeline_ticks(c: &mut Criterion) {
     group.finish();
 }
 
+/// Plain-timed measurement of the same workload, emitted as JSON when
+/// `BENCH_OUT` is set — one point of the perf trajectory CI records per
+/// commit. Schema: `{ "<engine>_<mode>": { "mean_tick_ms": f, "ticks_per_sec": f } }`.
+fn write_json_point() {
+    let Ok(path) = std::env::var("BENCH_OUT") else {
+        return;
+    };
+    let measure = if quick() {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(2)
+    };
+    let mut entries = Vec::new();
+    for (engine, label) in [
+        (EngineChoice::Rge, "rge"),
+        (EngineChoice::Rple { t_len: 12 }, "rple"),
+    ] {
+        for verify in [false, true] {
+            let mut p = pipeline(engine, verify);
+            // Warm-up: reach buffer high-water marks before timing.
+            for _ in 0..20 {
+                p.tick().expect("invariants hold");
+            }
+            let t0 = Instant::now();
+            let mut ticks = 0u64;
+            while t0.elapsed() < measure || ticks == 0 {
+                p.tick().expect("invariants hold");
+                ticks += 1;
+            }
+            let mean_ms = t0.elapsed().as_secs_f64() * 1e3 / ticks as f64;
+            let mode = if verify { "verified" } else { "raw" };
+            println!("{label}/{mode:<30} mean {mean_ms:.3} ms/tick");
+            entries.push(format!(
+                "  \"{label}_{mode}\": {{ \"mean_tick_ms\": {mean_ms:.4}, \"ticks_per_sec\": {:.1} }}",
+                1e3 / mean_ms
+            ));
+        }
+    }
+    let json = format!("{{\n{}\n}}\n", entries.join(",\n"));
+    std::fs::write(&path, json).expect("write BENCH_OUT");
+    println!("wrote bench point to {path}");
+}
+
 criterion_group!(benches, bench_pipeline_ticks);
-criterion_main!(benches);
+
+fn main() {
+    // `BENCH_OUT` is the CI trajectory mode: measure once, plain-timed,
+    // and emit JSON — running the criterion groups too would double the
+    // job's measurement work for output it discards.
+    if std::env::var("BENCH_OUT").is_ok() {
+        write_json_point();
+    } else {
+        benches();
+    }
+}

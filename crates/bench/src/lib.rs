@@ -54,7 +54,7 @@ impl World {
         );
         sim.run(3, 10.0);
         let snapshot = OccupancySnapshot::capture(&sim);
-        let occupied = snapshot.occupied_segments();
+        let occupied = snapshot.occupied_segments().collect();
         World {
             net: sim.network().clone(),
             snapshot,

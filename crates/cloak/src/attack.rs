@@ -135,6 +135,7 @@ pub fn selection_uniformity(
     // support to segments actually selectable so uniformity is measured
     // over the right set.
     let mut counts = std::collections::HashMap::new();
+    let mut scratch = crate::scratch::StepScratch::default();
     let mut done = 0u32;
     for t in 0..trials {
         let key = Key256::from_seed(seed.wrapping_add(t as u64).wrapping_mul(0x2545_f491));
@@ -145,6 +146,7 @@ pub fn selection_uniformity(
             seed_segment,
             &mut stream,
             &SpatialTolerance::Unlimited,
+            &mut scratch,
         ) {
             *counts.entry(acc.segment).or_insert(0u32) += 1;
             done += 1;

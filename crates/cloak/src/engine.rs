@@ -33,11 +33,12 @@
 //!    output (B8).
 
 use crate::error::StepFailure;
-use crate::frontier::candidates;
+use crate::frontier::candidates_into;
 use crate::preassign::PreassignedTables;
 use crate::profile::SpatialTolerance;
 use crate::region::RegionState;
-use crate::table::TransitionTable;
+use crate::scratch::StepScratch;
+use crate::table::TableView;
 use keystream::DrawStream;
 use roadnet::{RoadNetwork, SegmentId};
 
@@ -80,6 +81,11 @@ impl HintStack {
         self.0.pop()
     }
 
+    /// Unwraps the remaining hints (scratch-buffer reclamation).
+    pub fn into_inner(self) -> Vec<u32> {
+        self.0
+    }
+
     /// Remaining hints.
     pub fn len(&self) -> usize {
         self.0.len()
@@ -92,18 +98,18 @@ impl HintStack {
 }
 
 /// Lazily materialized draw sequence of one step's substream, so multiple
-/// hypothesis simulations can replay the same rounds.
+/// hypothesis simulations can replay the same rounds. The backing buffer
+/// is borrowed from the caller's [`StepScratch`] (cleared on wrap) so
+/// steps allocate nothing at steady state.
 struct DrawCache<'a> {
     stream: &'a mut DrawStream,
-    draws: Vec<u64>,
+    draws: &'a mut Vec<u64>,
 }
 
 impl<'a> DrawCache<'a> {
-    fn new(stream: &'a mut DrawStream) -> Self {
-        DrawCache {
-            stream,
-            draws: Vec::new(),
-        }
+    fn new(stream: &'a mut DrawStream, draws: &'a mut Vec<u64>) -> Self {
+        draws.clear();
+        DrawCache { stream, draws }
     }
 
     fn get(&mut self, i: usize) -> u64 {
@@ -128,7 +134,8 @@ pub trait ReversibleEngine: Send + Sync {
     fn algorithm_id(&self) -> u8;
 
     /// One forward transition from the region state `CloakA_t`, anchored
-    /// at the chain's last segment.
+    /// at the chain's last segment. `scratch` provides the step's reusable
+    /// buffers ([`StepScratch`]); any scratch yields identical results.
     ///
     /// # Errors
     ///
@@ -136,6 +143,7 @@ pub trait ReversibleEngine: Send + Sync {
     /// [`StepFailure::RedrawBudgetExhausted`] when every round voided, and
     /// [`StepFailure::Collision`] when the selection would be ambiguous to
     /// reverse (the caller should retry the request under a fresh nonce).
+    #[allow(clippy::too_many_arguments)]
     fn forward_step(
         &self,
         net: &RoadNetwork,
@@ -143,6 +151,7 @@ pub trait ReversibleEngine: Send + Sync {
         last: SegmentId,
         stream: &mut DrawStream,
         tolerance: &SpatialTolerance,
+        scratch: &mut StepScratch,
     ) -> Result<StepAccept, StepFailure>;
 
     /// One backward transition: the region is `CloakA_t` (the removed
@@ -165,6 +174,7 @@ pub trait ReversibleEngine: Send + Sync {
         tolerance: &SpatialTolerance,
         expected_round: u32,
         hints: &mut HintStack,
+        scratch: &mut StepScratch,
     ) -> Result<SegmentId, StepFailure>;
 
     /// Ablation probe: how many predecessor hypotheses are consistent with
@@ -172,6 +182,7 @@ pub trait ReversibleEngine: Send + Sync {
     /// round — the paper's "collision" count. A value above 1 means a
     /// design without per-step round metadata could not reverse this step
     /// unambiguously.
+    #[allow(clippy::too_many_arguments)]
     fn ambiguous_predecessors(
         &self,
         net: &RoadNetwork,
@@ -180,6 +191,7 @@ pub trait ReversibleEngine: Send + Sync {
         stream: &mut DrawStream,
         tolerance: &SpatialTolerance,
         hints: &mut HintStack,
+        scratch: &mut StepScratch,
     ) -> usize;
 }
 
@@ -201,7 +213,7 @@ impl RgeEngine {
     fn simulate_row(
         net: &RoadNetwork,
         region: &RegionState,
-        table: &TransitionTable,
+        table: TableView<'_>,
         tolerance: &SpatialTolerance,
         cache: &mut DrawCache<'_>,
         i_s: usize,
@@ -242,17 +254,26 @@ impl ReversibleEngine for RgeEngine {
         last: SegmentId,
         stream: &mut DrawStream,
         tolerance: &SpatialTolerance,
+        scratch: &mut StepScratch,
     ) -> Result<StepAccept, StepFailure> {
-        let cols = candidates(net, region);
+        let StepScratch {
+            rows,
+            cols,
+            stamp,
+            draws,
+            ..
+        } = scratch;
+        candidates_into(net, region, stamp, cols);
         if cols.is_empty() {
             return Err(StepFailure::NoCandidates);
         }
-        let table = TransitionTable::from_sorted(region.sorted_by_length(net), cols);
+        region.sorted_by_length_into(net, rows);
+        let table = TableView::new(rows, cols);
         let i0 = table
             .row_of(net, last)
             .expect("chain anchor must be in the region");
-        let mut cache = DrawCache::new(stream);
-        let (round, cand) = Self::simulate_row(net, region, &table, tolerance, &mut cache, i0)
+        let mut cache = DrawCache::new(stream, draws);
+        let (round, cand) = Self::simulate_row(net, region, table, tolerance, &mut cache, i0)
             .ok_or(StepFailure::RedrawBudgetExhausted)?;
         let band = i0 / table.col_count();
         Ok(StepAccept {
@@ -272,12 +293,21 @@ impl ReversibleEngine for RgeEngine {
         tolerance: &SpatialTolerance,
         expected_round: u32,
         hints: &mut HintStack,
+        scratch: &mut StepScratch,
     ) -> Result<SegmentId, StepFailure> {
-        let cols = candidates(net, region);
+        let StepScratch {
+            rows,
+            cols,
+            stamp,
+            draws,
+            ..
+        } = scratch;
+        candidates_into(net, region, stamp, cols);
         if cols.is_empty() {
             return Err(StepFailure::NoCandidates);
         }
-        let table = TransitionTable::from_sorted(region.sorted_by_length(net), cols);
+        region.sorted_by_length_into(net, rows);
+        let table = TableView::new(rows, cols);
         if table.col_of(net, removed).is_none() {
             // The removed segment is not on this state's frontier: the
             // payload/keys are inconsistent.
@@ -296,13 +326,13 @@ impl ReversibleEngine for RgeEngine {
             return Err(StepFailure::Collision);
         }
         let band_rows = (band * n)..((band * n + n).min(table.row_count()));
-        let mut cache = DrawCache::new(stream);
+        let mut cache = DrawCache::new(stream, draws);
         // Exactly one row of the band can first-accept `removed` at the
         // expected round: same-round selections of distinct rows hit
         // distinct columns (the table's no-collision property).
         for i_s in band_rows {
             if let Some((r, cand)) =
-                Self::simulate_row(net, region, &table, tolerance, &mut cache, i_s)
+                Self::simulate_row(net, region, table, tolerance, &mut cache, i_s)
             {
                 if cand == removed && r as u32 + 1 == expected_round {
                     return Ok(table.rows()[i_s]);
@@ -320,12 +350,21 @@ impl ReversibleEngine for RgeEngine {
         stream: &mut DrawStream,
         tolerance: &SpatialTolerance,
         hints: &mut HintStack,
+        scratch: &mut StepScratch,
     ) -> usize {
-        let cols = candidates(net, region);
+        let StepScratch {
+            rows,
+            cols,
+            stamp,
+            draws,
+            ..
+        } = scratch;
+        candidates_into(net, region, stamp, cols);
         if cols.is_empty() {
             return 0;
         }
-        let table = TransitionTable::from_sorted(region.sorted_by_length(net), cols);
+        region.sorted_by_length_into(net, rows);
+        let table = TableView::new(rows, cols);
         let n = table.col_count();
         let band = if table.needs_hint() {
             match hints.pop() {
@@ -339,11 +378,11 @@ impl ReversibleEngine for RgeEngine {
             return 0;
         }
         let band_rows = (band * n)..((band * n + n).min(table.row_count()));
-        let mut cache = DrawCache::new(stream);
+        let mut cache = DrawCache::new(stream, draws);
         band_rows
             .filter(|&i_s| {
                 matches!(
-                    Self::simulate_row(net, region, &table, tolerance, &mut cache, i_s),
+                    Self::simulate_row(net, region, table, tolerance, &mut cache, i_s),
                     Some((_, cand)) if cand == removed
                 )
             })
@@ -403,18 +442,27 @@ impl RpleEngine {
     }
 
     /// Predecessor hypotheses for `removed`: in-region segments linked to
-    /// it through the backward table.
-    fn hypotheses(&self, region: &RegionState, removed: SegmentId) -> Vec<SegmentId> {
-        let mut out: Vec<SegmentId> = self
-            .tables
-            .backward_list(removed)
-            .iter()
-            .flatten()
-            .copied()
-            .filter(|s| region.contains(*s))
-            .collect();
+    /// it through the backward table. Written into a caller-owned buffer
+    /// (cleared first).
+    fn hypotheses_into(&self, region: &RegionState, removed: SegmentId, out: &mut Vec<SegmentId>) {
+        out.clear();
+        out.extend(
+            self.tables
+                .backward_list(removed)
+                .iter()
+                .flatten()
+                .copied()
+                .filter(|s| region.contains(*s)),
+        );
         out.sort_unstable();
         out.dedup();
+    }
+
+    /// Predecessor hypotheses for `removed` (allocating convenience over
+    /// the internal buffer-reusing walk the backward step performs).
+    pub fn hypotheses(&self, region: &RegionState, removed: SegmentId) -> Vec<SegmentId> {
+        let mut out = Vec::new();
+        self.hypotheses_into(region, removed, &mut out);
         out
     }
 }
@@ -435,6 +483,7 @@ impl ReversibleEngine for RpleEngine {
         last: SegmentId,
         stream: &mut DrawStream,
         tolerance: &SpatialTolerance,
+        scratch: &mut StepScratch,
     ) -> Result<StepAccept, StepFailure> {
         // Local expansion can only move to a pre-assigned neighbor of the
         // anchor; fail fast when no slot could ever be accepted.
@@ -445,7 +494,7 @@ impl ReversibleEngine for RpleEngine {
         if !any_admissible {
             return Err(StepFailure::NoCandidates);
         }
-        let mut cache = DrawCache::new(stream);
+        let mut cache = DrawCache::new(stream, &mut scratch.draws);
         let (round, cand) = self
             .simulate_anchor(net, region, tolerance, &mut cache, last)
             .ok_or(StepFailure::RedrawBudgetExhausted)?;
@@ -466,12 +515,15 @@ impl ReversibleEngine for RpleEngine {
         tolerance: &SpatialTolerance,
         expected_round: u32,
         _hints: &mut HintStack,
+        scratch: &mut StepScratch,
     ) -> Result<SegmentId, StepFailure> {
-        let mut cache = DrawCache::new(stream);
+        let StepScratch { draws, hyp, .. } = scratch;
+        self.hypotheses_into(region, removed, hyp);
+        let mut cache = DrawCache::new(stream, draws);
         // Exactly one predecessor can first-accept `removed` at the
         // expected round: two anchors accepting at the same round would
         // need the same `BT[removed]` cell (the pre-assignment duality).
-        for s in self.hypotheses(region, removed) {
+        for &s in hyp.iter() {
             if let Some((r, cand)) = self.simulate_anchor(net, region, tolerance, &mut cache, s) {
                 if cand == removed && r as u32 + 1 == expected_round {
                     return Ok(s);
@@ -489,11 +541,13 @@ impl ReversibleEngine for RpleEngine {
         stream: &mut DrawStream,
         tolerance: &SpatialTolerance,
         _hints: &mut HintStack,
+        scratch: &mut StepScratch,
     ) -> usize {
-        let mut cache = DrawCache::new(stream);
-        self.hypotheses(region, removed)
-            .into_iter()
-            .filter(|&s| {
+        let StepScratch { draws, hyp, .. } = scratch;
+        self.hypotheses_into(region, removed, hyp);
+        let mut cache = DrawCache::new(stream, draws);
+        hyp.iter()
+            .filter(|&&s| {
                 matches!(
                     self.simulate_anchor(net, region, tolerance, &mut cache, s),
                     Some((_, cand)) if cand == removed
@@ -524,6 +578,7 @@ mod tests {
         key_seed: u64,
         tolerance: SpatialTolerance,
     ) -> Option<Vec<SegmentId>> {
+        let mut scratch = StepScratch::default();
         let mut region = RegionState::from_segments(net, [seed_segment]);
         let mut last = seed_segment;
         let mut chain = Vec::new();
@@ -534,10 +589,11 @@ mod tests {
             // Local expansion can dead-end and tolerance can void a walk
             // out; callers assert such walks are rare and retry under a
             // fresh key at the request level.
-            let acc = match engine.forward_step(net, &region, last, &mut s, &tolerance) {
-                Ok(a) => a,
-                Err(_) => return None,
-            };
+            let acc =
+                match engine.forward_step(net, &region, last, &mut s, &tolerance, &mut scratch) {
+                    Ok(a) => a,
+                    Err(_) => return None,
+                };
             region.insert(net, acc.segment);
             if let Some(h) = acc.hint {
                 hints.push(h);
@@ -561,6 +617,7 @@ mod tests {
                     &tolerance,
                     rounds[t],
                     &mut hint_stack,
+                    &mut scratch,
                 )
                 .unwrap_or_else(|e| panic!("backward step {t} failed: {e}"));
             let expected = if t == 0 { seed_segment } else { chain[t - 1] };
@@ -690,16 +747,31 @@ mod tests {
         let net = grid_city(4, 4, 100.0);
         let tolerance = SpatialTolerance::TotalLength(100.0); // no room to grow
         let region = RegionState::from_segments(&net, [SegmentId(0)]);
+        let mut scratch = StepScratch::default();
         let mut s = stream(1, 0);
         let rge = RgeEngine::new();
         assert_eq!(
-            rge.forward_step(&net, &region, SegmentId(0), &mut s, &tolerance),
+            rge.forward_step(
+                &net,
+                &region,
+                SegmentId(0),
+                &mut s,
+                &tolerance,
+                &mut scratch
+            ),
             Err(StepFailure::RedrawBudgetExhausted)
         );
         let rple = RpleEngine::build(&net, 8);
         let mut s = stream(1, 0);
         assert_eq!(
-            rple.forward_step(&net, &region, SegmentId(0), &mut s, &tolerance),
+            rple.forward_step(
+                &net,
+                &region,
+                SegmentId(0),
+                &mut s,
+                &tolerance,
+                &mut scratch
+            ),
             Err(StepFailure::NoCandidates)
         );
     }
@@ -715,7 +787,8 @@ mod tests {
                 &all,
                 SegmentId(0),
                 &mut s,
-                &SpatialTolerance::Unlimited
+                &SpatialTolerance::Unlimited,
+                &mut StepScratch::default(),
             ),
             Err(StepFailure::NoCandidates)
         );
@@ -726,6 +799,7 @@ mod tests {
         let net = grid_city(6, 6, 100.0);
         let engine = RgeEngine::new();
         let tolerance = SpatialTolerance::Unlimited;
+        let mut scratch = StepScratch::default();
         // Forward with key 7.
         let mut region = RegionState::from_segments(&net, [SegmentId(20)]);
         let mut last = SegmentId(20);
@@ -733,7 +807,7 @@ mod tests {
         for t in 0..8 {
             let mut s = stream(7, t);
             let acc = engine
-                .forward_step(&net, &region, last, &mut s, &tolerance)
+                .forward_step(&net, &region, last, &mut s, &tolerance, &mut scratch)
                 .unwrap();
             region.insert(&net, acc.segment);
             chain.push(acc.segment);
@@ -754,6 +828,7 @@ mod tests {
                 &tolerance,
                 1,
                 &mut hint_stack,
+                &mut scratch,
             ) {
                 Ok(prev) => {
                     recovered.push(prev);
@@ -782,8 +857,8 @@ mod tests {
             &net,
             [SegmentId(0), SegmentId(1), SegmentId(2), SegmentId(9)],
         );
-        let cols = candidates(&net, &region);
-        let table = TransitionTable::from_sorted(region.sorted_by_length(&net), cols);
+        let cols = crate::frontier::candidates(&net, &region);
+        let table = crate::table::TransitionTable::from_sorted(region.sorted_by_length(&net), cols);
         for pick in 0..table.col_count() {
             let mut seen = std::collections::HashSet::new();
             for i in 0..table.row_count().min(table.col_count()) {

@@ -2,6 +2,7 @@
 //! but not inside it.
 
 use crate::region::RegionState;
+use crate::scratch::StampSet;
 use roadnet::{RoadNetwork, SegmentId};
 
 /// Computes `CanA` for the current region: every segment sharing a
@@ -9,18 +10,30 @@ use roadnet::{RoadNetwork, SegmentId};
 /// the column order of the RGE transition table ("the shortest segments
 /// are mapped to the 1st … column").
 pub fn candidates(net: &RoadNetwork, region: &RegionState) -> Vec<SegmentId> {
-    let mut out: Vec<SegmentId> = Vec::new();
-    let mut seen = vec![false; net.segment_count()];
+    let mut out = Vec::new();
+    candidates_into(net, region, &mut StampSet::default(), &mut out);
+    out
+}
+
+/// Like [`candidates`], writing into caller-owned buffers (both cleared
+/// first) — the zero-allocation path engine steps use. `stamp` dedups
+/// the frontier without a per-call membership vector.
+pub fn candidates_into(
+    net: &RoadNetwork,
+    region: &RegionState,
+    stamp: &mut StampSet,
+    out: &mut Vec<SegmentId>,
+) {
+    out.clear();
+    stamp.begin(net.segment_count());
     for s in region.iter_ids() {
-        for n in net.neighbor_segments(s) {
-            if !region.contains(n) && !seen[n.index()] {
-                seen[n.index()] = true;
+        for &n in net.neighbor_segments_csr(s) {
+            if !region.contains(n) && stamp.insert(n.index()) {
                 out.push(n);
             }
         }
     }
-    sort_by_length(net, &mut out);
-    out
+    sort_by_length(net, out);
 }
 
 /// Sorts segments by `(length, id)` in place.

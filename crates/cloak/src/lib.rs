@@ -65,6 +65,7 @@ pub mod payload;
 pub mod preassign;
 pub mod profile;
 pub mod region;
+pub mod scratch;
 pub mod table;
 
 pub use baseline::{random_expansion, BaselineOutcome};
@@ -72,11 +73,13 @@ pub use engine::{HintStack, ReversibleEngine, RgeEngine, RpleEngine, StepAccept,
 pub use error::{CloakError, DeanonError, StepFailure};
 pub use metrics::{QualitySummary, RegionQuality, SuccessRate};
 pub use multilevel::{
-    ambiguity_profile, anonymize, anonymize_with_retry, deanonymize, AmbiguityReport,
+    ambiguity_profile, anonymize, anonymize_with_retry, anonymize_with_retry_scratch,
+    anonymize_with_scratch, deanonymize, deanonymize_with_scratch, AmbiguityReport,
     AnonymizationOutcome, DeanonymizedView, LevelStats, MAX_STEPS_PER_LEVEL,
 };
 pub use payload::{CloakPayload, LevelMeta};
 pub use preassign::PreassignedTables;
 pub use profile::{LevelRequirement, PrivacyProfile, PrivacyProfileBuilder, SpatialTolerance};
 pub use region::RegionState;
-pub use table::TransitionTable;
+pub use scratch::{CloakScratch, StepScratch};
+pub use table::{TableView, TransitionTable};

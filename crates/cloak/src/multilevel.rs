@@ -14,6 +14,7 @@ use crate::error::{CloakError, DeanonError};
 use crate::payload::{CloakPayload, LevelMeta};
 use crate::profile::PrivacyProfile;
 use crate::region::RegionState;
+use crate::scratch::CloakScratch;
 use keystream::{tag, DrawStream, Key256, Level};
 use mobisim::OccupancySnapshot;
 use roadnet::{RoadNetwork, SegmentId};
@@ -60,50 +61,54 @@ pub struct DeanonymizedView {
     pub anchor: SegmentId,
 }
 
-fn step_context(algorithm: u8, level: Level, step: u32, nonce: u64) -> Vec<u8> {
-    let mut ctx = Vec::with_capacity(24);
+/// Writes the step-substream context into `ctx` (cleared first) — the
+/// scratch-buffer form that keeps the per-step context off the heap.
+fn step_context_into(ctx: &mut Vec<u8>, algorithm: u8, level: Level, step: u32, nonce: u64) {
+    ctx.clear();
     ctx.extend_from_slice(b"rc/step/");
     ctx.push(algorithm);
     ctx.push(level.0);
     ctx.extend_from_slice(&step.to_le_bytes());
     ctx.extend_from_slice(&nonce.to_le_bytes());
-    ctx
 }
 
-fn hint_context(algorithm: u8, level: Level, nonce: u64) -> Vec<u8> {
-    let mut ctx = Vec::with_capacity(20);
+fn hint_context_into(ctx: &mut Vec<u8>, algorithm: u8, level: Level, nonce: u64) {
+    ctx.clear();
     ctx.extend_from_slice(b"rc/hint/");
     ctx.push(algorithm);
     ctx.push(level.0);
     ctx.extend_from_slice(&nonce.to_le_bytes());
-    ctx
 }
 
-fn round_context(algorithm: u8, level: Level, nonce: u64) -> Vec<u8> {
-    let mut ctx = Vec::with_capacity(20);
+fn round_context_into(ctx: &mut Vec<u8>, algorithm: u8, level: Level, nonce: u64) {
+    ctx.clear();
     ctx.extend_from_slice(b"rc/round/");
     ctx.push(algorithm);
     ctx.push(level.0);
     ctx.extend_from_slice(&nonce.to_le_bytes());
-    ctx
 }
 
-fn tag_context(level: Level, nonce: u64) -> Vec<u8> {
-    let mut ctx = Vec::with_capacity(16);
+fn tag_context_into(ctx: &mut Vec<u8>, level: Level, nonce: u64) {
+    ctx.clear();
     ctx.extend_from_slice(b"rc/tag/");
     ctx.push(level.0);
     ctx.extend_from_slice(&nonce.to_le_bytes());
-    ctx
 }
 
-fn xor_hints(key: Key256, algorithm: u8, level: Level, nonce: u64, hints: &[u32]) -> Vec<u32> {
-    let mut ks = DrawStream::new(key, &hint_context(algorithm, level, nonce));
-    hints.iter().map(|&h| h ^ (ks.next_u64() as u32)).collect()
+/// XORs `words` against the keyed stream for `ctx` (the symmetric
+/// encrypt/decrypt of round and hint metadata), returning a fresh `Vec`.
+fn xor_stream(key: Key256, ctx: &[u8], words: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(words.len());
+    xor_stream_into(&mut out, key, ctx, words);
+    out
 }
 
-fn xor_rounds(key: Key256, algorithm: u8, level: Level, nonce: u64, rounds: &[u32]) -> Vec<u32> {
-    let mut ks = DrawStream::new(key, &round_context(algorithm, level, nonce));
-    rounds.iter().map(|&r| r ^ (ks.next_u64() as u32)).collect()
+/// Like [`xor_stream`], writing into a caller-owned buffer (cleared
+/// first).
+fn xor_stream_into(out: &mut Vec<u32>, key: Key256, ctx: &[u8], words: &[u32]) {
+    let mut ks = DrawStream::new(key, ctx);
+    out.clear();
+    out.extend(words.iter().map(|&w| w ^ (ks.next_u64() as u32)));
 }
 
 /// Anonymizes `user_segment` under `profile`, driving level `Li` with
@@ -112,6 +117,9 @@ fn xor_rounds(key: Key256, algorithm: u8, level: Level, nonce: u64, rounds: &[u3
 /// The `nonce` must be fresh per request (it domain-separates the keyed
 /// streams so repeated requests from the same segment do not reuse
 /// randomness).
+///
+/// Allocating convenience over
+/// [`anonymize_with_scratch`] (one throwaway [`CloakScratch`] per call).
 ///
 /// # Errors
 ///
@@ -126,6 +134,37 @@ pub fn anonymize(
     nonce: u64,
     engine: &dyn ReversibleEngine,
 ) -> Result<AnonymizationOutcome, CloakError> {
+    anonymize_with_scratch(
+        net,
+        snapshot,
+        user_segment,
+        profile,
+        keys,
+        nonce,
+        engine,
+        &mut CloakScratch::default(),
+    )
+}
+
+/// [`anonymize`] with caller-owned scratch buffers: a worker that keeps
+/// one [`CloakScratch`] per thread cloaks request after request with no
+/// steady-state heap traffic beyond the returned outcome itself. Results
+/// are bit-identical to [`anonymize`] for any scratch state.
+///
+/// # Errors
+///
+/// As [`anonymize`].
+#[allow(clippy::too_many_arguments)]
+pub fn anonymize_with_scratch(
+    net: &RoadNetwork,
+    snapshot: &OccupancySnapshot,
+    user_segment: SegmentId,
+    profile: &PrivacyProfile,
+    keys: &[Key256],
+    nonce: u64,
+    engine: &dyn ReversibleEngine,
+    scratch: &mut CloakScratch,
+) -> Result<AnonymizationOutcome, CloakError> {
     if keys.len() != profile.level_count() {
         return Err(CloakError::KeyCountMismatch {
             expected: profile.level_count(),
@@ -136,7 +175,15 @@ pub fn anonymize(
         return Err(CloakError::UnknownSegment(user_segment));
     }
     let algorithm = engine.algorithm_id();
-    let mut region = RegionState::from_segments(net, [user_segment]);
+    let CloakScratch {
+        region,
+        step,
+        ctx,
+        rounds,
+        hints,
+    } = scratch;
+    region.reset_for(net);
+    region.insert(net, user_segment);
     let mut last = user_segment;
     let mut chain = Vec::new();
     let mut level_metas = Vec::new();
@@ -148,8 +195,8 @@ pub fn anonymize(
         let mut added = 0u32;
         let mut draws = 0u32;
         let mut voided = 0u32;
-        let mut hints = Vec::new();
-        let mut rounds = Vec::new();
+        hints.clear();
+        rounds.clear();
         while region.users(snapshot) < req.k as u64 || region.len() < req.l as usize {
             if added as usize >= MAX_STEPS_PER_LEVEL {
                 return Err(CloakError::CloakingFailed {
@@ -157,10 +204,11 @@ pub fn anonymize(
                     reason: crate::error::StepFailure::StepLimit,
                 });
             }
-            let step = added + 1;
-            let mut stream = DrawStream::new(key, &step_context(algorithm, level, step, nonce));
+            let step_no = added + 1;
+            step_context_into(ctx, algorithm, level, step_no, nonce);
+            let mut stream = DrawStream::new(key, ctx);
             let accept = engine
-                .forward_step(net, &region, last, &mut stream, &req.tolerance)
+                .forward_step(net, region, last, &mut stream, &req.tolerance, step)
                 .map_err(|reason| CloakError::CloakingFailed { level, reason })?;
             region.insert(net, accept.segment);
             chain.push(accept.segment);
@@ -173,13 +221,18 @@ pub fn anonymize(
                 hints.push(h);
             }
         }
-        let tag = tag::compute(key, &tag_context(level, nonce), &last.0.to_le_bytes());
+        tag_context_into(ctx, level, nonce);
+        let tag = tag::compute(key, ctx, &last.0.to_le_bytes());
+        round_context_into(ctx, algorithm, level, nonce);
+        let enc_rounds = xor_stream(key, ctx, rounds);
+        hint_context_into(ctx, algorithm, level, nonce);
+        let enc_hints = xor_stream(key, ctx, hints);
         level_metas.push(LevelMeta {
             count: added,
             tag,
             tolerance: req.tolerance,
-            enc_rounds: xor_rounds(key, algorithm, level, nonce, &rounds),
-            enc_hints: xor_hints(key, algorithm, level, nonce, &hints),
+            enc_rounds,
+            enc_hints,
         });
         per_level.push(LevelStats {
             level,
@@ -222,10 +275,50 @@ pub fn anonymize_with_retry(
     engine: &dyn ReversibleEngine,
     max_attempts: u32,
 ) -> Result<(AnonymizationOutcome, u32), CloakError> {
+    anonymize_with_retry_scratch(
+        net,
+        snapshot,
+        user_segment,
+        profile,
+        keys,
+        nonce,
+        engine,
+        max_attempts,
+        &mut CloakScratch::default(),
+    )
+}
+
+/// [`anonymize_with_retry`] with caller-owned scratch buffers (see
+/// [`anonymize_with_scratch`]).
+///
+/// # Errors
+///
+/// As [`anonymize_with_retry`].
+#[allow(clippy::too_many_arguments)]
+pub fn anonymize_with_retry_scratch(
+    net: &RoadNetwork,
+    snapshot: &OccupancySnapshot,
+    user_segment: SegmentId,
+    profile: &PrivacyProfile,
+    keys: &[Key256],
+    nonce: u64,
+    engine: &dyn ReversibleEngine,
+    max_attempts: u32,
+    scratch: &mut CloakScratch,
+) -> Result<(AnonymizationOutcome, u32), CloakError> {
     let mut last_err = None;
     for attempt in 0..max_attempts.max(1) {
         let derived = nonce.wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        match anonymize(net, snapshot, user_segment, profile, keys, derived, engine) {
+        match anonymize_with_scratch(
+            net,
+            snapshot,
+            user_segment,
+            profile,
+            keys,
+            derived,
+            engine,
+            scratch,
+        ) {
             Ok(out) => return Ok((out, attempt + 1)),
             Err(
                 e @ CloakError::CloakingFailed {
@@ -249,6 +342,9 @@ pub fn anonymize_with_retry(
 /// Passing no keys returns the payload's region unchanged at its top
 /// level.
 ///
+/// Allocating convenience over [`deanonymize_with_scratch`] (one
+/// throwaway [`CloakScratch`] per call).
+///
 /// # Errors
 ///
 /// Fails on malformed payloads, non-contiguous keys, keys that do not
@@ -258,6 +354,24 @@ pub fn deanonymize(
     payload: &CloakPayload,
     keys: &[(Level, Key256)],
     engine: &dyn ReversibleEngine,
+) -> Result<DeanonymizedView, DeanonError> {
+    deanonymize_with_scratch(net, payload, keys, engine, &mut CloakScratch::default())
+}
+
+/// [`deanonymize`] with caller-owned scratch buffers: the verification
+/// loop of a streaming pipeline peels receipt after receipt without
+/// re-allocating the region, draw cache, or metadata buffers. Results
+/// are bit-identical to [`deanonymize`] for any scratch state.
+///
+/// # Errors
+///
+/// As [`deanonymize`].
+pub fn deanonymize_with_scratch(
+    net: &RoadNetwork,
+    payload: &CloakPayload,
+    keys: &[(Level, Key256)],
+    engine: &dyn ReversibleEngine,
+    scratch: &mut CloakScratch,
 ) -> Result<DeanonymizedView, DeanonError> {
     if payload.algorithm != engine.algorithm_id() {
         return Err(DeanonError::MalformedPayload(format!(
@@ -273,7 +387,17 @@ pub fn deanonymize(
             )));
         }
     }
-    let mut region = RegionState::from_segments(net, payload.segments.iter().copied());
+    let CloakScratch {
+        region,
+        step,
+        ctx,
+        rounds,
+        hints,
+    } = scratch;
+    region.reset_for(net);
+    for &s in &payload.segments {
+        region.insert(net, s);
+    }
     let mut current_level = payload.top_level();
     let mut anchor: Option<SegmentId> = None;
 
@@ -291,14 +415,14 @@ pub fn deanonymize(
             });
         }
         let meta = &payload.levels[level.index() - 1];
-        let tctx = tag_context(level, payload.nonce);
+        tag_context_into(ctx, level, payload.nonce);
 
         // Identify the level's last-added segment: verify against the
         // running anchor when we have one, otherwise search the region for
         // the unique tag match (the top level's bootstrap).
         let last = match anchor {
             Some(a) => {
-                if !tag::verify(key, &tctx, &a.0.to_le_bytes(), meta.tag) {
+                if !tag::verify(key, ctx, &a.0.to_le_bytes(), meta.tag) {
                     return Err(DeanonError::WrongKey(level));
                 }
                 a
@@ -306,7 +430,7 @@ pub fn deanonymize(
             None => {
                 let mut matches = region
                     .iter_ids()
-                    .filter(|s| tag::verify(key, &tctx, &s.0.to_le_bytes(), meta.tag));
+                    .filter(|s| tag::verify(key, ctx, &s.0.to_le_bytes(), meta.tag));
                 let found = matches.next().ok_or(DeanonError::WrongKey(level))?;
                 if matches.next().is_some() {
                     // Two segments share a 128-bit tag: astronomically
@@ -321,44 +445,40 @@ pub fn deanonymize(
 
         // Decrypt the level's round numbers and quotient hints, then walk
         // backward.
-        let rounds = xor_rounds(
-            key,
-            payload.algorithm,
-            level,
-            payload.nonce,
-            &meta.enc_rounds,
-        );
-        let hints = xor_hints(
-            key,
-            payload.algorithm,
-            level,
-            payload.nonce,
-            &meta.enc_hints,
-        );
-        let mut hint_stack = HintStack::new(hints);
+        round_context_into(ctx, payload.algorithm, level, payload.nonce);
+        xor_stream_into(rounds, key, ctx, &meta.enc_rounds);
+        hint_context_into(ctx, payload.algorithm, level, payload.nonce);
+        xor_stream_into(hints, key, ctx, &meta.enc_hints);
+        let mut hint_stack = HintStack::new(std::mem::take(hints));
         let mut current = last;
-        for t in (1..=meta.count).rev() {
-            region.remove(net, current);
-            let mut stream = DrawStream::new(
-                key,
-                &step_context(payload.algorithm, level, t, payload.nonce),
-            );
-            current = engine
-                .backward_step(
-                    net,
-                    &region,
-                    current,
-                    &mut stream,
-                    &meta.tolerance,
-                    rounds[t as usize - 1],
-                    &mut hint_stack,
-                )
-                .map_err(|_| DeanonError::ReversalFailed {
-                    level,
-                    step: t as usize,
-                })?;
-        }
-        anchor = Some(current);
+        let mut walk = || -> Result<SegmentId, DeanonError> {
+            for t in (1..=meta.count).rev() {
+                region.remove(net, current);
+                step_context_into(ctx, payload.algorithm, level, t, payload.nonce);
+                let mut stream = DrawStream::new(key, ctx);
+                current = engine
+                    .backward_step(
+                        net,
+                        region,
+                        current,
+                        &mut stream,
+                        &meta.tolerance,
+                        rounds[t as usize - 1],
+                        &mut hint_stack,
+                        step,
+                    )
+                    .map_err(|_| DeanonError::ReversalFailed {
+                        level,
+                        step: t as usize,
+                    })?;
+            }
+            Ok(current)
+        };
+        let walked = walk();
+        // Reclaim the hint buffer before propagating any walk error so
+        // the scratch keeps its capacity across calls.
+        *hints = hint_stack.into_inner();
+        anchor = Some(walked?);
         current_level = Level(level.0 - 1);
     }
 
@@ -738,19 +858,22 @@ pub fn ambiguity_profile(
     let payload = &outcome.payload;
     let algorithm = payload.algorithm;
     let mut region = RegionState::from_segments(net, payload.segments.iter().copied());
+    let mut step_scratch = crate::scratch::StepScratch::default();
+    let mut ctx = Vec::new();
     let mut report = AmbiguityReport::default();
     let mut chain_end = outcome.chain.len();
     for (idx, meta) in payload.levels.iter().enumerate().rev() {
         let level = Level(idx as u8 + 1);
         let key = keys[idx];
-        let hints = xor_hints(key, algorithm, level, payload.nonce, &meta.enc_hints);
+        hint_context_into(&mut ctx, algorithm, level, payload.nonce);
+        let hints = xor_stream(key, &ctx, &meta.enc_hints);
         let mut hint_stack = HintStack::new(hints);
         for t in (1..=meta.count).rev() {
             let removed = outcome.chain[chain_end - 1];
             chain_end -= 1;
             region.remove(net, removed);
-            let mut stream =
-                DrawStream::new(key, &step_context(algorithm, level, t, payload.nonce));
+            step_context_into(&mut ctx, algorithm, level, t, payload.nonce);
+            let mut stream = DrawStream::new(key, &ctx);
             let count = engine.ambiguous_predecessors(
                 net,
                 &region,
@@ -758,6 +881,7 @@ pub fn ambiguity_profile(
                 &mut stream,
                 &meta.tolerance,
                 &mut hint_stack,
+                &mut step_scratch,
             ) as u32;
             report.steps += 1;
             report.total_candidates += count as u64;

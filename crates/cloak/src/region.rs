@@ -16,15 +16,36 @@ pub struct RegionState {
     bbox: BoundingBox,
 }
 
-impl RegionState {
-    /// An empty region over a network with `segment_count` segments.
-    pub fn new(net: &RoadNetwork) -> Self {
+impl Default for RegionState {
+    /// An empty region over no network; size it with
+    /// [`reset_for`](RegionState::reset_for) before use (scratch reuse).
+    fn default() -> Self {
         RegionState {
-            members: vec![false; net.segment_count()],
+            members: Vec::new(),
             count: 0,
             total_length: 0.0,
             bbox: BoundingBox::empty(),
         }
+    }
+}
+
+impl RegionState {
+    /// An empty region over a network with `segment_count` segments.
+    pub fn new(net: &RoadNetwork) -> Self {
+        let mut r = Self::default();
+        r.reset_for(net);
+        r
+    }
+
+    /// Empties the region and (re)sizes it for `net`, reusing the
+    /// membership buffer — the scratch-pool path that avoids the
+    /// per-request `vec![false; n]` of [`new`](RegionState::new).
+    pub fn reset_for(&mut self, net: &RoadNetwork) {
+        self.members.clear();
+        self.members.resize(net.segment_count(), false);
+        self.count = 0;
+        self.total_length = 0.0;
+        self.bbox = BoundingBox::empty();
     }
 
     /// A region seeded with the given segments.
@@ -124,14 +145,23 @@ impl RegionState {
     /// transition table ("in the order of segment length so that the
     /// shortest segments are mapped to the 1st row").
     pub fn sorted_by_length(&self, net: &RoadNetwork) -> Vec<SegmentId> {
-        let mut v = self.to_sorted_ids();
-        v.sort_by(|&a, &b| {
+        let mut v = Vec::new();
+        self.sorted_by_length_into(net, &mut v);
+        v
+    }
+
+    /// Like [`sorted_by_length`](RegionState::sorted_by_length), writing
+    /// into a caller-owned buffer (cleared first) — the zero-allocation
+    /// path engine steps use.
+    pub fn sorted_by_length_into(&self, net: &RoadNetwork, out: &mut Vec<SegmentId>) {
+        out.clear();
+        out.extend(self.iter_ids());
+        out.sort_by(|&a, &b| {
             net.segment(a)
                 .length()
                 .total_cmp(&net.segment(b).length())
                 .then(a.cmp(&b))
         });
-        v
     }
 
     /// Total users currently in the region (`δk` check).

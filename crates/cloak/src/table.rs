@@ -18,37 +18,38 @@ use crate::frontier::position_in_sorted;
 use roadnet::{RoadNetwork, SegmentId};
 use std::fmt;
 
-/// A transition table for one expansion step.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TransitionTable {
-    rows: Vec<SegmentId>,
-    cols: Vec<SegmentId>,
+/// A borrowed transition-table view: the same cell algebra as
+/// [`TransitionTable`] over slices the caller owns (engine scratch
+/// buffers), so building a per-step table costs no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableView<'a> {
+    rows: &'a [SegmentId],
+    cols: &'a [SegmentId],
 }
 
-impl TransitionTable {
-    /// Builds the table from *already `(length, id)`-sorted* row and
-    /// column segment lists.
+impl<'a> TableView<'a> {
+    /// Wraps *already `(length, id)`-sorted* row and column lists.
     ///
     /// # Panics
     ///
     /// Panics if either list is empty.
-    pub fn from_sorted(rows: Vec<SegmentId>, cols: Vec<SegmentId>) -> Self {
+    pub fn new(rows: &'a [SegmentId], cols: &'a [SegmentId]) -> Self {
         assert!(!rows.is_empty(), "transition table needs at least one row");
         assert!(
             !cols.is_empty(),
             "transition table needs at least one column"
         );
-        TransitionTable { rows, cols }
+        TableView { rows, cols }
     }
 
     /// Row segments (the cloaking region, shortest first).
-    pub fn rows(&self) -> &[SegmentId] {
-        &self.rows
+    pub fn rows(&self) -> &'a [SegmentId] {
+        self.rows
     }
 
     /// Column segments (the frontier, shortest first).
-    pub fn cols(&self) -> &[SegmentId] {
-        &self.cols
+    pub fn cols(&self) -> &'a [SegmentId] {
+        self.cols
     }
 
     /// `|CloakA|`.
@@ -109,12 +110,113 @@ impl TransitionTable {
 
     /// The row index of segment `s`, if present.
     pub fn row_of(&self, net: &RoadNetwork, s: SegmentId) -> Option<usize> {
-        position_in_sorted(net, &self.rows, s)
+        position_in_sorted(net, self.rows, s)
     }
 
     /// The column index of segment `s`, if present.
     pub fn col_of(&self, net: &RoadNetwork, s: SegmentId) -> Option<usize> {
-        position_in_sorted(net, &self.cols, s)
+        position_in_sorted(net, self.cols, s)
+    }
+}
+
+/// A transition table for one expansion step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionTable {
+    rows: Vec<SegmentId>,
+    cols: Vec<SegmentId>,
+}
+
+impl TransitionTable {
+    /// Builds the table from *already `(length, id)`-sorted* row and
+    /// column segment lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either list is empty.
+    pub fn from_sorted(rows: Vec<SegmentId>, cols: Vec<SegmentId>) -> Self {
+        assert!(!rows.is_empty(), "transition table needs at least one row");
+        assert!(
+            !cols.is_empty(),
+            "transition table needs at least one column"
+        );
+        TransitionTable { rows, cols }
+    }
+
+    /// The table as a borrowed [`TableView`] (what the engines build
+    /// directly from scratch buffers on the hot path).
+    pub fn view(&self) -> TableView<'_> {
+        TableView {
+            rows: &self.rows,
+            cols: &self.cols,
+        }
+    }
+
+    /// Row segments (the cloaking region, shortest first).
+    pub fn rows(&self) -> &[SegmentId] {
+        &self.rows
+    }
+
+    /// Column segments (the frontier, shortest first).
+    pub fn cols(&self) -> &[SegmentId] {
+        &self.cols
+    }
+
+    /// `|CloakA|`.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `|CanA|`.
+    pub fn col_count(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The transition value in cell `(i, j)` (0-based).
+    pub fn value(&self, i: usize, j: usize) -> usize {
+        self.view().value(i, j)
+    }
+
+    /// The quotient-hint modulus: how many row "bands" share each residue.
+    /// 1 when `|CloakA| ≤ |CanA|` (no hint needed).
+    pub fn hint_modulus(&self) -> usize {
+        self.view().hint_modulus()
+    }
+
+    /// Whether backward lookups need a quotient hint.
+    pub fn needs_hint(&self) -> bool {
+        self.view().needs_hint()
+    }
+
+    /// Forward transition: from row `i`, the unique column whose cell
+    /// value equals `pick`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `pick ≥ |CanA|`.
+    pub fn forward_col(&self, i: usize, pick: usize) -> usize {
+        self.view().forward_col(i, pick)
+    }
+
+    /// Backward transition: from column `j` and `pick`, the unique row in
+    /// band `hint` whose cell value equals `pick` — `None` when that row
+    /// index falls outside the table (the draw cannot have produced this
+    /// column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range or `pick ≥ |CanA|`.
+    pub fn backward_row(&self, j: usize, pick: usize, hint: usize) -> Option<usize> {
+        self.view().backward_row(j, pick, hint)
+    }
+
+    /// The row index of segment `s`, if present.
+    pub fn row_of(&self, net: &RoadNetwork, s: SegmentId) -> Option<usize> {
+        self.view().row_of(net, s)
+    }
+
+    /// The column index of segment `s`, if present.
+    pub fn col_of(&self, net: &RoadNetwork, s: SegmentId) -> Option<usize> {
+        self.view().col_of(net, s)
     }
 
     /// Renders the table like paper Figure 2 (rows/columns labelled with

@@ -2,7 +2,9 @@
 //! step-by-step reversibility contract must hold on realistic street
 //! topology, not only on lattices.
 
-use cloak::{HintStack, RegionState, ReversibleEngine, RgeEngine, RpleEngine, SpatialTolerance};
+use cloak::{
+    HintStack, RegionState, ReversibleEngine, RgeEngine, RpleEngine, SpatialTolerance, StepScratch,
+};
 use keystream::{DrawStream, Key256};
 use proptest::prelude::*;
 use roadnet::{irregular_city, IrregularConfig, RoadNetwork, SegmentId};
@@ -21,6 +23,7 @@ fn roundtrip(
     key_seed: u64,
     tolerance: SpatialTolerance,
 ) -> Result<bool, TestCaseError> {
+    let mut scratch = StepScratch::default();
     let mut region = RegionState::from_segments(net, [seed_segment]);
     let mut last = seed_segment;
     let mut chain = Vec::new();
@@ -28,7 +31,7 @@ fn roundtrip(
     let mut rounds = Vec::new();
     for t in 0..steps {
         let mut s = step_stream(key_seed, t as u32);
-        match engine.forward_step(net, &region, last, &mut s, &tolerance) {
+        match engine.forward_step(net, &region, last, &mut s, &tolerance, &mut scratch) {
             Ok(acc) => {
                 region.insert(net, acc.segment);
                 if let Some(h) = acc.hint {
@@ -55,6 +58,7 @@ fn roundtrip(
                 &tolerance,
                 rounds[t],
                 &mut hint_stack,
+                &mut scratch,
             )
             .map_err(|e| TestCaseError::fail(format!("backward step {t}: {e}")))?;
         let expected = if t == 0 { seed_segment } else { chain[t - 1] };
@@ -159,11 +163,19 @@ proptest! {
         });
         let engine = RgeEngine::new();
         let seed_segment = SegmentId(seg % net.segment_count() as u32);
+        let mut scratch = StepScratch::default();
         let mut region = RegionState::from_segments(&net, [seed_segment]);
         let mut last = seed_segment;
         for t in 0..10u32 {
             let mut s = step_stream(key_seed, t);
-            match engine.forward_step(&net, &region, last, &mut s, &SpatialTolerance::Unlimited) {
+            match engine.forward_step(
+                &net,
+                &region,
+                last,
+                &mut s,
+                &SpatialTolerance::Unlimited,
+                &mut scratch,
+            ) {
                 Ok(acc) => {
                     // The new segment touches the region.
                     prop_assert!(!region.contains(acc.segment));

@@ -31,4 +31,7 @@ pub mod poi;
 pub mod query;
 
 pub use poi::{Poi, PoiCategory, PoiId, PoiStore};
-pub use query::{nearest_query, range_query, refine_nearest, CandidateAnswer, QueryStats};
+pub use query::{
+    nearest_query, nearest_query_with, range_query, range_query_with, refine_nearest,
+    refine_nearest_with, CandidateAnswer, QueryStats, SearchScratch,
+};

@@ -16,7 +16,7 @@
 
 use crate::poi::{Poi, PoiCategory, PoiStore};
 use roadnet::{JunctionId, RoadNetwork, SegmentId};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// The LBS answer: candidates plus the work the server did (the paper's
 /// query-processing cost axes).
@@ -115,76 +115,142 @@ impl std::fmt::Display for QueryStats {
     }
 }
 
+#[derive(Debug, Clone, PartialEq)]
+struct HeapEntry {
+    d: f64,
+    j: u32,
+}
+impl Eq for HeapEntry {}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .d
+            .partial_cmp(&self.d)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.j.cmp(&self.j))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Pooled buffers for the LBS region-distance search: a flat distance
+/// array keyed by junction index (generation-stamped, so resets are
+/// `O(1)`), a segment-visit stamp array, and a reusable binary heap.
+///
+/// # Reuse contract
+///
+/// One scratch per query-processing thread; results are bit-identical
+/// for any scratch state (each search restarts the generation and the
+/// heap before reading them). Reused across queries, the steady-state
+/// search allocates nothing — the buffers grow once to the network's
+/// size and the heap to the search's high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    dist: Vec<f64>,
+    dist_stamp: Vec<u32>,
+    seg_stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl SearchScratch {
+    /// A fresh scratch; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, junctions: usize, segments: usize) {
+        if self.dist.len() < junctions {
+            self.dist.resize(junctions, 0.0);
+            self.dist_stamp.resize(junctions, 0);
+        }
+        if self.seg_stamp.len() < segments {
+            self.seg_stamp.resize(segments, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.dist_stamp.fill(0);
+            self.seg_stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+    }
+
+    fn get(&self, j: JunctionId) -> Option<f64> {
+        (self.dist_stamp[j.index()] == self.epoch).then(|| self.dist[j.index()])
+    }
+
+    fn set(&mut self, j: JunctionId, d: f64) {
+        self.dist[j.index()] = d;
+        self.dist_stamp[j.index()] = self.epoch;
+    }
+
+    /// Marks a segment visited; returns whether it was new this search.
+    fn visit_segment(&mut self, s: SegmentId) -> bool {
+        if self.seg_stamp[s.index()] == self.epoch {
+            false
+        } else {
+            self.seg_stamp[s.index()] = self.epoch;
+            true
+        }
+    }
+}
+
 /// Multi-source Dijkstra from all junctions of the region's segments;
-/// returns road distance from the *nearest region segment* to every
-/// junction reached within `limit` meters.
+/// leaves road distance from the *nearest region segment* to every
+/// junction reached within `limit` meters in `scratch`, returning the
+/// number of segments the search expanded.
 fn region_distances(
     net: &RoadNetwork,
     region: &[SegmentId],
     limit: f64,
-) -> (HashMap<JunctionId, f64>, usize) {
-    #[derive(PartialEq)]
-    struct E {
-        d: f64,
-        j: u32,
-    }
-    impl Eq for E {}
-    impl Ord for E {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            other
-                .d
-                .partial_cmp(&self.d)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| other.j.cmp(&self.j))
-        }
-    }
-    impl PartialOrd for E {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
-    let mut dist: HashMap<JunctionId, f64> = HashMap::new();
-    let mut heap = BinaryHeap::new();
+    scratch: &mut SearchScratch,
+) -> usize {
+    scratch.begin(net.junction_count(), net.segment_count());
     for &s in region {
         let seg = net.segment(s);
         for j in [seg.a(), seg.b()] {
             // Any region endpoint is a possible exit at distance 0 (the
             // user could be anywhere on the segment, including its ends).
-            if dist.get(&j).is_none_or(|&d| d > 0.0) {
-                dist.insert(j, 0.0);
-                heap.push(E { d: 0.0, j: j.0 });
+            if scratch.get(j).is_none_or(|d| d > 0.0) {
+                scratch.set(j, 0.0);
+                scratch.heap.push(HeapEntry { d: 0.0, j: j.0 });
             }
         }
     }
-    let mut visited_segments = std::collections::HashSet::new();
-    while let Some(E { d, j }) = heap.pop() {
+    let mut visited_segments = 0usize;
+    while let Some(HeapEntry { d, j }) = scratch.heap.pop() {
         let j = JunctionId(j);
-        if dist.get(&j).is_some_and(|&cur| d > cur) {
+        if scratch.get(j).is_some_and(|cur| d > cur) {
             continue;
         }
         if d > limit {
             continue;
         }
-        for &s in net.junction(j).incident_segments() {
-            visited_segments.insert(s);
+        for &s in net.incident_segments(j) {
+            if scratch.visit_segment(s) {
+                visited_segments += 1;
+            }
             let seg = net.segment(s);
             let other = seg.other_endpoint(j).expect("incident endpoint");
             let nd = d + seg.length();
-            if nd <= limit && dist.get(&other).is_none_or(|&cur| nd < cur) {
-                dist.insert(other, nd);
-                heap.push(E { d: nd, j: other.0 });
+            if nd <= limit && scratch.get(other).is_none_or(|cur| nd < cur) {
+                scratch.set(other, nd);
+                scratch.heap.push(HeapEntry { d: nd, j: other.0 });
             }
         }
     }
-    (dist, visited_segments.len())
+    visited_segments
 }
 
 /// Shortest road distance from the region to a POI, given the junction
-/// distance map (`None` when the POI is out of range).
+/// distances left in `scratch` (`None` when the POI is out of range).
 fn poi_distance(
     net: &RoadNetwork,
-    dist: &HashMap<JunctionId, f64>,
+    scratch: &SearchScratch,
     region: &[SegmentId],
     poi: &Poi,
 ) -> Option<f64> {
@@ -192,9 +258,9 @@ fn poi_distance(
         return Some(0.0);
     }
     let seg = net.segment(poi.segment);
-    let via_a = dist.get(&seg.a()).map(|d| d + poi.offset);
-    let via_b = dist
-        .get(&seg.b())
+    let via_a = scratch.get(seg.a()).map(|d| d + poi.offset);
+    let via_b = scratch
+        .get(seg.b())
         .map(|d| d + (seg.length() - poi.offset).max(0.0));
     match (via_a, via_b) {
         (Some(a), Some(b)) => Some(a.min(b)),
@@ -216,11 +282,31 @@ pub fn range_query(
     category: PoiCategory,
     radius: f64,
 ) -> CandidateAnswer {
-    let (dist, visited) = region_distances(net, region, radius);
+    range_query_with(
+        net,
+        store,
+        region,
+        category,
+        radius,
+        &mut SearchScratch::new(),
+    )
+}
+
+/// [`range_query`] with caller-owned search buffers (see
+/// [`SearchScratch`]); bit-identical results for any scratch state.
+pub fn range_query_with(
+    net: &RoadNetwork,
+    store: &PoiStore,
+    region: &[SegmentId],
+    category: PoiCategory,
+    radius: f64,
+    scratch: &mut SearchScratch,
+) -> CandidateAnswer {
+    let visited = region_distances(net, region, radius, scratch);
     let mut candidates: Vec<Poi> = store
         .iter()
         .filter(|p| p.category == category)
-        .filter(|p| poi_distance(net, &dist, region, p).is_some_and(|d| d <= radius))
+        .filter(|p| poi_distance(net, scratch, region, p).is_some_and(|d| d <= radius))
         .copied()
         .collect();
     candidates.sort_by_key(|p| p.id);
@@ -243,17 +329,31 @@ pub fn nearest_query(
     region: &[SegmentId],
     category: PoiCategory,
 ) -> CandidateAnswer {
+    nearest_query_with(net, store, region, category, &mut SearchScratch::new())
+}
+
+/// [`nearest_query`] with caller-owned search buffers (see
+/// [`SearchScratch`]) — the per-tick query loop of a streaming pipeline
+/// reuses one scratch across every probe; bit-identical results for any
+/// scratch state.
+pub fn nearest_query_with(
+    net: &RoadNetwork,
+    store: &PoiStore,
+    region: &[SegmentId],
+    category: PoiCategory,
+    scratch: &mut SearchScratch,
+) -> CandidateAnswer {
     // Region "diameter" upper bound: total road length of the region (a
     // safe overestimate of the longest internal detour).
     let diameter: f64 = region.iter().map(|&s| net.segment(s).length()).sum();
     // Grow the search limit until at least one POI is found (doubling).
     let mut limit = diameter.max(100.0);
     for _ in 0..24 {
-        let (dist, visited) = region_distances(net, region, limit);
+        let visited = region_distances(net, region, limit, scratch);
         let mut with_d: Vec<(f64, Poi)> = store
             .iter()
             .filter(|p| p.category == category)
-            .filter_map(|p| poi_distance(net, &dist, region, p).map(|d| (d, *p)))
+            .filter_map(|p| poi_distance(net, scratch, region, p).map(|d| (d, *p)))
             .collect();
         if let Some(d_star) = with_d.iter().map(|(d, _)| *d).min_by(|a, b| a.total_cmp(b)) {
             let bound = d_star + diameter;
@@ -282,10 +382,21 @@ pub fn refine_nearest(
     candidates: &[Poi],
     true_segment: SegmentId,
 ) -> Option<Poi> {
-    let (dist, _) = region_distances(net, &[true_segment], f64::INFINITY);
+    refine_nearest_with(net, candidates, true_segment, &mut SearchScratch::new())
+}
+
+/// [`refine_nearest`] with caller-owned search buffers (see
+/// [`SearchScratch`]).
+pub fn refine_nearest_with(
+    net: &RoadNetwork,
+    candidates: &[Poi],
+    true_segment: SegmentId,
+    scratch: &mut SearchScratch,
+) -> Option<Poi> {
+    region_distances(net, &[true_segment], f64::INFINITY, scratch);
     candidates
         .iter()
-        .filter_map(|p| poi_distance(net, &dist, &[true_segment], p).map(|d| (d, *p)))
+        .filter_map(|p| poi_distance(net, scratch, &[true_segment], p).map(|d| (d, *p)))
         .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)))
         .map(|(_, p)| p)
 }

@@ -136,11 +136,26 @@ impl Simulation {
 
     /// Current number of users on each segment, indexed by segment id.
     pub fn occupancy(&self) -> Vec<u32> {
-        let mut counts = vec![0u32; self.net.segment_count()];
+        let mut counts = Vec::new();
+        self.occupancy_into(&mut counts);
+        counts
+    }
+
+    /// Like [`occupancy`](Self::occupancy), writing into a caller-owned
+    /// buffer (resized and zeroed first) — the snapshot-recapture path
+    /// that reuses one counts buffer across cadences.
+    pub fn occupancy_into(&self, counts: &mut Vec<u32>) {
+        counts.clear();
+        counts.resize(self.net.segment_count(), 0);
         for car in &self.cars {
             counts[car.segment().index()] += 1;
         }
-        counts
+    }
+
+    /// Captures the current occupancy into an existing snapshot, reusing
+    /// its counts buffer (see [`crate::OccupancySnapshot::recapture`]).
+    pub fn capture_into(&self, snap: &mut crate::OccupancySnapshot) {
+        snap.recapture(self);
     }
 }
 

@@ -31,9 +31,19 @@ impl OccupancySnapshot {
 
     /// Captures the current state of a simulation.
     pub fn capture(sim: &Simulation) -> Self {
-        let mut snap = Self::from_counts(sim.occupancy());
-        snap.taken_at_ms = (sim.clock() * 1000.0) as u64;
+        let mut snap = Self::from_counts(Vec::new());
+        snap.recapture(sim);
         snap
+    }
+
+    /// Re-captures a simulation into this snapshot, reusing the counts
+    /// buffer instead of allocating a fresh one — the cadence path of a
+    /// continuous pipeline ([`Simulation::capture_into`] delegates
+    /// here). Equivalent to `*self = OccupancySnapshot::capture(sim)`.
+    pub fn recapture(&mut self, sim: &Simulation) {
+        sim.occupancy_into(&mut self.counts);
+        self.total = self.counts.iter().map(|&c| c as u64).sum();
+        self.taken_at_ms = (sim.clock() * 1000.0) as u64;
     }
 
     /// A uniform snapshot with `k` users on every segment (useful for
@@ -67,14 +77,16 @@ impl OccupancySnapshot {
         self.taken_at_ms
     }
 
-    /// Segments with at least one user, in id order.
-    pub fn occupied_segments(&self) -> Vec<SegmentId> {
+    /// Segments with at least one user, in id order. Borrows the
+    /// snapshot instead of allocating, so per-tick metrics can scan
+    /// occupancy without heap traffic; `.collect()` where a `Vec` is
+    /// genuinely needed.
+    pub fn occupied_segments(&self) -> impl Iterator<Item = SegmentId> + '_ {
         self.counts
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(i, _)| SegmentId(i as u32))
-            .collect()
     }
 
     /// The segment a given car occupies per a simulation (pass-through
@@ -119,9 +131,27 @@ mod tests {
         assert_eq!(snap.users_in([SegmentId(0), SegmentId(2)]), 8);
         assert_eq!(snap.total_users(), 10);
         assert_eq!(
-            snap.occupied_segments(),
+            snap.occupied_segments().collect::<Vec<_>>(),
             vec![SegmentId(0), SegmentId(2), SegmentId(3)]
         );
+    }
+
+    #[test]
+    fn recapture_reuses_buffer_and_matches_capture() {
+        let mut sim = Simulation::new(
+            grid_city(5, 5, 100.0),
+            SimConfig {
+                cars: 80,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let mut snap = OccupancySnapshot::capture(&sim);
+        sim.run(5, 10.0);
+        sim.capture_into(&mut snap);
+        assert_eq!(snap, OccupancySnapshot::capture(&sim));
+        assert_eq!(snap.total_users(), 80);
+        assert_eq!(snap.taken_at_ms(), 50_000);
     }
 
     #[test]

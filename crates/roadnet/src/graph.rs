@@ -158,6 +158,18 @@ impl Segment {
 /// Construct one through [`crate::builder::RoadNetworkBuilder`] or a
 /// generator in [`crate::generate`].
 ///
+/// Besides the per-junction incidence lists, the network carries two
+/// flat index structures built once at construction and shared by every
+/// reader:
+///
+/// * a CSR (compressed-sparse-row) **segment adjacency** table, so
+///   [`neighbor_segments_csr`](RoadNetwork::neighbor_segments_csr)
+///   returns a borrowed slice instead of allocating a fresh `Vec` on
+///   every cloak-region expansion step;
+/// * a flat **junction → incident segments** view
+///   ([`incident_segments`](RoadNetwork::incident_segments)) backing the
+///   Dijkstra/BFS loops with one contiguous array.
+///
 /// ```
 /// use roadnet::generate::grid_city;
 /// let net = roadnet::RoadNetwork::from(grid_city(4, 4, 100.0));
@@ -168,13 +180,63 @@ impl Segment {
 pub struct RoadNetwork {
     junctions: Vec<Junction>,
     segments: Vec<Segment>,
+    // The four index fields below are derived state: when the serde
+    // shim is swapped for the real crate, they must be `#[serde(skip)]`
+    // and rebuilt through `from_parts` on deserialize — accepting them
+    // from the wire would let a crafted payload desynchronize the CSR
+    // table from the junction incidence lists.
+    /// CSR offsets into `adj_list`: the neighbors of segment `s` are
+    /// `adj_list[adj_offsets[s] .. adj_offsets[s + 1]]`.
+    adj_offsets: Vec<u32>,
+    /// CSR payload: neighbor segments, in the same deterministic order
+    /// (by endpoint, then insertion order, first occurrence wins) the
+    /// allocating `neighbor_segments` historically produced.
+    adj_list: Vec<SegmentId>,
+    /// Flat offsets into `inc_list`: segments incident to junction `j`
+    /// are `inc_list[inc_offsets[j] .. inc_offsets[j + 1]]`.
+    inc_offsets: Vec<u32>,
+    /// Flat payload of the junction → incident-segments view.
+    inc_list: Vec<SegmentId>,
 }
 
 impl RoadNetwork {
     pub(crate) fn from_parts(junctions: Vec<Junction>, segments: Vec<Segment>) -> Self {
+        // Flat junction → incident view.
+        let mut inc_offsets = Vec::with_capacity(junctions.len() + 1);
+        let mut inc_list = Vec::with_capacity(segments.len() * 2);
+        inc_offsets.push(0u32);
+        for j in &junctions {
+            inc_list.extend_from_slice(j.incident_segments());
+            inc_offsets.push(inc_list.len() as u32);
+        }
+        // CSR segment adjacency. The order must stay bit-identical to
+        // the historical `neighbor_segments` walk (endpoint a then b,
+        // incidence order, duplicates dropped at first occurrence):
+        // RPLE pre-assignment consumes neighbors in this order, so any
+        // reordering would silently change every RPLE receipt.
+        let mut adj_offsets = Vec::with_capacity(segments.len() + 1);
+        let mut adj_list = Vec::new();
+        let mut mark = vec![u32::MAX; segments.len()];
+        adj_offsets.push(0u32);
+        for seg in &segments {
+            let s = seg.id();
+            for j in [seg.a, seg.b] {
+                for &n in junctions[j.index()].incident_segments() {
+                    if n != s && mark[n.index()] != s.0 {
+                        mark[n.index()] = s.0;
+                        adj_list.push(n);
+                    }
+                }
+            }
+            adj_offsets.push(adj_list.len() as u32);
+        }
         RoadNetwork {
             junctions,
             segments,
+            adj_offsets,
+            adj_list,
+            inc_offsets,
+            inc_list,
         }
     }
 
@@ -241,17 +303,38 @@ impl RoadNetwork {
     /// insertion order); duplicates are removed.
     ///
     /// This relation defines the candidate frontier of a cloaking region.
+    /// Allocates a fresh `Vec`; hot paths should use
+    /// [`neighbor_segments_csr`](Self::neighbor_segments_csr), which
+    /// returns the same ids in the same order as a borrowed slice.
     pub fn neighbor_segments(&self, s: SegmentId) -> Vec<SegmentId> {
-        let seg = self.segment(s);
-        let mut out = Vec::new();
-        for j in [seg.a, seg.b] {
-            for &n in self.junction(j).incident_segments() {
-                if n != s && !out.contains(&n) {
-                    out.push(n);
-                }
-            }
-        }
-        out
+        self.neighbor_segments_csr(s).to_vec()
+    }
+
+    /// Segments adjacent to `s`, served from the CSR adjacency table
+    /// built at construction: zero allocation, same ids and order as
+    /// [`neighbor_segments`](Self::neighbor_segments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids from this network never are).
+    pub fn neighbor_segments_csr(&self, s: SegmentId) -> &[SegmentId] {
+        let i = s.index();
+        let (lo, hi) = (self.adj_offsets[i], self.adj_offsets[i + 1]);
+        &self.adj_list[lo as usize..hi as usize]
+    }
+
+    /// Segments incident to junction `j`, served from the flat
+    /// junction → incidence view (equivalent to
+    /// `self.junction(j).incident_segments()` without the per-junction
+    /// pointer chase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids from this network never are).
+    pub fn incident_segments(&self, j: JunctionId) -> &[SegmentId] {
+        let i = j.index();
+        let (lo, hi) = (self.inc_offsets[i], self.inc_offsets[i + 1]);
+        &self.inc_list[lo as usize..hi as usize]
     }
 
     /// Whether two distinct segments share a junction.
@@ -309,14 +392,16 @@ impl RoadNetwork {
         if ids.len() <= 1 {
             return true;
         }
+        // Memory stays O(|ids|), not O(segment_count): small regions on
+        // large networks are the common caller (cloak peeling probes).
         let inset: std::collections::HashSet<SegmentId> = ids.iter().copied().collect();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::HashSet::with_capacity(inset.len());
         let mut stack = vec![ids[0]];
         seen.insert(ids[0]);
         while let Some(s) = stack.pop() {
-            for n in self.neighbor_segments(s) {
-                if inset.contains(&n) && seen.insert(n) {
-                    stack.push(n);
+            for &nb in self.neighbor_segments_csr(s) {
+                if inset.contains(&nb) && seen.insert(nb) {
+                    stack.push(nb);
                 }
             }
         }

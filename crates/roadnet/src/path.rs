@@ -89,7 +89,7 @@ pub fn shortest_path(net: &RoadNetwork, src: JunctionId, dst: JunctionId) -> Opt
         if j == dst {
             break;
         }
-        for &s in net.junction(j).incident_segments() {
+        for &s in net.incident_segments(j) {
             let seg = net.segment(s);
             let other = seg.other_endpoint(j).expect("incident segment endpoint");
             let nd = d + seg.length();
@@ -141,7 +141,7 @@ pub fn segment_hop_distance(net: &RoadNetwork, from: SegmentId, to: SegmentId) -
     queue.push_back(from);
     while let Some(s) = queue.pop_front() {
         let d = dist[s.index()];
-        for nb in net.neighbor_segments(s) {
+        for &nb in net.neighbor_segments_csr(s) {
             if dist[nb.index()] == usize::MAX {
                 dist[nb.index()] = d + 1;
                 if nb == to {
@@ -171,7 +171,7 @@ pub fn segments_within_hops(net: &RoadNetwork, center: SegmentId, hops: usize) -
         if d == hops {
             continue;
         }
-        for nb in net.neighbor_segments(s) {
+        for &nb in net.neighbor_segments_csr(s) {
             if dist[nb.index()] == usize::MAX {
                 dist[nb.index()] = d + 1;
                 order.push(nb);
@@ -332,7 +332,7 @@ pub fn astar(net: &RoadNetwork, src: JunctionId, dst: JunctionId) -> Option<Rout
         if f > g[j.index()] + h(j) + 1e-9 {
             continue;
         }
-        for &s in net.junction(j).incident_segments() {
+        for &s in net.incident_segments(j) {
             let seg = net.segment(s);
             let other = seg.other_endpoint(j).expect("incident segment endpoint");
             let ng = g[j.index()] + seg.length();

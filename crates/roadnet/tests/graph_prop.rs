@@ -153,6 +153,47 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn csr_adjacency_matches_junction_walk(
+        seed in any::<u64>(),
+        junctions in 10usize..120,
+        extra_frac in 0usize..100,
+    ) {
+        // The CSR table must reproduce the historical `neighbor_segments`
+        // walk exactly — same ids, same order — because RPLE
+        // pre-assignment consumes neighbors in this order and any
+        // reordering would change every RPLE receipt.
+        let extra = extra_frac * (junctions / 4) / 100;
+        let net = irregular_city(&IrregularConfig {
+            junctions,
+            segments: junctions - 1 + extra,
+            seed,
+            ..Default::default()
+        });
+        for s in net.segment_ids() {
+            // Independent reference: walk both endpoint incidence lists,
+            // dedup keeping the first occurrence.
+            let seg = net.segment(s);
+            let mut expect = Vec::new();
+            for j in [seg.a(), seg.b()] {
+                for &n in net.junction(j).incident_segments() {
+                    if n != s && !expect.contains(&n) {
+                        expect.push(n);
+                    }
+                }
+            }
+            prop_assert_eq!(net.neighbor_segments_csr(s), expect.as_slice());
+            prop_assert_eq!(net.neighbor_segments(s), expect);
+        }
+        // The flat junction view mirrors the per-junction lists.
+        for j in net.junction_ids() {
+            prop_assert_eq!(
+                net.incident_segments(j),
+                net.junction(j).incident_segments()
+            );
+        }
+    }
 }
 
 #[test]

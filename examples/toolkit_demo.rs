@@ -156,9 +156,14 @@ fn fig3() {
     let region = RegionState::from_segments(&net, [s8]);
     let mut stream = DrawStream::new(Key256::from_seed(99), b"fig3");
     use cloak::ReversibleEngine as _;
-    if let Ok(acc) =
-        engine.forward_step(&net, &region, s8, &mut stream, &SpatialTolerance::Unlimited)
-    {
+    if let Ok(acc) = engine.forward_step(
+        &net,
+        &region,
+        s8,
+        &mut stream,
+        &SpatialTolerance::Unlimited,
+        &mut cloak::StepScratch::new(),
+    ) {
         println!(
             "one keyed step: {s8} -> {} (round {}, {} voided)",
             acc.segment, acc.draws, acc.voided

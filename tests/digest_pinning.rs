@@ -1,0 +1,83 @@
+//! Receipt-stream digest pinning: the continuous pipeline's per-tick
+//! digests for a fixed configuration, captured **before** the
+//! allocation-free hot-path refactor (CSR adjacency, engine scratch
+//! buffers, pooled LBS search) from `rcloak simulate --ticks 6 --cars
+//! 300 --grid 8x8 --owners 8 --cadence 2 [--engine rple]` at the
+//! default seed.
+//!
+//! [`TickReport::digest`] folds every issued `(owner, payload.encode())`
+//! pair in order, so equality here proves the refactor changed **no
+//! byte of any receipt**: same draws, same regions, same metadata — a
+//! pure mechanical-sympathy change. If an intentional protocol change
+//! ever breaks these constants, re-pin them from a trusted build and
+//! say so loudly in the commit.
+
+use anonymizer::{AnonymizerConfig, ContinuousPipeline, EngineChoice, PipelineConfig};
+use mobisim::SimConfig;
+use roadnet::grid_city;
+
+/// The exact configuration `rcloak simulate` builds for
+/// `--ticks 6 --cars 300 --grid 8x8 --owners 8 --cadence 2 --seed 42`.
+fn pipeline(engine: EngineChoice) -> ContinuousPipeline {
+    let seed = 42u64;
+    ContinuousPipeline::new(
+        grid_city(8, 8, 100.0),
+        SimConfig {
+            cars: 300,
+            seed,
+            ..Default::default()
+        },
+        AnonymizerConfig {
+            engine,
+            ..Default::default()
+        },
+        PipelineConfig {
+            dt: 10.0,
+            snapshot_cadence: 2,
+            tracked_owners: 8,
+            seed: seed ^ 0x51e_71c4,
+            verify: true,
+            lbs_probes: 4,
+            ..Default::default()
+        },
+    )
+}
+
+fn digests(engine: EngineChoice) -> Vec<u64> {
+    let mut p = pipeline(engine);
+    p.run(6)
+        .expect("pinned configuration verifies cleanly")
+        .iter()
+        .map(|r| r.digest)
+        .collect()
+}
+
+#[test]
+fn rge_receipt_stream_is_bit_identical_to_pre_refactor_baseline() {
+    assert_eq!(
+        digests(EngineChoice::Rge),
+        vec![
+            0x08ab_1b44_f5d6_ed3e,
+            0x58e5_5243_4297_594c,
+            0x5acc_24a8_2142_4846,
+            0xc83e_bd04_76d1_16b2,
+            0xa958_10d0_3e19_9f85,
+            0xdce6_0903_cc98_dfe4,
+        ]
+    );
+}
+
+#[test]
+fn rple_receipt_stream_is_bit_identical_to_pre_refactor_baseline() {
+    assert_eq!(
+        digests(EngineChoice::Rple { t_len: 12 }),
+        vec![
+            0x5527_b17e_13ee_f68c,
+            0xf95f_a4c2_1ba5_24a6,
+            0x3a33_9e50_a682_eccb,
+            0x9b74_3435_f863_3f67,
+            0x57ee_7756_96a7_9bd8,
+            0xc7d5_38ba_8c01_0bc2,
+        ]
+    );
+}
