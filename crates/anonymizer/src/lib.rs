@@ -13,8 +13,10 @@
 //! * [`Deanonymizer`] — the requester-side reduction tool, including
 //!   progressive per-level peeling,
 //! * [`ContinuousPipeline`] — the temporal loop: live traffic ticks,
-//!   snapshot swaps, batched re-anonymization, LBS probes, and per-tick
-//!   invariant verification (see the `pipeline` module docs),
+//!   snapshot swaps, batched re-anonymization, LBS probes, per-tick
+//!   invariant verification, and an optional continuous attack leg
+//!   ([`AttackConfig`]) that scores a keyless temporal adversary
+//!   against the receipt stream (see the `pipeline` module docs),
 //! * [`render_ascii`] / [`render_svg()`](fn@render_svg) — the map visualizations (the GUI
 //!   substitute; see DESIGN.md §1).
 //!
@@ -50,6 +52,44 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Pooled entry points
+//!
+//! On the serving hot path, a worker holds one [`cloak::CloakScratch`]
+//! and anonymizes request after request through
+//! [`AnonymizerService::anonymize_seeded_with`] with no steady-state
+//! heap traffic beyond the receipt itself (this is what
+//! [`AnonymizerService::anonymize_batch`] and the server workers do
+//! internally). Scratch is plain state: results are bit-identical for
+//! any scratch, including a fresh one.
+//!
+//! ```
+//! use anonymizer::{AnonymizerConfig, AnonymizerService};
+//! use cloak::CloakScratch;
+//! use mobisim::OccupancySnapshot;
+//! use roadnet::{grid_city, SegmentId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = grid_city(6, 6, 100.0);
+//! let service = AnonymizerService::new(net, AnonymizerConfig::default());
+//! service.update_snapshot(OccupancySnapshot::uniform(
+//!     service.network().segment_count(),
+//!     1,
+//! ));
+//!
+//! // One worker, one scratch, many requests — allocation-free at
+//! // steady state inside the cloak walk.
+//! let mut scratch = CloakScratch::new();
+//! let pooled = service.anonymize_seeded_with("alice", SegmentId(17), None, 7, &mut scratch)?;
+//! let fresh = service.anonymize_seeded("alice", SegmentId(17), None, 7)?;
+//! assert_eq!(pooled.payload, fresh.payload, "scratch never changes results");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The system-level narrative — how the concurrency model, the temporal
+//! pipeline, and the memory discipline fit together — lives in
+//! `docs/ARCHITECTURE.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,7 +104,10 @@ pub mod service;
 
 pub use config::{AnonymizerConfig, EngineChoice};
 pub use deanonymizer::Deanonymizer;
-pub use pipeline::{ContinuousPipeline, PipelineConfig, PipelineError, TickReport};
+pub use pipeline::{
+    AttackConfig, AttackRecord, AttackTickSummary, ContinuousPipeline, PipelineConfig,
+    PipelineError, TickReport,
+};
 pub use render_ascii::{legend, render_map, render_regions};
 pub use render_svg::render_svg;
 pub use server::AnonymizerServer;

@@ -26,6 +26,17 @@
 //!   bit-identical receipt streams regardless of batch parallelism
 //!   (compare [`TickReport::digest`]).
 //!
+//! An optional **attack leg** ([`AttackConfig`], like the LBS leg)
+//! subscribes a keyless [`TemporalAdversary`] to the receipt stream and
+//! mounts the longitudinal correlation attacks — multi-tick peel
+//! intersection, snapshot correlation, movement-model reachability
+//! pruning — with a non-reversible random-expansion (NRE) control grown
+//! side-by-side from the same true segments as the vulnerable
+//! comparison. Per-tick rollups land in [`TickReport::attack`]; the full
+//! per-owner log is available as [`AttackRecord`]s for CSV export
+//! (`rcloak attack`). The attack leg is observational: it never touches
+//! the receipt stream, so digests are unchanged whether it runs or not.
+//!
 //! [`tick`]: ContinuousPipeline::tick
 //!
 //! # Example
@@ -57,7 +68,11 @@
 use crate::config::AnonymizerConfig;
 use crate::deanonymizer::Deanonymizer;
 use crate::service::{AnonymizeRequest, AnonymizerService, Engine};
-use cloak::{CloakScratch, PrivacyProfile, QualitySummary, RegionQuality};
+use cloak::attack::temporal::{
+    AdversaryConfig, AdversaryMode, AttackObservation, AttackSummary, Observation, ReplayProbe,
+    TemporalAdversary,
+};
+use cloak::{random_expansion, CloakScratch, PrivacyProfile, QualitySummary, RegionQuality};
 use keystream::{Level, TrustDegree};
 use lbs::{nearest_query_with, PoiCategory, PoiStore, QueryStats, SearchScratch};
 use mobisim::{CarId, OccupancySnapshot, SimConfig, Simulation};
@@ -94,6 +109,11 @@ pub struct PipelineConfig {
     pub lbs_probes: usize,
     /// POIs generated for the LBS leg (ignored when `lbs_probes` is 0).
     pub poi_count: usize,
+    /// Continuous adversarial evaluation (`None` disables the attack
+    /// leg). When on, a [`TemporalAdversary`] subscribes to the receipt
+    /// stream and — unless disabled — an NRE baseline control runs
+    /// side-by-side from the same true segments; see [`AttackConfig`].
+    pub attack: Option<AttackConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -106,8 +126,96 @@ impl Default for PipelineConfig {
             verify: true,
             lbs_probes: 4,
             poi_count: 100,
+            attack: None,
         }
     }
+}
+
+/// Configuration of the pipeline's attack leg: a keyless
+/// [`TemporalAdversary`] watching the engine's receipt stream, with an
+/// NRE (non-reversible random expansion) control cloaked from the same
+/// true segments as the vulnerable comparison.
+///
+/// The NRE control models a *keyless deterministic* scheme: with no
+/// key-distribution infrastructure there is no secret to rotate, so each
+/// owner's expansion randomness derives from fixed public per-owner
+/// state — which is exactly what the adversary's replay inversion
+/// exploits. The reversible engines are immune because their selection
+/// randomness is keyed, and keys rotate every re-anonymization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackConfig {
+    /// The adversary's attack portfolio (see [`AdversaryMode`]).
+    pub mode: AdversaryMode,
+    /// How many of the tracked owners the adversary follows (clamped to
+    /// the tracked population).
+    pub owners: usize,
+    /// Run the NRE baseline control side-by-side.
+    pub baseline: bool,
+    /// Keep the full per-owner/per-tick [`AttackRecord`] log in memory
+    /// (for CSV export). Rollups are always kept.
+    pub keep_records: bool,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            mode: AdversaryMode::All,
+            owners: usize::MAX,
+            baseline: true,
+            keep_records: true,
+        }
+    }
+}
+
+/// One attacked receipt: which stream, which owner, and the adversary's
+/// per-tick metrics. Collected when [`AttackConfig::keep_records`] is on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackRecord {
+    /// `"rge"` / `"rple"` for the engine stream, `"nre"` for the control.
+    pub scheme: &'static str,
+    /// The tracked owner the observation belongs to.
+    pub owner: String,
+    /// The adversary's metrics for this owner and tick.
+    pub observation: AttackObservation,
+}
+
+impl AttackRecord {
+    /// Header line matching [`AttackRecord::csv_row`].
+    pub const CSV_HEADER: &'static str = "scheme,tick,owner,region_size,peel_frontier,support,\
+         entropy_bits,user_entropy_bits,region_entropy_bits,guess_correct,true_in_support,reset";
+
+    /// The record as one CSV row (no trailing newline).
+    pub fn csv_row(&self) -> String {
+        let flag = |b: Option<bool>| match b {
+            Some(true) => "1",
+            Some(false) => "0",
+            None => "",
+        };
+        format!(
+            "{},{},{},{},{},{},{:.4},{:.4},{:.4},{},{},{}",
+            self.scheme,
+            self.observation.tick,
+            self.owner,
+            self.observation.region_size,
+            self.observation.peel_frontier,
+            self.observation.support,
+            self.observation.entropy_bits,
+            self.observation.user_entropy_bits,
+            self.observation.region_entropy_bits,
+            flag(self.observation.guess_correct),
+            flag(self.observation.true_in_support),
+            u8::from(self.observation.reset),
+        )
+    }
+}
+
+/// Per-tick rollup of the attack leg, attached to [`TickReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackTickSummary {
+    /// This tick's observations against the engine's receipt stream.
+    pub engine: AttackSummary,
+    /// This tick's observations against the NRE control (when enabled).
+    pub baseline: Option<AttackSummary>,
 }
 
 /// An invariant violation detected by the pipeline's per-tick checks.
@@ -154,6 +262,10 @@ pub struct TickReport {
     pub quality: QualitySummary,
     /// LBS candidate-set / expansion-cost rollup for the probed regions.
     pub lbs: QueryStats,
+    /// Attack-leg rollup for this tick (`None` when the leg is off).
+    /// Not part of [`TickReport::csv_row`] — the attack leg exports its
+    /// own long-form CSV through [`AttackRecord::csv_row`].
+    pub attack: Option<AttackTickSummary>,
 }
 
 impl TickReport {
@@ -207,7 +319,28 @@ pub struct ContinuousPipeline {
     verify_scratch: CloakScratch,
     /// Scratch for the per-tick LBS query loop.
     lbs_scratch: SearchScratch,
+    /// The continuous adversarial evaluation (attack leg), when on.
+    attack: Option<AttackLeg>,
     tick: u64,
+}
+
+/// State of the pipeline's attack leg: one adversary per observed
+/// stream, cumulative rollups, the NRE control's fixed per-owner seeds,
+/// and (optionally) the full observation log.
+struct AttackLeg {
+    cfg: AttackConfig,
+    engine_label: &'static str,
+    engine_adversary: TemporalAdversary,
+    engine_summary: AttackSummary,
+    baseline_adversary: Option<TemporalAdversary>,
+    baseline_summary: AttackSummary,
+    /// Fixed per-owner NRE seeds — fixed across ticks *by design*: the
+    /// keyless control has no key to rotate, which is the vulnerability
+    /// the replay attack exploits.
+    baseline_seeds: Vec<u64>,
+    /// NRE cloaks that failed to grow (availability, not privacy).
+    baseline_failures: usize,
+    records: Vec<AttackRecord>,
 }
 
 impl ContinuousPipeline {
@@ -224,6 +357,7 @@ impl ContinuousPipeline {
         anon_cfg: AnonymizerConfig,
         cfg: PipelineConfig,
     ) -> Self {
+        let top_simulated_speed = sim_cfg.speed_range.1;
         let sim = Simulation::new(net.clone(), sim_cfg);
         let service = AnonymizerService::new(net, anon_cfg);
         service.update_snapshot(OccupancySnapshot::capture(&sim));
@@ -243,6 +377,39 @@ impl ContinuousPipeline {
             .iter()
             .map(|(_, owner)| AnonymizeRequest::new(owner.clone(), roadnet::SegmentId(0), 0))
             .collect();
+        let attack = cfg.attack.clone().map(|mut attack_cfg| {
+            attack_cfg.owners = attack_cfg.owners.min(tracked.len());
+            let adversary_cfg = AdversaryConfig {
+                mode: attack_cfg.mode,
+                // A sound movement bound: the fastest simulated car.
+                max_speed: top_simulated_speed,
+                dt: cfg.dt,
+                seed: cfg.seed ^ 0x00ad_5a17,
+            };
+            let baseline_seeds = (0..attack_cfg.owners)
+                .map(|i| {
+                    // Public per-owner state (the keyless control has no
+                    // secret): derived from the owner index alone.
+                    crate::service::splitmix64(0x17e_a5ed ^ (i as u64).wrapping_mul(0x100_0003))
+                })
+                .collect();
+            AttackLeg {
+                engine_label: match service.config().engine {
+                    crate::config::EngineChoice::Rge => "rge",
+                    crate::config::EngineChoice::Rple { .. } => "rple",
+                },
+                engine_adversary: TemporalAdversary::new(service.network(), adversary_cfg.clone()),
+                engine_summary: AttackSummary::new(),
+                baseline_adversary: attack_cfg
+                    .baseline
+                    .then(|| TemporalAdversary::new(service.network(), adversary_cfg)),
+                baseline_summary: AttackSummary::new(),
+                baseline_seeds,
+                baseline_failures: 0,
+                records: Vec::new(),
+                cfg: attack_cfg,
+            }
+        });
         ContinuousPipeline {
             sim,
             service: Arc::new(service),
@@ -256,6 +423,7 @@ impl ContinuousPipeline {
             spare_snapshot: None,
             verify_scratch: CloakScratch::new(),
             lbs_scratch: SearchScratch::new(),
+            attack,
             tick: 0,
         }
     }
@@ -339,6 +507,7 @@ impl ContinuousPipeline {
             digest: FNV_OFFSET,
             quality: QualitySummary::new(),
             lbs: QueryStats::new(),
+            attack: None,
         };
         let mut verify_err = None;
         for (i, (request, result)) in requests.iter().zip(&results).enumerate() {
@@ -379,11 +548,109 @@ impl ContinuousPipeline {
                 report.verified += 1;
             }
         }
+        // The attack leg observes the receipts just issued (and the NRE
+        // control grown from the same true segments). It reads public
+        // information only: region, issuing snapshot, tick — the true
+        // segment is passed solely for scoring.
+        if let Some(leg) = self.attack.as_mut() {
+            let net = self.service.network();
+            let mut engine_tick = AttackSummary::new();
+            let mut baseline_tick = AttackSummary::new();
+            for (i, (request, result)) in requests.iter().zip(&results).enumerate() {
+                if i >= leg.cfg.owners {
+                    break;
+                }
+                let Ok(receipt) = result else { continue };
+                let observation = leg.engine_adversary.observe(
+                    net,
+                    &request.owner,
+                    Observation {
+                        tick: self.tick,
+                        region: &receipt.payload.segments,
+                        snapshot: &issuing,
+                        snapshot_fresh: snapshot_refreshed,
+                    },
+                    None,
+                    Some(request.segment),
+                );
+                engine_tick.record(&observation);
+                leg.engine_summary.record(&observation);
+                if leg.cfg.keep_records {
+                    leg.records.push(AttackRecord {
+                        scheme: leg.engine_label,
+                        owner: request.owner.clone(),
+                        observation,
+                    });
+                }
+                if let Some(baseline_adversary) = leg.baseline_adversary.as_mut() {
+                    let requirement = self.profile.top_requirement();
+                    let seed = leg.baseline_seeds[i];
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    match random_expansion(net, &issuing, request.segment, requirement, &mut rng) {
+                        Ok(control) => {
+                            let observation = baseline_adversary.observe(
+                                net,
+                                &request.owner,
+                                Observation {
+                                    tick: self.tick,
+                                    region: &control.segments,
+                                    snapshot: &issuing,
+                                    snapshot_fresh: snapshot_refreshed,
+                                },
+                                Some(ReplayProbe { requirement, seed }),
+                                Some(request.segment),
+                            );
+                            baseline_tick.record(&observation);
+                            leg.baseline_summary.record(&observation);
+                            if leg.cfg.keep_records {
+                                leg.records.push(AttackRecord {
+                                    scheme: "nre",
+                                    owner: request.owner.clone(),
+                                    observation,
+                                });
+                            }
+                        }
+                        Err(_) => leg.baseline_failures += 1,
+                    }
+                }
+            }
+            report.attack = Some(AttackTickSummary {
+                engine: engine_tick,
+                baseline: leg.baseline_adversary.is_some().then_some(baseline_tick),
+            });
+        }
         self.requests = requests;
         match verify_err {
             Some(e) => Err(e),
             None => Ok(report),
         }
+    }
+
+    /// Cumulative attack rollup against the engine's receipt stream
+    /// (`None` when the attack leg is off).
+    pub fn attack_summary(&self) -> Option<&AttackSummary> {
+        self.attack.as_ref().map(|leg| &leg.engine_summary)
+    }
+
+    /// Cumulative attack rollup against the NRE control stream (`None`
+    /// when the leg or the baseline control is off).
+    pub fn baseline_attack_summary(&self) -> Option<&AttackSummary> {
+        self.attack
+            .as_ref()
+            .filter(|leg| leg.baseline_adversary.is_some())
+            .map(|leg| &leg.baseline_summary)
+    }
+
+    /// The full per-owner/per-tick attack log (empty when the leg is off
+    /// or [`AttackConfig::keep_records`] was disabled).
+    pub fn attack_records(&self) -> &[AttackRecord] {
+        self.attack.as_ref().map_or(&[], |leg| &leg.records)
+    }
+
+    /// NRE control cloaks that failed to grow (availability events of
+    /// the baseline, excluded from its privacy rollup).
+    pub fn baseline_attack_failures(&self) -> usize {
+        self.attack.as_ref().map_or(0, |leg| leg.baseline_failures)
     }
 
     /// Runs `ticks` ticks, collecting one report per tick.
@@ -615,6 +882,98 @@ mod tests {
         assert_eq!(report.csv_row().split(',').count(), header_cols);
         assert!(report.csv_row().starts_with("1,"));
         assert!(format!("{p:?}").contains("ContinuousPipeline"));
+    }
+
+    #[test]
+    fn attack_leg_reports_and_separates_engine_from_baseline() {
+        let mut p = pipeline(
+            EngineChoice::Rge,
+            PipelineConfig {
+                tracked_owners: 4,
+                lbs_probes: 0,
+                attack: Some(AttackConfig::default()),
+                ..Default::default()
+            },
+        );
+        let reports = p.run(6).unwrap();
+        for r in &reports {
+            let attack = r.attack.as_ref().expect("attack leg on");
+            assert!(attack.engine.observations() > 0);
+            let baseline = attack.baseline.as_ref().expect("baseline control on");
+            assert!(
+                baseline.observations() + p.baseline_attack_failures() as u64 > 0,
+                "control ran"
+            );
+        }
+        let engine = p.attack_summary().expect("engine rollup");
+        assert_eq!(engine.observations(), 6 * 4);
+        // The sound combined adversary never loses a keyed owner…
+        assert_eq!(engine.soundness(), 1.0);
+        // …and its posterior stays wide while the keyless deterministic
+        // control collapses under replay.
+        let baseline = p.baseline_attack_summary().expect("baseline rollup");
+        assert!(
+            engine.mean_entropy() > baseline.mean_entropy() + 1.0,
+            "engine {:.2} bits vs baseline {:.2} bits",
+            engine.mean_entropy(),
+            baseline.mean_entropy()
+        );
+        assert!(
+            baseline.guess_success_rate() > engine.guess_success_rate(),
+            "baseline {:.2} vs engine {:.2}",
+            baseline.guess_success_rate(),
+            engine.guess_success_rate()
+        );
+        // Records cover both streams in CSV-exportable form.
+        let records = p.attack_records();
+        assert!(records.iter().any(|r| r.scheme == "rge"));
+        assert!(records.iter().any(|r| r.scheme == "nre"));
+        let header_cols = AttackRecord::CSV_HEADER.split(',').count();
+        for record in records {
+            assert_eq!(record.csv_row().split(',').count(), header_cols);
+        }
+    }
+
+    #[test]
+    fn attack_leg_does_not_perturb_the_receipt_stream() {
+        let digests = |attack: Option<AttackConfig>| {
+            let mut p = pipeline(
+                EngineChoice::Rge,
+                PipelineConfig {
+                    tracked_owners: 5,
+                    lbs_probes: 0,
+                    attack,
+                    ..Default::default()
+                },
+            );
+            p.run(3)
+                .unwrap()
+                .iter()
+                .map(|r| r.digest)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            digests(None),
+            digests(Some(AttackConfig::default())),
+            "the attack leg is purely observational"
+        );
+    }
+
+    #[test]
+    fn attack_leg_off_keeps_reports_clean() {
+        let mut p = pipeline(
+            EngineChoice::Rge,
+            PipelineConfig {
+                tracked_owners: 2,
+                ..Default::default()
+            },
+        );
+        let report = p.tick().unwrap();
+        assert!(report.attack.is_none());
+        assert!(p.attack_summary().is_none());
+        assert!(p.baseline_attack_summary().is_none());
+        assert!(p.attack_records().is_empty());
+        assert_eq!(p.baseline_attack_failures(), 0);
     }
 
     #[test]

@@ -401,3 +401,91 @@ fn cli_simulate_runs_the_continuous_pipeline() {
 
     let _ = std::fs::remove_file(metrics);
 }
+
+/// `rcloak attack` runs the continuous adversarial evaluation: the
+/// summary separates the keyed engine stream from the NRE control, and
+/// the CSV logs one row per (scheme, owner, tick).
+#[test]
+fn cli_attack_evaluates_the_receipt_stream() {
+    let log = tmp("attack-log.csv");
+    let out = rcloak()
+        .args([
+            "attack",
+            "--ticks",
+            "8",
+            "--cars",
+            "250",
+            "--grid",
+            "8x8",
+            "--owners",
+            "5",
+            "--k",
+            "4,8",
+            "--seed",
+            "3",
+            "--out",
+            log.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("adversary vs  rge:"), "{stdout}");
+    assert!(stdout.contains("adversary vs  nre:"), "{stdout}");
+    assert!(stdout.contains("separation:"), "{stdout}");
+
+    let csv = std::fs::read_to_string(&log).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert!(lines[0].starts_with("scheme,tick,owner,"), "{}", lines[0]);
+    // 8 ticks × 5 owners × 2 schemes (engine + NRE control) + header.
+    assert_eq!(lines.len(), 1 + 8 * 5 * 2, "{}", lines.len());
+    let header_cols = lines[0].split(',').count();
+    for row in &lines[1..] {
+        assert_eq!(row.split(',').count(), header_cols, "{row}");
+    }
+    assert!(lines[1..].iter().any(|l| l.starts_with("rge,")));
+    assert!(lines[1..].iter().any(|l| l.starts_with("nre,")));
+
+    // --no-baseline drops the control; a chosen adversary mode is echoed.
+    let out = rcloak()
+        .args([
+            "attack",
+            "--ticks",
+            "3",
+            "--cars",
+            "150",
+            "--grid",
+            "7x7",
+            "--owners",
+            "3",
+            "--engine",
+            "rple",
+            "--adversary",
+            "move",
+            "--no-baseline",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("adversary `move`"), "{stdout}");
+    assert!(stdout.contains("NRE control off"), "{stdout}");
+    assert!(!stdout.contains("adversary vs  nre:"), "{stdout}");
+
+    // Unknown adversaries are usage errors (exit 2).
+    let out = rcloak()
+        .args(["attack", "--adversary", "psychic"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_file(log);
+}

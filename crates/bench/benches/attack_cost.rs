@@ -1,0 +1,145 @@
+//! Cost of the continuous adversarial evaluation: what one tick of
+//! [`cloak::TemporalAdversary`] observation costs per owner, per
+//! adversary mode, and what the NRE replay inversion (the expensive
+//! control-only step: one re-expansion per candidate segment) adds.
+//!
+//! The attack leg is an evaluation harness, not a serving hot path —
+//! these numbers bound how much `rcloak attack` and the scenario
+//! matrix's attack cells cost per observed receipt, and catch
+//! accidental quadratic blowups in the reachability or peel scans.
+
+use cloak::attack::temporal::{
+    AdversaryConfig, AdversaryMode, Observation, ReplayProbe, TemporalAdversary,
+};
+use cloak::{random_expansion, LevelRequirement, PrivacyProfile, RgeEngine};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use keystream::{Key256, KeyManager};
+use mobisim::OccupancySnapshot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roadnet::{grid_city, RoadNetwork, SegmentId};
+
+/// A pre-generated keyed receipt stream: the owner shuttles between two
+/// adjacent segments, fresh keys per tick (what the adversary actually
+/// observes from the pipeline).
+fn keyed_stream(
+    net: &RoadNetwork,
+    snapshot: &OccupancySnapshot,
+    ticks: usize,
+) -> Vec<(u64, Vec<SegmentId>)> {
+    let profile = PrivacyProfile::builder()
+        .level(LevelRequirement::with_k(8))
+        .level(LevelRequirement::with_k(16))
+        .build()
+        .expect("valid profile");
+    let engine = RgeEngine::new();
+    (0..ticks)
+        .map(|t| {
+            let seg = SegmentId(100 + (t % 2) as u32);
+            let keys: Vec<Key256> = KeyManager::from_seed(profile.level_count(), 900 + t as u64)
+                .iter()
+                .map(|(_, k)| k)
+                .collect();
+            let out = cloak::anonymize(net, snapshot, seg, &profile, &keys, t as u64, &engine)
+                .expect("grid cloaks succeed");
+            (t as u64 + 1, out.payload.segments)
+        })
+        .collect()
+}
+
+fn bench_observe_modes(c: &mut Criterion) {
+    let net = grid_city(12, 12, 100.0);
+    let snapshot = OccupancySnapshot::uniform(net.segment_count(), 2);
+    let stream = keyed_stream(&net, &snapshot, 16);
+    let mut group = c.benchmark_group("temporal_adversary_observe");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for mode in [
+        AdversaryMode::Peel,
+        AdversaryMode::Correlate,
+        AdversaryMode::Move,
+        AdversaryMode::All,
+    ] {
+        group.bench_with_input(BenchmarkId::new("mode", mode.name()), &mode, |b, &mode| {
+            let mut adversary = TemporalAdversary::new(
+                &net,
+                AdversaryConfig {
+                    mode,
+                    ..Default::default()
+                },
+            );
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (tick, region) in &stream {
+                    let obs = adversary.observe(
+                        &net,
+                        "owner",
+                        Observation {
+                            tick: *tick,
+                            region,
+                            snapshot: &snapshot,
+                            snapshot_fresh: true,
+                        },
+                        None,
+                        None,
+                    );
+                    acc += obs.support;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay_inversion(c: &mut Criterion) {
+    let net = grid_city(12, 12, 100.0);
+    let snapshot = OccupancySnapshot::uniform(net.segment_count(), 2);
+    let requirement = LevelRequirement::with_k(16);
+    let owner_seed = 0x17e_a5ed;
+    // The keyless-deterministic control stream: same per-owner seed
+    // every tick, exactly what the pipeline's NRE leg publishes.
+    let stream: Vec<(u64, Vec<SegmentId>)> = (0..16)
+        .map(|t| {
+            let seg = SegmentId(100 + (t % 2) as u32);
+            let mut rng = StdRng::seed_from_u64(owner_seed);
+            let out = random_expansion(&net, &snapshot, seg, &requirement, &mut rng)
+                .expect("grid expansions succeed");
+            (t as u64 + 1, out.segments)
+        })
+        .collect();
+    let mut group = c.benchmark_group("nre_replay_inversion");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("per_tick", |b| {
+        let mut adversary = TemporalAdversary::new(&net, AdversaryConfig::default());
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (tick, region) in &stream {
+                let obs = adversary.observe(
+                    &net,
+                    "victim",
+                    Observation {
+                        tick: *tick,
+                        region,
+                        snapshot: &snapshot,
+                        snapshot_fresh: true,
+                    },
+                    Some(ReplayProbe {
+                        requirement: &requirement,
+                        seed: owner_seed,
+                    }),
+                    None,
+                );
+                acc += obs.support;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe_modes, bench_replay_inversion);
+criterion_main!(benches);

@@ -16,6 +16,13 @@
 //! * [`selection_uniformity`] — empirical check that, over random keys,
 //!   each linked candidate is selected with near-equal probability (the
 //!   "all its linked segments would have the same probability" property).
+//!
+//! These score one cloak in isolation. The [`temporal`] submodule mounts
+//! the longitudinal versions — multi-tick peel intersection, snapshot
+//! correlation, movement-model pruning, and replay inversion against
+//! keyless schemes — over a whole receipt stream.
+
+pub mod temporal;
 
 use crate::engine::ReversibleEngine;
 use crate::frontier::candidates;

@@ -50,6 +50,60 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Pooled entry points
+//!
+//! [`anonymize`] and [`deanonymize`] allocate their working buffers per
+//! call. On a serving hot path, thread a [`CloakScratch`] through the
+//! `*_with_scratch` variants instead: the buffers grow to the workload's
+//! high-water mark once and every further cloak is allocation-free at
+//! steady state. Scratch is plain state — any scratch, including a fresh
+//! one, yields bit-identical results.
+//!
+//! ```
+//! use cloak::{
+//!     anonymize_with_scratch, deanonymize_with_scratch, CloakScratch, LevelRequirement,
+//!     PrivacyProfile, RgeEngine,
+//! };
+//! use keystream::{Key256, KeyManager, Level};
+//! use mobisim::OccupancySnapshot;
+//! use roadnet::{grid_city, SegmentId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = grid_city(6, 6, 100.0);
+//! let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+//! let profile = PrivacyProfile::builder().level(LevelRequirement::with_k(6)).build()?;
+//! let engine = RgeEngine::new();
+//!
+//! // One scratch serves every request this worker will ever handle.
+//! let mut scratch = CloakScratch::new();
+//! for (nonce, segment) in [(1u64, SegmentId(12)), (2, SegmentId(40))] {
+//!     let manager = KeyManager::from_seed(1, nonce);
+//!     let keys: Vec<Key256> = manager.iter().map(|(_, k)| k).collect();
+//!     let out = anonymize_with_scratch(
+//!         &net, &snapshot, segment, &profile, &keys, nonce, &engine, &mut scratch,
+//!     )?;
+//!     let view = deanonymize_with_scratch(
+//!         &net,
+//!         &out.payload,
+//!         &manager.keys_down_to(Level(0))?,
+//!         &engine,
+//!         &mut scratch,
+//!     )?;
+//!     assert_eq!(view.segments, vec![segment]);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Adversarial evaluation
+//!
+//! The [`attack`] module quantifies the keyless adversary against a
+//! single cloak (posterior entropy, guess success, selection
+//! uniformity); [`attack::temporal`] extends it to an adversary watching
+//! the whole per-tick receipt stream of a continuously anonymizing
+//! system — see `docs/ARCHITECTURE.md` at the repository root for how
+//! the pieces fit together.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,6 +122,10 @@ pub mod region;
 pub mod scratch;
 pub mod table;
 
+pub use attack::temporal::{
+    AdversaryConfig, AdversaryMode, AttackObservation, AttackSummary, Observation, ReplayProbe,
+    TemporalAdversary,
+};
 pub use baseline::{random_expansion, BaselineOutcome};
 pub use engine::{HintStack, ReversibleEngine, RgeEngine, RpleEngine, StepAccept, MAX_REDRAWS};
 pub use error::{CloakError, DeanonError, StepFailure};

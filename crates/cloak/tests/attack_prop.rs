@@ -1,0 +1,145 @@
+//! Property tests for the single-shot adversarial analysis in
+//! `cloak::attack`, pinning the two facts the temporal harness builds
+//! on:
+//!
+//! * [`selection_uniformity`] — over random keys, the keyed first
+//!   transition stays within tolerance of uniform on *both* engines and
+//!   arbitrary seeds (the paper's "all its linked segments would have
+//!   the same probability" claim);
+//! * [`peel_candidates`] — is *exactly* the set of segments whose
+//!   removal keeps the region connected (the keyless adversary's
+//!   one-step search space has no false positives and no false
+//!   negatives), on grids and irregular maps alike.
+//!
+//! [`selection_uniformity`]: cloak::attack::selection_uniformity
+//! [`peel_candidates`]: cloak::attack::peel_candidates
+
+use cloak::attack::{peel_candidates, selection_uniformity};
+use cloak::{ReversibleEngine, RgeEngine, RpleEngine};
+use proptest::prelude::*;
+use roadnet::{grid_city, irregular_city, IrregularConfig, RoadNetwork, SegmentId};
+
+/// Grows a random connected region of `target` segments from `seed_seg`
+/// by repeatedly annexing a pseudo-randomly chosen adjacent segment —
+/// the same shape family cloaks produce, without needing keys.
+fn random_connected_region(
+    net: &RoadNetwork,
+    seed_seg: SegmentId,
+    target: usize,
+    mut state: u64,
+) -> Vec<SegmentId> {
+    let mut region = vec![seed_seg];
+    while region.len() < target {
+        let mut frontier: Vec<SegmentId> = region
+            .iter()
+            .flat_map(|&s| net.neighbor_segments_csr(s).iter().copied())
+            .filter(|s| !region.contains(s))
+            .collect();
+        frontier.sort_unstable();
+        frontier.dedup();
+        if frontier.is_empty() {
+            break;
+        }
+        state = state
+            .wrapping_mul(0x5851_f42d_4c95_7f2d)
+            .wrapping_add(0x1405_7b7e_f767_814f);
+        region.push(frontier[(state >> 33) as usize % frontier.len()]);
+    }
+    region.sort_unstable();
+    region
+}
+
+/// The brute-force spec: every segment whose removal leaves the rest
+/// connected. (For a connected region of ≥ 2 segments this implies the
+/// removed segment is adjacent to the remainder, so the spec needs no
+/// extra adjacency clause.)
+fn peelable_by_definition(net: &RoadNetwork, region: &[SegmentId]) -> Vec<SegmentId> {
+    if region.len() <= 1 {
+        return Vec::new();
+    }
+    region
+        .iter()
+        .copied()
+        .filter(|&s| {
+            let rest: Vec<SegmentId> = region.iter().copied().filter(|&r| r != s).collect();
+            net.segments_connected(&rest)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `peel_candidates` ≡ the removal-keeps-connected set, on grids.
+    #[test]
+    fn peel_candidates_match_spec_on_grids(
+        seed_seg in 0u32..84,
+        target in 2usize..14,
+        state in any::<u64>(),
+    ) {
+        let net = grid_city(7, 7, 100.0);
+        let region = random_connected_region(&net, SegmentId(seed_seg), target, state);
+        prop_assume!(region.len() >= 2);
+        let mut got = peel_candidates(&net, &region);
+        let mut want = peelable_by_definition(&net, &region);
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Same exactness on irregular street topology.
+    #[test]
+    fn peel_candidates_match_spec_on_irregular_maps(
+        map_seed in any::<u64>(),
+        seed_seg in 0u32..150,
+        target in 2usize..12,
+        state in any::<u64>(),
+    ) {
+        let net = irregular_city(&IrregularConfig {
+            junctions: 120,
+            segments: 150,
+            seed: map_seed,
+            ..Default::default()
+        });
+        let seed_seg = SegmentId(seed_seg % net.segment_count() as u32);
+        let region = random_connected_region(&net, seed_seg, target, state);
+        prop_assume!(region.len() >= 2);
+        let mut got = peel_candidates(&net, &region);
+        let mut want = peelable_by_definition(&net, &region);
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}
+
+proptest! {
+    // Each case runs a 1500-trial Monte-Carlo, so keep the case count
+    // low; the seeds still sweep keys and start segments widely.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The keyed first transition stays near-uniform over its support
+    /// for random keys and seed segments, on both engines.
+    #[test]
+    fn first_transition_uniformity_over_random_keys(
+        key_seed in any::<u64>(),
+        seed_seg in 0u32..84,
+    ) {
+        let net = grid_city(7, 7, 100.0);
+        let rge = RgeEngine::new();
+        let rple = RpleEngine::build(&net, 10);
+        for engine in [&rge as &dyn ReversibleEngine, &rple] {
+            let (support, deviation) =
+                selection_uniformity(&net, SegmentId(seed_seg), engine, 1500, key_seed);
+            prop_assert!(support >= 2, "{}: support {support}", engine.name());
+            // Uniform over `support` candidates: each frequency is
+            // 1/support ± Monte-Carlo noise. 0.08 absolute tolerance
+            // holds with huge margin at 1500 trials unless selection is
+            // actually biased.
+            prop_assert!(
+                deviation < 0.08,
+                "{}: deviation {deviation:.4} over {support} candidates (key {key_seed:#x})",
+                engine.name()
+            );
+        }
+    }
+}

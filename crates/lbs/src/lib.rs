@@ -23,6 +23,29 @@
 //! let answer = nearest_query(&net, &store, &region, PoiCategory::Restaurant);
 //! assert!(!answer.is_empty());
 //! ```
+//!
+//! ## Pooled entry points
+//!
+//! [`nearest_query`] and [`range_query`] allocate their Dijkstra state
+//! per call. A query loop should hold one [`SearchScratch`] (a
+//! generation-stamped flat distance array plus a reusable heap) and use
+//! the `*_with` variants — allocation-free at steady state, identical
+//! answers:
+//!
+//! ```
+//! use lbs::{nearest_query, nearest_query_with, PoiCategory, PoiStore, SearchScratch};
+//! use roadnet::{grid_city, SegmentId};
+//!
+//! let net = grid_city(5, 5, 100.0);
+//! let mut rng = rand::thread_rng();
+//! let store = PoiStore::generate(&net, 100, &mut rng);
+//! let mut scratch = SearchScratch::new();
+//! for region in [vec![SegmentId(7), SegmentId(8)], vec![SegmentId(20)]] {
+//!     let pooled = nearest_query_with(&net, &store, &region, PoiCategory::GasStation, &mut scratch);
+//!     let fresh = nearest_query(&net, &store, &region, PoiCategory::GasStation);
+//!     assert_eq!(pooled, fresh, "scratch never changes answers");
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,5 +1,13 @@
 //! Attack resilience: what an adversary without keys can and cannot do.
 //!
+//! Reproduces the paper's **experiment B5** (privacy analysis of the
+//! keyless adversary, ICDCS 2017 §V): single-cloak guessing, transition
+//! uniformity, posterior entropy, and exact keyed recovery. The
+//! *longitudinal* version of this experiment — a temporal adversary
+//! correlating the whole per-tick receipt stream against an NRE
+//! baseline control — is `rcloak attack` (see
+//! `cloak::attack::temporal`).
+//!
 //! Quantifies the paper's privacy claim — "without the secret key, the
 //! cloaked region preserves strong privacy properties, allowing no
 //! additional information to be inferred even when the adversary has

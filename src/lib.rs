@@ -10,9 +10,13 @@
 //! | [`roadnet`] | Road networks: graphs, routing, spatial index, synthetic map generators |
 //! | [`mobisim`] | GTMobiSim-style traffic: Gaussian car placement, shortest-path trips, occupancy snapshots |
 //! | [`keystream`] | Access keys, keyed draw streams, key management, access control |
-//! | [`cloak`] | The core: RGE and RPLE reversible cloaking (all `&self`, `Send + Sync`), multi-level protocol, payload codec, baseline, attack analysis |
-//! | [`anonymizer`] | The toolkit: sharded lock-free `AnonymizerService`, multi-worker `AnonymizerServer` with a batch pipeline, continuous tick-driven pipeline, De-anonymizer, map rendering, `rcloak` CLI |
+//! | [`cloak`] | The core: RGE and RPLE reversible cloaking (all `&self`, `Send + Sync`), multi-level protocol, payload codec, NRE baseline, single-shot and temporal attack analysis |
+//! | [`anonymizer`] | The toolkit: sharded lock-free `AnonymizerService`, multi-worker `AnonymizerServer` with a batch pipeline, continuous tick-driven pipeline with LBS and attack legs, De-anonymizer, map rendering, `rcloak` CLI |
 //! | [`lbs`] | POIs and anonymous query processing over cloaked regions |
+//!
+//! The system narrative — concurrency model, temporal pipeline, memory
+//! discipline, adversarial evaluation — lives in `docs/ARCHITECTURE.md`
+//! at the repository root, next to `README.md`.
 //!
 //! The anonymizer's hot path works entirely from `&self`: immutable state
 //! (network, engine, config) is shared behind `Arc`, the traffic snapshot
@@ -74,13 +78,13 @@ pub use roadnet;
 pub mod prelude {
     pub use anonymizer::{
         AnonymizeReceipt, AnonymizeRequest, AnonymizerConfig, AnonymizerServer, AnonymizerService,
-        ContinuousPipeline, Deanonymizer, Engine, EngineChoice, PipelineConfig, PipelineError,
-        TickReport,
+        AttackConfig, AttackRecord, ContinuousPipeline, Deanonymizer, Engine, EngineChoice,
+        PipelineConfig, PipelineError, TickReport,
     };
     pub use cloak::{
-        anonymize, anonymize_with_retry, deanonymize, CloakError, CloakPayload, DeanonError,
-        LevelRequirement, PrivacyProfile, QualitySummary, RegionQuality, ReversibleEngine,
-        RgeEngine, RpleEngine, SpatialTolerance, SuccessRate,
+        anonymize, anonymize_with_retry, deanonymize, AdversaryMode, AttackSummary, CloakError,
+        CloakPayload, DeanonError, LevelRequirement, PrivacyProfile, QualitySummary, RegionQuality,
+        ReversibleEngine, RgeEngine, RpleEngine, SpatialTolerance, SuccessRate, TemporalAdversary,
     };
     pub use keystream::{AccessControlProfile, DrawStream, Key256, KeyManager, Level, TrustDegree};
     pub use lbs::{nearest_query, range_query, PoiCategory, PoiStore, QueryStats};

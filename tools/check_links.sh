@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link target in the given files
+# exists on disk (anchors and absolute URLs are skipped). Used by the CI
+# docs job; run locally as `tools/check_links.sh README.md docs/*.md`.
+set -euo pipefail
+
+fail=0
+for file in "$@"; do
+    if [ ! -f "$file" ]; then
+        echo "missing file: $file" >&2
+        fail=1
+        continue
+    fi
+    dir=$(dirname "$file")
+    # Extract the (target) of every [text](target) markdown link.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        # Drop a trailing #anchor from relative targets.
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "$file: broken link -> $target" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done
+if [ "$fail" -ne 0 ]; then
+    echo "link check failed" >&2
+    exit 1
+fi
+echo "all relative links resolve"
