@@ -775,6 +775,29 @@ fn cmd_attack(opts: &Opts) -> Result<(), CmdError> {
             nre.mean_entropy(),
         );
     }
+    // Per-mode observe() cost footer: the graph-index wins (packed
+    // movement masks, batched correlation weights) are visible from the
+    // CLI without running the criterion benches.
+    let per_obs = |time: Option<std::time::Duration>, observations: u64| {
+        time.map(|t| t.as_secs_f64() * 1e6 / observations.max(1) as f64)
+    };
+    if let Some(engine_us) = per_obs(pipeline.attack_observe_time(), engine.observations()) {
+        let nre = pipeline
+            .baseline_attack_summary()
+            .map(|s| s.observations())
+            .and_then(|n| per_obs(pipeline.baseline_observe_time(), n));
+        match nre {
+            Some(nre_us) => println!(
+                "observe() cost [mode {}]: {engine_name} {engine_us:.1} µs/receipt, \
+                 nre {nre_us:.1} µs/receipt (replay inversion included)",
+                mode.name(),
+            ),
+            None => println!(
+                "observe() cost [mode {}]: {engine_name} {engine_us:.1} µs/receipt",
+                mode.name(),
+            ),
+        }
+    }
     if let Some(path) = opts.get("out") {
         let mut csv = String::from(AttackRecord::CSV_HEADER);
         csv.push('\n');

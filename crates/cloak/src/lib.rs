@@ -123,8 +123,8 @@ pub mod scratch;
 pub mod table;
 
 pub use attack::temporal::{
-    AdversaryConfig, AdversaryMode, AttackObservation, AttackSummary, Observation, ReplayProbe,
-    TemporalAdversary,
+    AdversaryConfig, AdversaryMode, AttackObservation, AttackSummary, Observation, ReachScratch,
+    ReplayProbe, TemporalAdversary,
 };
 pub use baseline::{random_expansion, BaselineOutcome};
 pub use engine::{HintStack, ReversibleEngine, RgeEngine, RpleEngine, StepAccept, MAX_REDRAWS};

@@ -30,7 +30,11 @@
 //! per call. A query loop should hold one [`SearchScratch`] (a
 //! generation-stamped flat distance array plus a reusable heap) and use
 //! the `*_with` variants — allocation-free at steady state, identical
-//! answers:
+//! answers. Both paths consult the network's landmark index
+//! ([`roadnet::GraphIndex`], built lazily on first query) to direct and
+//! bound the search; the un-indexed searches survive as
+//! [`nearest_query_reference_with`] / [`range_query_reference_with`]
+//! and are property-tested to return exactly equal candidates:
 //!
 //! ```
 //! use lbs::{nearest_query, nearest_query_with, PoiCategory, PoiStore, SearchScratch};
@@ -55,6 +59,7 @@ pub mod query;
 
 pub use poi::{Poi, PoiCategory, PoiId, PoiStore};
 pub use query::{
-    nearest_query, nearest_query_with, range_query, range_query_with, refine_nearest,
-    refine_nearest_with, CandidateAnswer, QueryStats, SearchScratch,
+    nearest_query, nearest_query_reference_with, nearest_query_with, range_query,
+    range_query_reference_with, range_query_with, refine_nearest, refine_nearest_with,
+    CandidateAnswer, QueryStats, SearchScratch,
 };

@@ -13,9 +13,25 @@
 //!   possible user position,
 //! * [`nearest_query`] — candidate set guaranteed to contain the true
 //!   nearest POI for every possible position.
+//!
+//! # Indexed search
+//!
+//! The pooled entry points ([`nearest_query_with`], [`range_query_with`])
+//! consult the network's [`roadnet::LandmarkTable`] (built once, behind
+//! the network's lazy [`roadnet::GraphIndex`]): landmark *upper* bounds
+//! turn the nearest search's doubling multi-source Dijkstra into a
+//! single goal-directed bounded search, and landmark *lower* bounds to
+//! the category's POI endpoints prune frontier junctions that provably
+//! cannot reach any relevant POI in budget. The pruning is conservative
+//! (triangle inequality), so **candidate sets, distances and tie-breaks
+//! are exactly those of the reference search** — kept alongside as
+//! [`nearest_query_reference_with`] / [`range_query_reference_with`]
+//! and property-tested equal in `tests/indexed_prop.rs`. Only the
+//! [`CandidateAnswer::segments_visited`] work counter differs (it
+//! reports the work actually done, which is the point).
 
 use crate::poi::{Poi, PoiCategory, PoiStore};
-use roadnet::{JunctionId, RoadNetwork, SegmentId};
+use roadnet::{JunctionId, LandmarkTable, RoadNetwork, SegmentId};
 use std::collections::BinaryHeap;
 
 /// The LBS answer: candidates plus the work the server did (the paper's
@@ -154,6 +170,20 @@ pub struct SearchScratch {
     seg_stamp: Vec<u32>,
     epoch: u32,
     heap: BinaryHeap<HeapEntry>,
+    /// Per-landmark min/max distance to the query region's junctions.
+    lm_region_min: Vec<f64>,
+    lm_region_max: Vec<f64>,
+    /// Per-landmark min/max distance to the queried category's POI
+    /// segment endpoints (the goal set of the directed search).
+    lm_target_min: Vec<f64>,
+    lm_target_max: Vec<f64>,
+    /// The landmarks that actually discriminate region from goal set
+    /// for this query (checked per popped junction, so kept few).
+    lm_selected: Vec<u32>,
+    /// The goal set's junction ids (two per category POI, in store
+    /// order) and their landmark-routed distance upper bounds.
+    lm_endpoints: Vec<u32>,
+    lm_endpoint_ub: Vec<f64>,
 }
 
 impl SearchScratch {
@@ -246,6 +276,306 @@ fn region_distances(
     visited_segments
 }
 
+/// Fills `min`/`max` with, per landmark, the distance envelope over the
+/// junctions of the region's segments (∞/∞ for an empty region or a
+/// landmark reaching none of them).
+fn region_landmark_profile(
+    net: &RoadNetwork,
+    table: &LandmarkTable,
+    region: &[SegmentId],
+    min: &mut Vec<f64>,
+    max: &mut Vec<f64>,
+) {
+    min.clear();
+    min.resize(table.count(), f64::INFINITY);
+    max.clear();
+    max.resize(table.count(), f64::NEG_INFINITY);
+    for (l, (mn, mx)) in min.iter_mut().zip(max.iter_mut()).enumerate() {
+        let row = table.distances(l);
+        for &s in region {
+            let seg = net.segment(s);
+            for j in [seg.a(), seg.b()] {
+                let d = row[j.index()];
+                *mn = mn.min(d);
+                *mx = mx.max(d);
+            }
+        }
+        if region.is_empty() {
+            *mx = f64::INFINITY;
+        }
+    }
+}
+
+/// How many landmarks the per-junction pruning bound consults. The
+/// selection keeps only the most discriminating ones, so the check
+/// stays a handful of flops on the Dijkstra's hottest line.
+const SELECTED_LANDMARKS: usize = 4;
+
+/// Picks up to [`SELECTED_LANDMARKS`] landmarks that separate the
+/// region envelope from the goal envelope — the only ones whose
+/// triangle bound can ever prune anything for this query. Using a
+/// subset is always sound (the bound over fewer landmarks is merely
+/// weaker).
+fn select_landmarks(
+    r_min: &[f64],
+    r_max: &[f64],
+    t_min: &[f64],
+    t_max: &[f64],
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    let mut scored: [(f64, u32); SELECTED_LANDMARKS] = [(0.0, u32::MAX); SELECTED_LANDMARKS];
+    for l in 0..r_min.len() {
+        let mut score = 0.0f64;
+        if t_min[l].is_finite() && r_max[l].is_finite() {
+            score = score.max(t_min[l] - r_max[l]);
+        }
+        if t_max[l].is_finite() {
+            if r_min[l].is_finite() {
+                score = score.max(r_min[l] - t_max[l]);
+            } else {
+                // The landmark reaches every goal endpoint but no region
+                // junction: the strongest possible discriminator.
+                score = f64::INFINITY;
+            }
+        }
+        if score > scored[SELECTED_LANDMARKS - 1].0 {
+            scored[SELECTED_LANDMARKS - 1] = (score, l as u32);
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        }
+    }
+    out.extend(
+        scored
+            .iter()
+            .filter(|&&(score, l)| score > 0.0 && l != u32::MAX)
+            .map(|&(_, l)| l),
+    );
+}
+
+/// Fills `min`/`max` with, per landmark, the distance envelope over the
+/// endpoints of every segment carrying a POI of `category` — the goal
+/// set of the directed search. Returns whether the category has any POI
+/// at all.
+fn category_landmark_profile(
+    net: &RoadNetwork,
+    table: &LandmarkTable,
+    store: &PoiStore,
+    category: PoiCategory,
+    endpoints: &mut Vec<u32>,
+    min: &mut Vec<f64>,
+    max: &mut Vec<f64>,
+) -> bool {
+    min.clear();
+    min.resize(table.count(), f64::INFINITY);
+    max.clear();
+    max.resize(table.count(), f64::NEG_INFINITY);
+    // Gather the goal junctions once, then sweep each landmark row over
+    // the flat list (row-major, bounds-friendly).
+    endpoints.clear();
+    for poi in store.iter().filter(|p| p.category == category) {
+        let seg = net.segment(poi.segment);
+        endpoints.push(seg.a().0);
+        endpoints.push(seg.b().0);
+    }
+    for (l, (mn, mx)) in min.iter_mut().zip(max.iter_mut()).enumerate() {
+        let row = table.distances(l);
+        for &j in endpoints.iter() {
+            let d = row[j as usize];
+            *mn = mn.min(d);
+            *mx = mx.max(d);
+        }
+    }
+    !endpoints.is_empty()
+}
+
+/// Landmark lower bound on the distance from junction `j` to the goal
+/// set profiled in `t_min`/`t_max`, over the `sel`ected landmarks.
+/// Infinite when some landmark proves every goal endpoint unreachable
+/// from `j`; `0.0` when the landmarks say nothing.
+fn goal_lower_bound(
+    table: &LandmarkTable,
+    j: JunctionId,
+    t_min: &[f64],
+    t_max: &[f64],
+    sel: &[u32],
+) -> f64 {
+    let mut lb = 0.0f64;
+    for &l in sel {
+        let l = l as usize;
+        let (tmin, tmax) = (t_min[l], t_max[l]);
+        let dj = table.distances(l)[j.index()];
+        if dj.is_finite() {
+            if tmin.is_finite() {
+                lb = lb.max(tmin - dj);
+            }
+            if tmax.is_finite() {
+                lb = lb.max(dj - tmax);
+            }
+        } else if tmax.is_finite() {
+            // The landmark reaches every goal endpoint but not `j`:
+            // `j` lies in a different component from the whole goal set.
+            return f64::INFINITY;
+        }
+    }
+    lb
+}
+
+/// [`region_distances`] with landmark goal-direction: junctions that
+/// provably cannot reach any goal endpoint within `limit` (triangle
+/// inequality against `t_min`/`t_max`) are not expanded. Distances of
+/// every junction the answer can depend on — goal endpoints within
+/// `limit` — are identical to the reference search; the visited counter
+/// reflects the (smaller) work actually done.
+#[allow(clippy::too_many_arguments)]
+fn region_distances_goal(
+    net: &RoadNetwork,
+    table: &LandmarkTable,
+    region: &[SegmentId],
+    limit: f64,
+    t_min: &[f64],
+    t_max: &[f64],
+    sel: &[u32],
+    scratch: &mut SearchScratch,
+) -> usize {
+    scratch.begin(net.junction_count(), net.segment_count());
+    for &s in region {
+        let seg = net.segment(s);
+        for j in [seg.a(), seg.b()] {
+            if scratch.get(j).is_none_or(|d| d > 0.0) {
+                scratch.set(j, 0.0);
+                scratch.heap.push(HeapEntry { d: 0.0, j: j.0 });
+            }
+        }
+    }
+    let mut visited_segments = 0usize;
+    while let Some(HeapEntry { d, j }) = scratch.heap.pop() {
+        let j = JunctionId(j);
+        if scratch.get(j).is_some_and(|cur| d > cur) {
+            continue;
+        }
+        if d > limit {
+            continue;
+        }
+        // Any path through `j` to a goal endpoint is at least
+        // `d + lb` long; if that overshoots the budget, relaxing `j`
+        // cannot change any distance the answer reads. The incident
+        // segments still count as examined (the server looked at them),
+        // keeping the work metric monotone in the budget.
+        let prune = d + goal_lower_bound(table, j, t_min, t_max, sel) > limit;
+        for &s in net.incident_segments(j) {
+            if scratch.visit_segment(s) {
+                visited_segments += 1;
+            }
+            if prune {
+                continue;
+            }
+            let seg = net.segment(s);
+            let other = seg.other_endpoint(j).expect("incident endpoint");
+            let nd = d + seg.length();
+            if nd <= limit && scratch.get(other).is_none_or(|cur| nd < cur) {
+                scratch.set(other, nd);
+                scratch.heap.push(HeapEntry { d: nd, j: other.0 });
+            }
+        }
+    }
+    visited_segments
+}
+
+/// The nearest-search core: one goal-directed Dijkstra from the region
+/// that *discovers its own budget*. Every settled junction scores the
+/// POIs of `category` on its incident segments, shrinking the running
+/// best-distance `d*`; the search stops as soon as the frontier passes
+/// `d* + diameter` (the expansion bound every answer candidate must lie
+/// within) and prunes junctions whose landmark lower bound to the goal
+/// set overshoots the running budget. Distances of every junction the
+/// answer can read are exactly those of the reference search's final
+/// iteration — without the reference's doubling restarts.
+///
+/// Returns the segments examined and the exact nearest-POI distance
+/// (∞ when no POI of the category is reachable).
+///
+/// `best_seed` is any upper bound on the nearest-POI distance (the
+/// caller derives one from the landmark table); the running best only
+/// shrinks from there as real hits are scored, so the search never
+/// explores past the true expansion bound plus the seed's slack.
+#[allow(clippy::too_many_arguments)]
+fn region_distances_nearest_goal(
+    net: &RoadNetwork,
+    table: &LandmarkTable,
+    store: &PoiStore,
+    category: PoiCategory,
+    region: &[SegmentId],
+    diameter: f64,
+    best_seed: f64,
+    t_min: &[f64],
+    t_max: &[f64],
+    sel: &[u32],
+    scratch: &mut SearchScratch,
+) -> (usize, f64) {
+    scratch.begin(net.junction_count(), net.segment_count());
+    // A category POI on a region segment pins d* to 0 immediately (the
+    // same short-circuit `poi_distance` applies).
+    let mut best = if store
+        .iter()
+        .any(|p| p.category == category && region.contains(&p.segment))
+    {
+        0.0
+    } else {
+        best_seed
+    };
+    for &s in region {
+        let seg = net.segment(s);
+        for j in [seg.a(), seg.b()] {
+            if scratch.get(j).is_none_or(|d| d > 0.0) {
+                scratch.set(j, 0.0);
+                scratch.heap.push(HeapEntry { d: 0.0, j: j.0 });
+            }
+        }
+    }
+    let mut visited_segments = 0usize;
+    while let Some(HeapEntry { d, j }) = scratch.heap.pop() {
+        let j = JunctionId(j);
+        if scratch.get(j).is_some_and(|cur| d > cur) {
+            continue;
+        }
+        // Keys pop in non-decreasing order: once the frontier passes the
+        // running bound, no remaining entry can improve any candidate.
+        let bound = best + diameter;
+        if d > bound {
+            break;
+        }
+        let prune = d + goal_lower_bound(table, j, t_min, t_max, sel) > bound;
+        for &s in net.incident_segments(j) {
+            if scratch.visit_segment(s) {
+                visited_segments += 1;
+            }
+            let seg = net.segment(s);
+            // Score this junction's POIs: the other endpoint contributes
+            // when (and if) it settles.
+            for poi in store.on_segment(s) {
+                if poi.category == category {
+                    let tail = if j == seg.a() {
+                        poi.offset
+                    } else {
+                        (seg.length() - poi.offset).max(0.0)
+                    };
+                    best = best.min(d + tail);
+                }
+            }
+            if prune {
+                continue;
+            }
+            let other = seg.other_endpoint(j).expect("incident endpoint");
+            let nd = d + seg.length();
+            if nd <= bound && scratch.get(other).is_none_or(|cur| nd < cur) {
+                scratch.set(other, nd);
+                scratch.heap.push(HeapEntry { d: nd, j: other.0 });
+            }
+        }
+    }
+    (visited_segments, best)
+}
+
 /// Shortest road distance from the region to a POI, given the junction
 /// distances left in `scratch` (`None` when the POI is out of range).
 fn poi_distance(
@@ -293,8 +623,72 @@ pub fn range_query(
 }
 
 /// [`range_query`] with caller-owned search buffers (see
-/// [`SearchScratch`]); bit-identical results for any scratch state.
+/// [`SearchScratch`]); bit-identical candidates for any scratch state.
+///
+/// Uses the network's landmark table to prune frontier junctions that
+/// provably cannot reach any POI of `category` within `radius`; the
+/// candidate set equals [`range_query_reference_with`] exactly.
 pub fn range_query_with(
+    net: &RoadNetwork,
+    store: &PoiStore,
+    region: &[SegmentId],
+    category: PoiCategory,
+    radius: f64,
+    scratch: &mut SearchScratch,
+) -> CandidateAnswer {
+    let table = net.landmark_table();
+    let mut t_min = std::mem::take(&mut scratch.lm_target_min);
+    let mut t_max = std::mem::take(&mut scratch.lm_target_max);
+    let mut r_min = std::mem::take(&mut scratch.lm_region_min);
+    let mut r_max = std::mem::take(&mut scratch.lm_region_max);
+    let mut sel = std::mem::take(&mut scratch.lm_selected);
+    let mut endpoints = std::mem::take(&mut scratch.lm_endpoints);
+    let any = category_landmark_profile(
+        net,
+        table,
+        store,
+        category,
+        &mut endpoints,
+        &mut t_min,
+        &mut t_max,
+    );
+    let answer = if !any {
+        // No POI of the category exists: the reference search would
+        // expand the whole radius ball only to filter everything out.
+        CandidateAnswer {
+            candidates: Vec::new(),
+            segments_visited: 0,
+        }
+    } else {
+        region_landmark_profile(net, table, region, &mut r_min, &mut r_max);
+        select_landmarks(&r_min, &r_max, &t_min, &t_max, &mut sel);
+        let visited =
+            region_distances_goal(net, table, region, radius, &t_min, &t_max, &sel, scratch);
+        let mut candidates: Vec<Poi> = store
+            .iter()
+            .filter(|p| p.category == category)
+            .filter(|p| poi_distance(net, scratch, region, p).is_some_and(|d| d <= radius))
+            .copied()
+            .collect();
+        candidates.sort_by_key(|p| p.id);
+        CandidateAnswer {
+            candidates,
+            segments_visited: visited,
+        }
+    };
+    scratch.lm_target_min = t_min;
+    scratch.lm_target_max = t_max;
+    scratch.lm_region_min = r_min;
+    scratch.lm_region_max = r_max;
+    scratch.lm_selected = sel;
+    scratch.lm_endpoints = endpoints;
+    answer
+}
+
+/// The pre-index [`range_query`] search: a radius-bounded multi-source
+/// Dijkstra with no landmark pruning. Kept as the reference
+/// implementation the indexed path is property-tested against.
+pub fn range_query_reference_with(
     net: &RoadNetwork,
     store: &PoiStore,
     region: &[SegmentId],
@@ -334,9 +728,178 @@ pub fn nearest_query(
 
 /// [`nearest_query`] with caller-owned search buffers (see
 /// [`SearchScratch`]) — the per-tick query loop of a streaming pipeline
-/// reuses one scratch across every probe; bit-identical results for any
-/// scratch state.
+/// reuses one scratch across every probe; bit-identical candidates for
+/// any scratch state.
+///
+/// Goal-directed via the network's landmark table: one self-bounding
+/// Dijkstra discovers the nearest-POI distance as it runs and stops at
+/// the exact expansion bound (instead of the reference's doubling
+/// restarts), while landmark *lower* bounds prune frontier junctions
+/// that cannot reach any POI of the category in budget. The candidate
+/// set, the distances and the tie-breaks equal
+/// [`nearest_query_reference_with`] exactly — including the
+/// reference's give-up behavior when its 24-doubling budget would be
+/// exhausted.
 pub fn nearest_query_with(
+    net: &RoadNetwork,
+    store: &PoiStore,
+    region: &[SegmentId],
+    category: PoiCategory,
+    scratch: &mut SearchScratch,
+) -> CandidateAnswer {
+    let table = net.landmark_table();
+    let mut t_min = std::mem::take(&mut scratch.lm_target_min);
+    let mut t_max = std::mem::take(&mut scratch.lm_target_max);
+    let mut r_min = std::mem::take(&mut scratch.lm_region_min);
+    let mut r_max = std::mem::take(&mut scratch.lm_region_max);
+    let mut sel = std::mem::take(&mut scratch.lm_selected);
+    let mut endpoints = std::mem::take(&mut scratch.lm_endpoints);
+    let mut endpoint_ub = std::mem::take(&mut scratch.lm_endpoint_ub);
+    let any = category_landmark_profile(
+        net,
+        table,
+        store,
+        category,
+        &mut endpoints,
+        &mut t_min,
+        &mut t_max,
+    );
+    let answer = if !any {
+        // No POI of the category at all — the reference ends empty.
+        CandidateAnswer {
+            candidates: Vec::new(),
+            segments_visited: 0,
+        }
+    } else {
+        region_landmark_profile(net, table, region, &mut r_min, &mut r_max);
+        select_landmarks(&r_min, &r_max, &t_min, &t_max, &mut sel);
+        nearest_query_indexed(
+            net,
+            store,
+            region,
+            category,
+            table,
+            &t_min,
+            &t_max,
+            &r_min,
+            &sel,
+            &endpoints,
+            &mut endpoint_ub,
+            scratch,
+        )
+    };
+    scratch.lm_target_min = t_min;
+    scratch.lm_target_max = t_max;
+    scratch.lm_region_min = r_min;
+    scratch.lm_region_max = r_max;
+    scratch.lm_selected = sel;
+    scratch.lm_endpoints = endpoints;
+    scratch.lm_endpoint_ub = endpoint_ub;
+    answer
+}
+
+/// The indexed nearest search: one self-bounding goal-directed Dijkstra
+/// (see [`region_distances_nearest_goal`]) instead of the reference's
+/// doubling restarts.
+#[allow(clippy::too_many_arguments)]
+fn nearest_query_indexed(
+    net: &RoadNetwork,
+    store: &PoiStore,
+    region: &[SegmentId],
+    category: PoiCategory,
+    table: &LandmarkTable,
+    t_min: &[f64],
+    t_max: &[f64],
+    r_min: &[f64],
+    sel: &[u32],
+    endpoints: &[u32],
+    endpoint_ub: &mut Vec<f64>,
+    scratch: &mut SearchScratch,
+) -> CandidateAnswer {
+    // Region "diameter" upper bound: total road length of the region (a
+    // safe overestimate of the longest internal detour).
+    let diameter: f64 = region.iter().map(|&s| net.segment(s).length()).sum();
+    // Landmark upper bound on the nearest-POI distance, seeding the
+    // search's self-shrinking budget: region → landmark → POI endpoint
+    // (+ the POI's offset along its segment). Only worth its per-POI
+    // scan when the landmarks discriminate region from goal set (`sel`
+    // non-empty) — with goals surrounding the region the first real hit
+    // lands long before any seed would matter.
+    let mut best_seed = f64::INFINITY;
+    if !sel.is_empty() {
+        // Row-major sweep: ub[e] = min over landmarks of
+        // d(region, landmark) + d(landmark, endpoint e).
+        endpoint_ub.clear();
+        endpoint_ub.resize(endpoints.len(), f64::INFINITY);
+        for (l, &rm) in r_min.iter().enumerate() {
+            if !rm.is_finite() {
+                continue;
+            }
+            let row = table.distances(l);
+            for (ub, &j) in endpoint_ub.iter_mut().zip(endpoints.iter()) {
+                *ub = ub.min(rm + row[j as usize]);
+            }
+        }
+        for (poi, ub) in store
+            .iter()
+            .filter(|p| p.category == category)
+            .zip(endpoint_ub.chunks_exact(2))
+        {
+            let seg = net.segment(poi.segment);
+            let via_a = ub[0] + poi.offset;
+            let via_b = ub[1] + (seg.length() - poi.offset).max(0.0);
+            best_seed = best_seed.min(via_a.min(via_b));
+        }
+    }
+    let (visited, d_star) = region_distances_nearest_goal(
+        net, table, store, category, region, diameter, best_seed, t_min, t_max, sel, scratch,
+    );
+    if !d_star.is_finite() {
+        // No reachable POI of the category: the reference exhausts its
+        // 24 doublings and answers empty.
+        return CandidateAnswer {
+            candidates: Vec::new(),
+            segments_visited: 0,
+        };
+    }
+    let mut with_d: Vec<(f64, Poi)> = store
+        .iter()
+        .filter(|p| p.category == category)
+        .filter_map(|p| poi_distance(net, scratch, region, p).map(|d| (d, *p)))
+        .collect();
+    let bound = d_star + diameter;
+    // Mirror the reference's doubling schedule: it only answers once
+    // its growing limit covers `bound`, and gives up (empty answer)
+    // after 24 doublings. The doubling is exact in f64, so the
+    // replicated schedule agrees bit for bit.
+    let mut limit = diameter.max(100.0);
+    let mut covered = false;
+    for _ in 0..24 {
+        if bound <= limit {
+            covered = true;
+            break;
+        }
+        limit *= 2.0;
+    }
+    if !covered {
+        return CandidateAnswer {
+            candidates: Vec::new(),
+            segments_visited: 0,
+        };
+    }
+    with_d.retain(|(d, _)| *d <= bound);
+    with_d.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)));
+    CandidateAnswer {
+        candidates: with_d.into_iter().map(|(_, p)| p).collect(),
+        segments_visited: visited,
+    }
+}
+
+/// The pre-index [`nearest_query`] search: multi-source Dijkstra with a
+/// doubling limit until the expansion bound is covered. Kept as the
+/// reference implementation the indexed path is property-tested
+/// against.
+pub fn nearest_query_reference_with(
     net: &RoadNetwork,
     store: &PoiStore,
     region: &[SegmentId],

@@ -1,0 +1,145 @@
+//! The indexed-search contract: the landmark-pruned goal-directed
+//! searches must return **exactly** the reference answers — same POIs,
+//! same distances (order encodes them), same tie-breaks — on arbitrary
+//! maps, stores, regions and radii. Only the `segments_visited` work
+//! counter may differ (the indexed search does less work; that is the
+//! point).
+
+use lbs::{
+    nearest_query_reference_with, nearest_query_with, range_query_reference_with, range_query_with,
+    PoiCategory, PoiStore, SearchScratch,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roadnet::{grid_city, irregular_city, path, IrregularConfig, RoadNetwork, SegmentId};
+
+/// A deterministic region: the BFS hop ball around a seed segment,
+/// truncated — connected like real cloaking regions, and sorted like
+/// the payloads the pipeline feeds the LBS.
+fn region(net: &RoadNetwork, center: u32, hops: usize, take: usize) -> Vec<SegmentId> {
+    let center = SegmentId(center % net.segment_count() as u32);
+    let mut ball = path::segments_within_hops(net, center, hops);
+    ball.truncate(take.max(1));
+    ball.sort_unstable();
+    ball
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    #[test]
+    fn indexed_nearest_equals_reference(
+        seed in any::<u64>(),
+        center in 0u32..200,
+        hops in 0usize..3,
+        pois in 5usize..120,
+        cat in 0usize..5,
+    ) {
+        let net = irregular_city(&IrregularConfig {
+            junctions: 90,
+            segments: 120,
+            seed,
+            ..Default::default()
+        });
+        let store = PoiStore::generate(&net, pois, &mut StdRng::seed_from_u64(seed ^ 0x90a1));
+        let category = PoiCategory::ALL[cat];
+        let region = region(&net, center, hops, 6);
+        let mut scratch = SearchScratch::new();
+        let indexed = nearest_query_with(&net, &store, &region, category, &mut scratch);
+        let reference = nearest_query_reference_with(&net, &store, &region, category, &mut scratch);
+        prop_assert_eq!(
+            &indexed.candidates, &reference.candidates,
+            "nearest candidates diverge (seed {}, region {:?}, {:?})",
+            seed, region, category
+        );
+    }
+
+    #[test]
+    fn indexed_range_equals_reference(
+        seed in any::<u64>(),
+        center in 0u32..200,
+        hops in 0usize..3,
+        pois in 5usize..120,
+        cat in 0usize..5,
+        radius in 0.0f64..1500.0,
+    ) {
+        let net = irregular_city(&IrregularConfig {
+            junctions: 90,
+            segments: 120,
+            seed,
+            ..Default::default()
+        });
+        let store = PoiStore::generate(&net, pois, &mut StdRng::seed_from_u64(seed ^ 0x9a5));
+        let category = PoiCategory::ALL[cat];
+        let region = region(&net, center, hops, 6);
+        let mut scratch = SearchScratch::new();
+        let indexed = range_query_with(&net, &store, &region, category, radius, &mut scratch);
+        let reference =
+            range_query_reference_with(&net, &store, &region, category, radius, &mut scratch);
+        prop_assert_eq!(
+            &indexed.candidates, &reference.candidates,
+            "range candidates diverge (seed {}, radius {}, region {:?}, {:?})",
+            seed, radius, region, category
+        );
+    }
+}
+
+#[test]
+fn indexed_equals_reference_on_grids_and_edge_cases() {
+    let net = grid_city(10, 10, 100.0);
+    let store = PoiStore::generate(&net, 60, &mut StdRng::seed_from_u64(7));
+    let mut scratch = SearchScratch::new();
+    let cases: Vec<Vec<SegmentId>> = vec![
+        vec![],                      // empty region
+        vec![SegmentId(0)],          // corner
+        region(&net, 90, 2, 8),      // mid-map ball
+        net.segment_ids().collect(), // whole map
+    ];
+    for region in &cases {
+        for category in PoiCategory::ALL {
+            let ni = nearest_query_with(&net, &store, region, category, &mut scratch);
+            let nr = nearest_query_reference_with(&net, &store, region, category, &mut scratch);
+            assert_eq!(
+                ni.candidates, nr.candidates,
+                "nearest {region:?} {category:?}"
+            );
+            for radius in [0.0, 120.0, 5000.0] {
+                let ri = range_query_with(&net, &store, region, category, radius, &mut scratch);
+                let rr = range_query_reference_with(
+                    &net,
+                    &store,
+                    region,
+                    category,
+                    radius,
+                    &mut scratch,
+                );
+                assert_eq!(
+                    ri.candidates, rr.candidates,
+                    "range {region:?} {category:?} {radius}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn indexed_does_less_work_on_sparse_goals() {
+    // One far-away POI: the reference expands the whole radius ball,
+    // the goal-directed search only the corridor the landmarks allow.
+    let net = grid_city(14, 14, 100.0);
+    let mut store = PoiStore::new(net.segment_count());
+    store.add(SegmentId(0), 20.0, PoiCategory::Hospital);
+    let region = region(&net, 300, 1, 4);
+    let mut scratch = SearchScratch::new();
+    let indexed = nearest_query_with(&net, &store, &region, PoiCategory::Hospital, &mut scratch);
+    let reference =
+        nearest_query_reference_with(&net, &store, &region, PoiCategory::Hospital, &mut scratch);
+    assert_eq!(indexed.candidates, reference.candidates);
+    assert!(
+        indexed.segments_visited < reference.segments_visited,
+        "indexed {} vs reference {}",
+        indexed.segments_visited,
+        reference.segments_visited
+    );
+}

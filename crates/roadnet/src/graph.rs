@@ -8,8 +8,10 @@
 //! workhorse of the whole system.
 
 use crate::geometry::{BoundingBox, Point};
+use crate::index::{GraphIndex, IndexCell, LandmarkTable, ReachIndex};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a junction (graph vertex). Dense, assigned by the builder.
 #[derive(
@@ -197,6 +199,12 @@ pub struct RoadNetwork {
     inc_offsets: Vec<u32>,
     /// Flat payload of the junction → incident-segments view.
     inc_list: Vec<SegmentId>,
+    /// Lazily built [`GraphIndex`] (landmark distances + packed
+    /// reachability), shared by every reader of this network. Derived
+    /// state like the CSR tables: clones start empty and rebuild on
+    /// demand, equality ignores it, and with the real serde it must be
+    /// `#[serde(skip)]` like the fields above.
+    graph_index: IndexCell,
 }
 
 impl RoadNetwork {
@@ -237,7 +245,39 @@ impl RoadNetwork {
             adj_list,
             inc_offsets,
             inc_list,
+            graph_index: IndexCell::default(),
         }
+    }
+
+    /// The network's [`GraphIndex`] (landmark distance table + packed
+    /// bounded-hop reachability), built once on first use and shared by
+    /// every subsequent caller.
+    ///
+    /// The index is read-only derived state: it accelerates queries
+    /// (goal-directed LBS search, adversary movement pruning) without
+    /// influencing any cloaking draw, so receipt streams are
+    /// byte-identical with or without it.
+    ///
+    /// ```
+    /// use roadnet::{grid_city, JunctionId};
+    /// let net = grid_city(4, 4, 100.0);
+    /// let lm = net.graph_index().landmarks();
+    /// assert!(lm.count() >= 1);
+    /// assert_eq!(lm.lower_bound(JunctionId(2), JunctionId(2)), 0.0);
+    /// ```
+    pub fn graph_index(&self) -> &GraphIndex {
+        self.graph_index.0.get_or_init(|| GraphIndex::build(self))
+    }
+
+    /// Shorthand for [`graph_index`](Self::graph_index)`().landmarks()`.
+    pub fn landmark_table(&self) -> &LandmarkTable {
+        self.graph_index().landmarks()
+    }
+
+    /// The packed reachability index for a hop budget, built on first
+    /// use and cached per budget (see [`GraphIndex::reach`]).
+    pub fn reach_index(&self, hops: usize) -> Arc<ReachIndex> {
+        self.graph_index().reach(self, hops)
     }
 
     /// Number of junctions.

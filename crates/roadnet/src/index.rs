@@ -1,10 +1,26 @@
-//! Uniform-grid spatial index over segments.
+//! Spatial and graph indexes over a road network.
 //!
-//! Used by the trace generator (snap a Gaussian sample to the nearest road)
-//! and the renderers (cull segments outside the viewport).
+//! Two families live here:
+//!
+//! * [`SegmentIndex`] — a uniform-grid *spatial* index, used by the trace
+//!   generator (snap a Gaussian sample to the nearest road) and the
+//!   renderers (cull segments outside the viewport);
+//! * [`GraphIndex`] — a read-only, built-once *graph* index: an
+//!   ALT-style [`LandmarkTable`] of exact road distances from a handful
+//!   of far-apart junctions, and word-packed bounded-hop
+//!   [`ReachIndex`] reachability masks. Query-time consumers (the LBS
+//!   candidate search, the temporal adversary's movement model) trade
+//!   per-query graph traversals for lookups into these tables — the
+//!   amortize-the-setup pattern the ROADMAP's hardware-speed goal calls
+//!   for. The index is derived state: it never feeds the cloaking
+//!   draws, so receipts are byte-identical with or without it.
+//!
+//! [`RoadNetwork::graph_index`] builds the graph index lazily (behind a
+//! `OnceLock`) on first use and shares it with every reader.
 
 use crate::geometry::{point_segment_distance, BoundingBox, Point};
-use crate::graph::{RoadNetwork, SegmentId};
+use crate::graph::{JunctionId, RoadNetwork, SegmentId};
+use std::sync::{Arc, OnceLock};
 
 /// A uniform-grid spatial index over the segments of a road network.
 ///
@@ -176,6 +192,365 @@ fn ring_cells(pc: usize, pr: usize, ring: usize, cols: usize, rows: usize) -> Ve
         }
     }
     out
+}
+
+/// Number of landmarks a [`GraphIndex`] selects by default. Sixteen
+/// far-apart junctions give tight triangle-inequality bounds on maps up
+/// to the paper's Atlanta-scale evaluation network while keeping the
+/// table at `16 × junction_count` doubles.
+pub const DEFAULT_LANDMARKS: usize = 16;
+
+/// Hop counts up to this value get their [`ReachIndex`] cached inside
+/// the [`GraphIndex`]; larger (pathological) hop budgets are built on
+/// demand without caching.
+pub const MAX_CACHED_HOPS: usize = 16;
+
+/// ALT-style landmark distance table: exact road distances from a small
+/// set of far-apart junctions (selected by farthest-point sampling) to
+/// every junction of the network.
+///
+/// By the triangle inequality, for any landmark `l` and junctions `a`,
+/// `b`: `|d(l,a) − d(l,b)| ≤ d(a,b) ≤ d(l,a) + d(l,b)` — so the table
+/// yields instant lower *and* upper bounds on any road distance, which
+/// the LBS candidate search uses to direct and terminate its Dijkstra
+/// early without changing any answer.
+///
+/// Farthest-point sampling treats unreachable junctions as infinitely
+/// far, so on a disconnected map each component receives a landmark
+/// before any component gets its second (up to the landmark budget).
+///
+/// ```
+/// use roadnet::{grid_city, index::LandmarkTable, path::shortest_path, JunctionId};
+/// let net = grid_city(6, 6, 100.0);
+/// let table = LandmarkTable::build(&net, 8);
+/// let (a, b) = (JunctionId(3), JunctionId(31));
+/// let exact = shortest_path(&net, a, b).unwrap().length;
+/// assert!(table.lower_bound(a, b) <= exact + 1e-9);
+/// assert!(table.upper_bound(a, b) >= exact - 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LandmarkTable {
+    landmarks: Vec<JunctionId>,
+    /// Row-major `landmarks.len() × junction_count` distances;
+    /// `f64::INFINITY` marks a junction unreachable from the landmark.
+    dist: Vec<f64>,
+    junctions: usize,
+}
+
+impl LandmarkTable {
+    /// Builds a table of (at most) `count` landmarks by farthest-point
+    /// sampling: the first landmark is junction 0, each next one is the
+    /// junction farthest from all landmarks chosen so far (unreachable
+    /// counts as farthest, covering disconnected components first).
+    pub fn build(net: &RoadNetwork, count: usize) -> Self {
+        let n = net.junction_count();
+        let mut table = LandmarkTable {
+            landmarks: Vec::new(),
+            dist: Vec::new(),
+            junctions: n,
+        };
+        if n == 0 || count == 0 {
+            return table;
+        }
+        let mut row = vec![f64::INFINITY; n];
+        let mut min_to_landmarks = vec![f64::INFINITY; n];
+        let mut next = JunctionId(0);
+        for _ in 0..count.min(n) {
+            sssp(net, next, &mut row);
+            table.landmarks.push(next);
+            table.dist.extend_from_slice(&row);
+            let mut best = (0.0f64, None);
+            for (i, (&d, m)) in row.iter().zip(min_to_landmarks.iter_mut()).enumerate() {
+                *m = m.min(d);
+                // Strict `>` keeps the pick deterministic (first max wins);
+                // infinity beats any finite distance, so uncovered
+                // components are landmarked before covered ones densify.
+                if *m > best.0 {
+                    best = (*m, Some(JunctionId(i as u32)));
+                }
+            }
+            match best.1 {
+                Some(j) if best.0 > 0.0 => next = j,
+                // Every junction is already a landmark (tiny maps).
+                _ => break,
+            }
+        }
+        table
+    }
+
+    /// Number of landmarks actually selected.
+    pub fn count(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// The selected landmark junctions.
+    pub fn landmarks(&self) -> &[JunctionId] {
+        &self.landmarks
+    }
+
+    /// Exact road distances from landmark `l` (an index into
+    /// [`landmarks`](Self::landmarks)) to every junction, indexed by
+    /// junction id; `f64::INFINITY` for unreachable junctions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l ≥ count()`.
+    pub fn distances(&self, l: usize) -> &[f64] {
+        &self.dist[l * self.junctions..(l + 1) * self.junctions]
+    }
+
+    /// A lower bound on the road distance between two junctions:
+    /// `max_l |d(l,a) − d(l,b)|`. Returns `f64::INFINITY` exactly when
+    /// some landmark proves the junctions lie in different components.
+    pub fn lower_bound(&self, a: JunctionId, b: JunctionId) -> f64 {
+        let mut lb = 0.0f64;
+        for l in 0..self.count() {
+            let row = self.distances(l);
+            let (da, db) = (row[a.index()], row[b.index()]);
+            match (da.is_finite(), db.is_finite()) {
+                (true, true) => lb = lb.max((da - db).abs()),
+                // One side reachable from `l`, the other not: different
+                // components, the true distance is infinite.
+                (true, false) | (false, true) => return f64::INFINITY,
+                // `l` sees neither: no information.
+                (false, false) => {}
+            }
+        }
+        lb
+    }
+
+    /// An upper bound on the road distance between two junctions:
+    /// `min_l d(l,a) + d(l,b)` (`f64::INFINITY` when no landmark
+    /// reaches both).
+    pub fn upper_bound(&self, a: JunctionId, b: JunctionId) -> f64 {
+        let mut ub = f64::INFINITY;
+        for l in 0..self.count() {
+            let row = self.distances(l);
+            ub = ub.min(row[a.index()] + row[b.index()]);
+        }
+        ub
+    }
+}
+
+/// Single-source shortest-path distances (length-weighted Dijkstra) from
+/// `src` into `out` (resized to the junction count; unreachable = ∞).
+fn sssp(net: &RoadNetwork, src: JunctionId, out: &mut Vec<f64>) {
+    use std::collections::BinaryHeap;
+    let n = net.junction_count();
+    out.clear();
+    out.resize(n, f64::INFINITY);
+    // (negated distance, junction) so the max-heap pops nearest first;
+    // distances are finite non-NaN by construction.
+    #[derive(PartialEq)]
+    struct Entry(f64, u32);
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| other.1.cmp(&self.1))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let mut heap = BinaryHeap::new();
+    out[src.index()] = 0.0;
+    heap.push(Entry(0.0, src.0));
+    while let Some(Entry(d, j)) = heap.pop() {
+        let j = JunctionId(j);
+        if d > out[j.index()] {
+            continue;
+        }
+        for &s in net.incident_segments(j) {
+            let seg = net.segment(s);
+            let other = seg.other_endpoint(j).expect("incident endpoint");
+            let nd = d + seg.length();
+            if nd < out[other.index()] {
+                out[other.index()] = nd;
+                heap.push(Entry(nd, other.0));
+            }
+        }
+    }
+}
+
+/// Word-packed bounded-hop reachability: for every segment, a `u64`
+/// bitmask of the segments within `hops` adjacency steps (including the
+/// segment itself).
+///
+/// The temporal adversary's movement model asks "which observed
+/// segments are within `h` hops of yesterday's candidate set?" — with
+/// this index that is an OR of candidate masks followed by single-bit
+/// tests, instead of a breadth-first expansion per owner per tick.
+///
+/// ```
+/// use roadnet::{grid_city, index::ReachIndex, path::segments_within_hops, SegmentId};
+/// let net = grid_city(5, 5, 100.0);
+/// let reach = ReachIndex::build(&net, 2);
+/// let ball = segments_within_hops(&net, SegmentId(7), 2);
+/// for s in net.segment_ids() {
+///     assert_eq!(reach.reaches(SegmentId(7), s), ball.contains(&s));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReachIndex {
+    hops: usize,
+    words: usize,
+    /// Segment-major: the mask of segment `s` is
+    /// `bits[s·words .. (s+1)·words]`.
+    bits: Vec<u64>,
+}
+
+impl ReachIndex {
+    /// Builds the index for a fixed hop budget by `hops` rounds of
+    /// bit-parallel dilation (`mask[s] |= mask[n]` for every neighbor).
+    pub fn build(net: &RoadNetwork, hops: usize) -> Self {
+        let s_count = net.segment_count();
+        let words = s_count.div_ceil(64);
+        let mut cur = vec![0u64; s_count * words];
+        for i in 0..s_count {
+            cur[i * words + i / 64] |= 1u64 << (i % 64);
+        }
+        let mut next = cur.clone();
+        for _ in 0..hops {
+            next.copy_from_slice(&cur);
+            for i in 0..s_count {
+                let dst = i * words;
+                for &n in net.neighbor_segments_csr(SegmentId(i as u32)) {
+                    let src = n.index() * words;
+                    for w in 0..words {
+                        next[dst + w] |= cur[src + w];
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        ReachIndex {
+            hops,
+            words,
+            bits: cur,
+        }
+    }
+
+    /// The hop budget the index was built for.
+    pub fn hops(&self) -> usize {
+        self.hops
+    }
+
+    /// Words per mask (`ceil(segment_count / 64)`).
+    pub fn words_per_mask(&self) -> usize {
+        self.words
+    }
+
+    /// The packed mask of segments within the hop budget of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids from the indexed network
+    /// never are).
+    pub fn mask(&self, s: SegmentId) -> &[u64] {
+        &self.bits[s.index() * self.words..(s.index() + 1) * self.words]
+    }
+
+    /// Whether `to` is within the hop budget of `from`.
+    pub fn reaches(&self, from: SegmentId, to: SegmentId) -> bool {
+        Self::mask_contains(self.mask(from), to)
+    }
+
+    /// Tests one bit of a packed mask (e.g. an OR-accumulated union of
+    /// per-segment masks). Out-of-range ids test false.
+    pub fn mask_contains(mask: &[u64], s: SegmentId) -> bool {
+        mask.get(s.index() / 64)
+            .is_some_and(|&w| w & (1u64 << (s.index() % 64)) != 0)
+    }
+
+    /// ORs the masks of `sources` into `acc` (cleared and resized to
+    /// [`words_per_mask`](Self::words_per_mask) first): the packed set
+    /// of segments within the hop budget of *any* source.
+    pub fn union_into<I: IntoIterator<Item = SegmentId>>(&self, sources: I, acc: &mut Vec<u64>) {
+        acc.clear();
+        acc.resize(self.words, 0);
+        for s in sources {
+            for (a, &w) in acc.iter_mut().zip(self.mask(s)) {
+                *a |= w;
+            }
+        }
+    }
+}
+
+/// The built-once graph index of a [`RoadNetwork`]: a [`LandmarkTable`]
+/// plus a per-hop-budget cache of [`ReachIndex`]es. Obtain one through
+/// [`RoadNetwork::graph_index`] (built lazily, shared by every reader)
+/// or build standalone with [`GraphIndex::build`].
+#[derive(Debug)]
+pub struct GraphIndex {
+    landmarks: LandmarkTable,
+    /// Lazily built reach indexes for hop budgets `0..=MAX_CACHED_HOPS`.
+    reach: Vec<OnceLock<Arc<ReachIndex>>>,
+}
+
+impl GraphIndex {
+    /// Builds the landmark table eagerly ([`DEFAULT_LANDMARKS`]
+    /// landmarks); reach masks are built per hop budget on first use.
+    pub fn build(net: &RoadNetwork) -> Self {
+        GraphIndex {
+            landmarks: LandmarkTable::build(net, DEFAULT_LANDMARKS),
+            reach: (0..=MAX_CACHED_HOPS).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The landmark distance table.
+    pub fn landmarks(&self) -> &LandmarkTable {
+        &self.landmarks
+    }
+
+    /// The reachability index for `hops`, built on first use and cached
+    /// for budgets up to [`MAX_CACHED_HOPS`]. `net` must be the network
+    /// this index was built from (callers going through
+    /// [`RoadNetwork::reach_index`] get that for free).
+    pub fn reach(&self, net: &RoadNetwork, hops: usize) -> Arc<ReachIndex> {
+        match self.reach.get(hops) {
+            Some(cell) => Arc::clone(cell.get_or_init(|| Arc::new(ReachIndex::build(net, hops)))),
+            None => Arc::new(ReachIndex::build(net, hops)),
+        }
+    }
+}
+
+/// Lazy [`GraphIndex`] cell embedded in [`RoadNetwork`]. Purely derived
+/// state: clones start empty (the clone rebuilds on demand) and every
+/// cell compares equal, so the network's `Clone`/`PartialEq` semantics
+/// are unchanged by the cache.
+#[derive(Default)]
+pub(crate) struct IndexCell(pub(crate) OnceLock<GraphIndex>);
+
+impl Clone for IndexCell {
+    fn clone(&self) -> Self {
+        IndexCell::default()
+    }
+}
+
+impl PartialEq for IndexCell {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for IndexCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "IndexCell({})",
+            if self.0.get().is_some() {
+                "built"
+            } else {
+                "empty"
+            }
+        )
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,6 @@ pub use generate::{
 };
 pub use geometry::{BoundingBox, Point};
 pub use graph::{Junction, JunctionId, RoadNetwork, Segment, SegmentId};
-pub use index::SegmentIndex;
+pub use index::{GraphIndex, LandmarkTable, ReachIndex, SegmentIndex};
 pub use path::{astar, segment_hop_distance, segments_within_hops, shortest_path, Route};
 pub use stats::NetworkStats;

@@ -1,0 +1,128 @@
+//! Property tests of the graph-index layer: landmark bounds must
+//! bracket the true shortest-path metric, and the word-packed
+//! reachability masks must equal the BFS hop balls bit for bit — the
+//! index is an accelerator, never an approximation.
+
+use proptest::prelude::*;
+use roadnet::{
+    grid_city, irregular_city, path, IrregularConfig, JunctionId, LandmarkTable, Point, ReachIndex,
+    RoadNetworkBuilder, SegmentId,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn landmark_bounds_bracket_true_distances(
+        seed in any::<u64>(),
+        a in 0u32..80,
+        b in 0u32..80,
+    ) {
+        let net = irregular_city(&IrregularConfig {
+            junctions: 80,
+            segments: 104,
+            seed,
+            ..Default::default()
+        });
+        let table = net.landmark_table();
+        let (a, b) = (JunctionId(a), JunctionId(b));
+        let exact = path::shortest_path(&net, a, b).unwrap().length;
+        let lb = table.lower_bound(a, b);
+        let ub = table.upper_bound(a, b);
+        prop_assert!(lb <= exact + 1e-6, "lower bound {lb} above exact {exact}");
+        prop_assert!(ub >= exact - 1e-6, "upper bound {ub} below exact {exact}");
+        prop_assert!(lb <= ub + 1e-6);
+    }
+
+    #[test]
+    fn reach_masks_equal_bfs_hop_balls(
+        seed in any::<u64>(),
+        center in 0u32..100,
+        hops in 0usize..5,
+    ) {
+        let net = irregular_city(&IrregularConfig {
+            junctions: 80,
+            segments: 104,
+            seed,
+            ..Default::default()
+        });
+        let center = SegmentId(center % net.segment_count() as u32);
+        let reach = net.reach_index(hops);
+        prop_assert_eq!(reach.hops(), hops);
+        let ball: std::collections::HashSet<SegmentId> =
+            path::segments_within_hops(&net, center, hops).into_iter().collect();
+        for s in net.segment_ids() {
+            prop_assert_eq!(
+                reach.reaches(center, s),
+                ball.contains(&s),
+                "hop {} reachability of {} from {} disagrees with BFS",
+                hops, s, center
+            );
+        }
+    }
+
+    #[test]
+    fn union_mask_is_union_of_balls(
+        seed in any::<u64>(),
+        s0 in 0u32..100,
+        s1 in 0u32..100,
+        hops in 1usize..4,
+    ) {
+        let net = irregular_city(&IrregularConfig {
+            junctions: 60,
+            segments: 78,
+            seed,
+            ..Default::default()
+        });
+        let s0 = SegmentId(s0 % net.segment_count() as u32);
+        let s1 = SegmentId(s1 % net.segment_count() as u32);
+        let reach = net.reach_index(hops);
+        let mut acc = Vec::new();
+        reach.union_into([s0, s1], &mut acc);
+        for s in net.segment_ids() {
+            prop_assert_eq!(
+                ReachIndex::mask_contains(&acc, s),
+                reach.reaches(s0, s) || reach.reaches(s1, s)
+            );
+        }
+    }
+}
+
+#[test]
+fn landmarks_cover_every_component() {
+    // Two disconnected islands: farthest-point sampling must land a
+    // landmark on each before densifying either.
+    let mut b = RoadNetworkBuilder::new();
+    let j0 = b.add_junction(Point::new(0.0, 0.0));
+    let j1 = b.add_junction(Point::new(100.0, 0.0));
+    let j2 = b.add_junction(Point::new(5000.0, 0.0));
+    let j3 = b.add_junction(Point::new(5100.0, 0.0));
+    b.add_segment(j0, j1).unwrap();
+    b.add_segment(j2, j3).unwrap();
+    let net = b.build().unwrap();
+    let table = LandmarkTable::build(&net, 2);
+    for j in net.junction_ids() {
+        let covered = (0..table.count()).any(|l| table.distances(l)[j.index()].is_finite());
+        assert!(covered, "junction {j} unreachable from every landmark");
+    }
+    // Cross-island distances are provably infinite.
+    assert_eq!(table.lower_bound(j0, j2), f64::INFINITY);
+    // Same-island bounds are exact here (the landmark is an endpoint).
+    assert!(table.upper_bound(j0, j1).is_finite());
+}
+
+#[test]
+fn graph_index_is_shared_and_survives_clone() {
+    let net = grid_city(5, 5, 100.0);
+    let a = net.graph_index() as *const _;
+    let b = net.graph_index() as *const _;
+    assert_eq!(a, b, "second access reuses the built index");
+    // A clone compares equal but rebuilds its own (empty) cache.
+    let cloned = net.clone();
+    assert_eq!(cloned, net);
+    assert!(cloned.landmark_table().count() >= 1);
+    // Cached reach indexes are shared per hop budget.
+    let r1 = net.reach_index(3);
+    let r2 = net.reach_index(3);
+    assert!(std::sync::Arc::ptr_eq(&r1, &r2));
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Tick-latency regression gate for CI's bench job.
+#
+# Usage: tools/bench_gate.sh COMMITTED.json FRESH.json [TOLERANCE_PCT]
+#
+# COMMITTED.json is the checked-in BENCH_pipeline.json (PR-boundary
+# points; the *last* occurrence of each config key is the latest point).
+# FRESH.json is the quick-mode point the job just measured. The gate
+# fails when any config's fresh mean_tick_ms exceeds the committed one
+# by more than TOLERANCE_PCT (default 25 — wide enough for the noise of
+# shared 1-CPU runners, tight enough to catch a real hot-path
+# regression). Configs missing from either file are skipped (quick mode
+# and committed points may carry different cell sets across PRs).
+set -euo pipefail
+
+committed=${1:?usage: bench_gate.sh COMMITTED.json FRESH.json [TOLERANCE_PCT]}
+fresh=${2:?usage: bench_gate.sh COMMITTED.json FRESH.json [TOLERANCE_PCT]}
+tolerance=${3:-25}
+
+# Extracts the last committed mean_tick_ms for a config key, relying on
+# the file's flat `"cfg": { "mean_tick_ms": N, ... }` formatting.
+extract() {
+    grep -o "\"$2\": *{ *\"mean_tick_ms\": *[0-9.]*" "$1" | tail -1 | grep -o '[0-9.]*$' || true
+}
+
+status=0
+checked=0
+for cfg in rge_raw rge_verified rge_attacked rple_raw rple_verified rple_attacked; do
+    base=$(extract "$committed" "$cfg")
+    cur=$(extract "$fresh" "$cfg")
+    if [ -z "$base" ] || [ -z "$cur" ]; then
+        echo "gate: $cfg — skipped (not present in both files)"
+        continue
+    fi
+    checked=$((checked + 1))
+    if awk -v c="$cur" -v b="$base" -v t="$tolerance" \
+        'BEGIN { exit !(c > b * (1 + t / 100)) }'; then
+        echo "gate: $cfg REGRESSED — fresh ${cur} ms/tick vs committed ${base} ms/tick (> +${tolerance}%)"
+        status=1
+    else
+        echo "gate: $cfg ok — fresh ${cur} ms/tick vs committed ${base} ms/tick"
+    fi
+done
+
+if [ "$checked" -eq 0 ]; then
+    echo "gate: no comparable configs found — refusing to pass vacuously" >&2
+    exit 2
+fi
+exit $status
