@@ -18,6 +18,7 @@
 //! rcloak simulate --ticks 100 --cars 1000 [--grid RxC | --map city.map]
 //!        [--engine rge|rple] [--k 5,10,20] [--owners N] [--cadence N]
 //!        [--dt SECONDS] [--lbs N] [--seed N] [--out metrics.csv] [--no-verify]
+//!        [--attack peel|correlate|move|all] [--no-baseline]
 //! rcloak attack --ticks 100 --cars 1000 [--grid RxC | --map city.map]
 //!        [--engine rge|rple] [--adversary peel|correlate|move|all]
 //!        [--k 5,10,20] [--owners N] [--cadence N] [--dt SECONDS] [--seed N]
@@ -36,7 +37,10 @@
 //! `--owners` tracked cars, LBS probes, and (unless `--no-verify`)
 //! per-receipt verification of exact reversibility, issue-time
 //! k-anonymity, and grant preservation. Per-tick metrics go to `--out`
-//! as CSV.
+//! as CSV; with `--attack MODE` the attack leg runs alongside and the
+//! CSV gains its per-tick rollup columns (engine stream and NRE
+//! control — `--no-baseline` disables the control and leaves its cells
+//! empty).
 //!
 //! `attack` runs the same pipeline with the continuous adversarial
 //! evaluation on: a keyless temporal adversary subscribes to the receipt
@@ -115,7 +119,8 @@ fn usage(err: &str) -> ExitCode {
          rcloak render --map FILE [--payload FILE] [--width W] [--height H]\n  \
          rcloak batch --map FILE --input FILE [--engine rge|rple] [--workers N] [--cars N] [--seed N] [--out FILE]\n  \
          rcloak simulate --ticks N --cars N [--grid RxC | --map FILE] [--engine rge|rple] \
-         [--k K1,K2,..] [--owners N] [--cadence N] [--dt S] [--lbs N] [--seed N] [--out FILE] [--no-verify]\n  \
+         [--k K1,K2,..] [--owners N] [--cadence N] [--dt S] [--lbs N] [--seed N] [--out FILE] [--no-verify] \
+         [--attack peel|correlate|move|all] [--no-baseline]\n  \
          rcloak attack --ticks N --cars N [--grid RxC | --map FILE] [--engine rge|rple] \
          [--adversary peel|correlate|move|all] [--k K1,K2,..] [--owners N] [--cadence N] [--dt S] \
          [--seed N] [--out FILE] [--no-baseline]"
@@ -599,7 +604,8 @@ fn parse_pipeline_world(
 }
 
 fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
-    use anonymizer::{ContinuousPipeline, PipelineConfig, TickReport};
+    use anonymizer::{AttackConfig, ContinuousPipeline, PipelineConfig, TickReport};
+    use cloak::AdversaryMode;
     use mobisim::SimConfig;
 
     let PipelineWorld {
@@ -615,6 +621,13 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
     let lbs_probes = parse_num(opts, "lbs", 4)?;
 
     let verify = !opts.contains_key("no-verify");
+    let attack_mode = match opts.get("attack").map(String::as_str) {
+        None => None,
+        Some(s) => Some(
+            AdversaryMode::parse(s)
+                .ok_or_else(|| format!("unknown adversary `{s}` (peel|correlate|move|all)"))?,
+        ),
+    };
     let mut pipeline = ContinuousPipeline::new(
         net,
         SimConfig {
@@ -630,17 +643,26 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
             seed: seed ^ 0x51e_71c4,
             verify,
             lbs_probes,
+            attack: attack_mode.map(|mode| AttackConfig {
+                mode,
+                baseline: !opts.contains_key("no-baseline"),
+                // `simulate` only exports the per-tick rollups; the
+                // long-form per-owner log is `rcloak attack`'s job.
+                keep_records: false,
+                ..Default::default()
+            }),
             ..Default::default()
         },
     );
     println!(
         "simulating {ticks} ticks × {dt}s: {cars} cars on {} segments, {} tracked owners, \
-         engine {}, snapshot cadence {} (verification {})",
+         engine {}, snapshot cadence {} (verification {}, attack leg {})",
         pipeline.service().network().segment_count(),
         pipeline.tracked_owner_count(),
         pipeline.service().engine().name(),
         cadence.max(1),
         if verify { "on" } else { "off" },
+        attack_mode.map_or("off".to_string(), |m| format!("`{}`", m.name())),
     );
 
     let t0 = std::time::Instant::now();
@@ -676,10 +698,20 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
         );
     }
     if let Some(path) = opts.get("out") {
-        let mut csv = String::from(TickReport::CSV_HEADER);
+        // With the attack leg on, the CSV carries its per-tick rollup
+        // columns too (same arity on every row).
+        let mut csv = if attack_mode.is_some() {
+            TickReport::csv_header_with_attack()
+        } else {
+            String::from(TickReport::CSV_HEADER)
+        };
         csv.push('\n');
         for r in &reports {
-            csv.push_str(&r.csv_row());
+            csv.push_str(&if attack_mode.is_some() {
+                r.csv_row_with_attack()
+            } else {
+                r.csv_row()
+            });
             csv.push('\n');
         }
         // As in `batch`: the simulation already ran, so a write failure

@@ -69,6 +69,25 @@ impl Deanonymizer {
         deanonymize_with_scratch(&self.net, payload, keys, self.engine.as_dyn(), scratch)
     }
 
+    /// Batched form of [`reduce_with`](Self::reduce_with): peels a run of
+    /// `(payload, keys)` jobs through **one** shared [`CloakScratch`], in
+    /// job order — the per-tick verification leg of the continuous
+    /// pipeline reduces a whole tick's receipts this way with no
+    /// steady-state heap traffic between jobs. Each job's result is
+    /// bit-identical to a standalone [`reduce`](Self::reduce) call.
+    pub fn reduce_batch_with<'a, I>(
+        &self,
+        jobs: I,
+        scratch: &mut CloakScratch,
+    ) -> Vec<Result<DeanonymizedView, DeanonError>>
+    where
+        I: IntoIterator<Item = (&'a CloakPayload, &'a [(Level, Key256)])>,
+    {
+        jobs.into_iter()
+            .map(|(payload, keys)| self.reduce_with(payload, keys, scratch))
+            .collect()
+    }
+
     /// Successive views while peeling one level at a time — what the
     /// De-anonymizer GUI animates. Index 0 is the untouched top level.
     ///

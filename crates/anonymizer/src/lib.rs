@@ -58,10 +58,13 @@
 //! On the serving hot path, a worker holds one [`cloak::CloakScratch`]
 //! and anonymizes request after request through
 //! [`AnonymizerService::anonymize_seeded_with`] with no steady-state
-//! heap traffic beyond the receipt itself (this is what
-//! [`AnonymizerService::anonymize_batch`] and the server workers do
-//! internally). Scratch is plain state: results are bit-identical for
-//! any scratch, including a fresh one.
+//! heap traffic beyond the receipt itself.
+//! [`AnonymizerService::anonymize_batch`] goes further: each worker
+//! holds a [`cloak::BatchCloakScratch`] and grows its whole chunk of
+//! owners in one pass over shared table state — bit-identical to the
+//! per-owner path (property-tested in `crates/cloak/tests/batch_prop.rs`).
+//! Scratch is plain state: results are bit-identical for any scratch,
+//! including a fresh one.
 //!
 //! ```
 //! use anonymizer::{AnonymizerConfig, AnonymizerService};

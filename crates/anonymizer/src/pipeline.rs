@@ -72,8 +72,11 @@ use cloak::attack::temporal::{
     AdversaryConfig, AdversaryMode, AttackObservation, AttackSummary, Observation, ReplayProbe,
     TemporalAdversary,
 };
-use cloak::{random_expansion, CloakScratch, PrivacyProfile, QualitySummary, RegionQuality};
-use keystream::{Level, TrustDegree};
+use cloak::{
+    random_expansion_with, CloakError, CloakPayload, CloakScratch, ExpansionScratch,
+    PrivacyProfile, QualitySummary, RegionQuality,
+};
+use keystream::{Key256, Level, TrustDegree};
 use lbs::{nearest_query_with, PoiCategory, PoiStore, QueryStats, SearchScratch};
 use mobisim::{CarId, OccupancySnapshot, SimConfig, Simulation};
 use rand::rngs::StdRng;
@@ -263,8 +266,9 @@ pub struct TickReport {
     /// LBS candidate-set / expansion-cost rollup for the probed regions.
     pub lbs: QueryStats,
     /// Attack-leg rollup for this tick (`None` when the leg is off).
-    /// Not part of [`TickReport::csv_row`] — the attack leg exports its
-    /// own long-form CSV through [`AttackRecord::csv_row`].
+    /// Not part of [`TickReport::csv_row`] — use
+    /// [`TickReport::csv_row_with_attack`] for the wide per-tick form,
+    /// or [`AttackRecord::csv_row`] for the long-form per-owner log.
     pub attack: Option<AttackTickSummary>,
 }
 
@@ -294,6 +298,46 @@ impl TickReport {
             self.lbs.mean_candidates(),
             self.lbs.mean_segments_visited()
         )
+    }
+
+    /// The attack-leg columns appended by
+    /// [`TickReport::csv_header_with_attack`] and
+    /// [`TickReport::csv_row_with_attack`]: the engine stream's per-tick
+    /// rollup, then the NRE control's (empty cells when the control is
+    /// off).
+    pub const ATTACK_CSV_COLUMNS: &'static str = "attack_observations,attack_mean_entropy_bits,\
+         attack_guess_rate,nre_observations,nre_mean_entropy_bits,nre_guess_rate";
+
+    /// Header line matching [`TickReport::csv_row_with_attack`]: the
+    /// base [`TickReport::CSV_HEADER`] columns plus
+    /// [`TickReport::ATTACK_CSV_COLUMNS`].
+    pub fn csv_header_with_attack() -> String {
+        format!("{},{}", Self::CSV_HEADER, Self::ATTACK_CSV_COLUMNS)
+    }
+
+    /// The report as one CSV row including the attack-leg rollup (no
+    /// trailing newline). Column arity always matches
+    /// [`TickReport::csv_header_with_attack`]; the attack cells are
+    /// empty when the leg (or the NRE control) is off.
+    pub fn csv_row_with_attack(&self) -> String {
+        let mut row = self.csv_row();
+        let stream = |row: &mut String, summary: Option<&AttackSummary>| match summary {
+            Some(s) => {
+                row.push_str(&format!(
+                    ",{},{:.4},{:.4}",
+                    s.observations(),
+                    s.mean_entropy(),
+                    s.guess_success_rate()
+                ));
+            }
+            None => row.push_str(",,,"),
+        };
+        stream(&mut row, self.attack.as_ref().map(|a| &a.engine));
+        stream(
+            &mut row,
+            self.attack.as_ref().and_then(|a| a.baseline.as_ref()),
+        );
+        row
     }
 }
 
@@ -347,6 +391,9 @@ struct AttackLeg {
     /// Wall time inside the NRE adversary's `observe` calls (includes
     /// the replay inversion — the expensive control-only step).
     baseline_observe_time: std::time::Duration,
+    /// Pooled buffers for growing the NRE control regions (one scratch
+    /// serves every owner of every tick).
+    nre_scratch: ExpansionScratch,
 }
 
 impl ContinuousPipeline {
@@ -415,6 +462,7 @@ impl ContinuousPipeline {
                 records: Vec::new(),
                 engine_observe_time: std::time::Duration::ZERO,
                 baseline_observe_time: std::time::Duration::ZERO,
+                nre_scratch: ExpansionScratch::new(),
                 cfg: attack_cfg,
             }
         });
@@ -517,7 +565,6 @@ impl ContinuousPipeline {
             lbs: QueryStats::new(),
             attack: None,
         };
-        let mut verify_err = None;
         for (i, (request, result)) in requests.iter().zip(&results).enumerate() {
             let receipt = match result {
                 Ok(r) => r,
@@ -548,13 +595,12 @@ impl ContinuousPipeline {
                     ));
                 }
             }
-            if self.cfg.verify {
-                if let Err(e) = self.verify_receipt(i, request, receipt, &issuing) {
-                    verify_err = Some(e);
-                    break;
-                }
-                report.verified += 1;
-            }
+        }
+        let mut verify_err = None;
+        if self.cfg.verify {
+            let (verified, err) = self.verify_tick(&requests, &results, &issuing);
+            report.verified = verified;
+            verify_err = err;
         }
         // The attack leg observes the receipts just issued (and the NRE
         // control grown from the same true segments). It reads public
@@ -565,12 +611,28 @@ impl ContinuousPipeline {
             let mut engine_tick = AttackSummary::new();
             let mut baseline_tick = AttackSummary::new();
             // Every observation this tick shares one issuing snapshot:
-            // announce it once so each adversary prices the occupancy
-            // weighting per tick, not per owner.
-            leg.engine_adversary
-                .begin_tick(&issuing, snapshot_refreshed);
+            // announce it once, together with the tracked population, so
+            // each adversary prices the occupancy weighting per tick and
+            // packs the whole population's movement-reachability masks
+            // into one matrix OR-pass up front (each `observe` below then
+            // reads its owner's precomputed row).
+            leg.engine_adversary.begin_tick_population(
+                &issuing,
+                snapshot_refreshed,
+                requests
+                    .iter()
+                    .take(leg.cfg.owners)
+                    .map(|r| r.owner.as_str()),
+            );
             if let Some(baseline_adversary) = leg.baseline_adversary.as_mut() {
-                baseline_adversary.begin_tick(&issuing, snapshot_refreshed);
+                baseline_adversary.begin_tick_population(
+                    &issuing,
+                    snapshot_refreshed,
+                    requests
+                        .iter()
+                        .take(leg.cfg.owners)
+                        .map(|r| r.owner.as_str()),
+                );
             }
             for (i, (request, result)) in requests.iter().zip(&results).enumerate() {
                 if i >= leg.cfg.owners {
@@ -604,7 +666,14 @@ impl ContinuousPipeline {
                     let requirement = self.profile.top_requirement();
                     let seed = leg.baseline_seeds[i];
                     let mut rng = StdRng::seed_from_u64(seed);
-                    match random_expansion(net, &issuing, request.segment, requirement, &mut rng) {
+                    match random_expansion_with(
+                        net,
+                        &issuing,
+                        request.segment,
+                        requirement,
+                        &mut rng,
+                        &mut leg.nre_scratch,
+                    ) {
                         Ok(control) => {
                             let observe_start = std::time::Instant::now();
                             let observation = baseline_adversary.observe(
@@ -703,62 +772,119 @@ impl ContinuousPipeline {
         (0..ticks).map(|_| self.tick()).collect()
     }
 
-    /// The full invariant check for one issued receipt.
-    fn verify_receipt(
+    /// The per-tick verification leg, owner-batched.
+    ///
+    /// Pass 1 walks the issued receipts in order, checking k-anonymity
+    /// at issue time, region membership, and grant preservation, and
+    /// collects each surviving receipt's `(payload, keys)` reduction
+    /// job. Pass 2 then peels every collected job through
+    /// [`Deanonymizer::reduce_batch_with`] — one shared
+    /// [`CloakScratch`] for the whole tick — and checks exact
+    /// reversibility. Per receipt this is the same check sequence as the
+    /// former one-owner loop; the reported error is the one with the
+    /// smallest receipt index on either pass.
+    ///
+    /// Returns `(verified, error)`: the number of receipts preceding the
+    /// first failure that passed both passes, and the failure, if any.
+    fn verify_tick(
         &mut self,
-        tracked_idx: usize,
-        request: &AnonymizeRequest,
-        receipt: &crate::service::AnonymizeReceipt,
+        requests: &[AnonymizeRequest],
+        results: &[Result<crate::service::AnonymizeReceipt, CloakError>],
         issuing: &OccupancySnapshot,
-    ) -> Result<(), PipelineError> {
-        let owner = &request.owner;
-        let fail = |what: &str| {
-            Err(PipelineError {
-                message: format!("tick {}: {owner}: {what}", self.tick),
-            })
+    ) -> (usize, Option<PipelineError>) {
+        let tick = self.tick;
+        let fail = |owner: &str, what: &str| PipelineError {
+            message: format!("tick {tick}: {owner}: {what}"),
         };
 
-        // k-anonymity against the snapshot the receipt was issued under.
-        let users = issuing.users_in(receipt.payload.segments.iter().copied());
-        let k = self.profile.top_requirement().k as u64;
-        if users < k {
-            return fail(&format!(
-                "region covers {users} users < k={k} at issue time"
-            ));
-        }
-        if !receipt.payload.contains(request.segment) {
-            return fail("region does not contain the owner's segment");
-        }
+        // (receipt index, payload, the auditor's fetched keys).
+        type ReduceJob<'a> = (usize, &'a Arc<CloakPayload>, Vec<(Level, Key256)>);
+        let mut pass1_err = None;
+        let mut jobs: Vec<ReduceJob<'_>> = Vec::new();
+        for (i, (request, result)) in requests.iter().zip(results).enumerate() {
+            let Ok(receipt) = result else { continue };
+            let owner = &request.owner;
 
-        // Grant preservation: the auditor is registered only at the
-        // owner's first cloak — on every later tick its keys must keep
-        // working across the re-anonymization.
-        if !self.registered.contains(&tracked_idx) {
-            if !self
-                .service
-                .register_requester(owner, AUDITOR, TrustDegree(10), Level(0))
-            {
-                return fail("owner record missing right after anonymization");
+            // k-anonymity against the snapshot the receipt was issued
+            // under.
+            let users = issuing.users_in(receipt.payload.segments.iter().copied());
+            let k = self.profile.top_requirement().k as u64;
+            if users < k {
+                pass1_err = Some(fail(
+                    owner,
+                    &format!("region covers {users} users < k={k} at issue time"),
+                ));
+                break;
             }
-            self.registered.insert(tracked_idx);
-        }
-        let keys = match self.service.fetch_keys(owner, AUDITOR) {
-            Ok(keys) => keys,
-            Err(e) => return fail(&format!("grant lost across re-anonymization: {e}")),
-        };
+            if !receipt.payload.contains(request.segment) {
+                pass1_err = Some(fail(owner, "region does not contain the owner's segment"));
+                break;
+            }
 
-        // Exact reversibility through the normal key-fetch path.
-        match self
-            .dean
-            .reduce_with(&receipt.payload, &keys, &mut self.verify_scratch)
-        {
-            Ok(view) if view.segments == [request.segment] => Ok(()),
-            Ok(view) => fail(&format!(
-                "deanonymized to {:?}, expected exactly [{}]",
-                view.segments, request.segment
-            )),
-            Err(e) => fail(&format!("deanonymization failed: {e}")),
+            // Grant preservation: the auditor is registered only at the
+            // owner's first cloak — on every later tick its keys must
+            // keep working across the re-anonymization.
+            if !self.registered.contains(&i) {
+                if !self
+                    .service
+                    .register_requester(owner, AUDITOR, TrustDegree(10), Level(0))
+                {
+                    pass1_err = Some(fail(
+                        owner,
+                        "owner record missing right after anonymization",
+                    ));
+                    break;
+                }
+                self.registered.insert(i);
+            }
+            match self.service.fetch_keys(owner, AUDITOR) {
+                Ok(keys) => jobs.push((i, &receipt.payload, keys)),
+                Err(e) => {
+                    pass1_err = Some(fail(
+                        owner,
+                        &format!("grant lost across re-anonymization: {e}"),
+                    ));
+                    break;
+                }
+            }
         }
+
+        // Exact reversibility through the normal key-fetch path, batched
+        // over one shared scratch.
+        let views = self.dean.reduce_batch_with(
+            jobs.iter()
+                .map(|(_, payload, keys)| (payload.as_ref(), keys.as_slice())),
+            &mut self.verify_scratch,
+        );
+        let mut verified = 0;
+        for ((i, _, _), view) in jobs.iter().zip(views) {
+            let request = &requests[*i];
+            match view {
+                Ok(view) if view.segments == [request.segment] => verified += 1,
+                Ok(view) => {
+                    return (
+                        verified,
+                        Some(fail(
+                            &request.owner,
+                            &format!(
+                                "deanonymized to {:?}, expected exactly [{}]",
+                                view.segments, request.segment
+                            ),
+                        )),
+                    );
+                }
+                Err(e) => {
+                    return (
+                        verified,
+                        Some(fail(
+                            &request.owner,
+                            &format!("deanonymization failed: {e}"),
+                        )),
+                    );
+                }
+            }
+        }
+        (verified, pass1_err)
     }
 }
 

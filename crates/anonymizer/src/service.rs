@@ -31,8 +31,9 @@
 
 use crate::config::{AnonymizerConfig, EngineChoice};
 use cloak::{
-    anonymize_with_retry_scratch, AnonymizationOutcome, CloakError, CloakPayload, CloakScratch,
-    PrivacyProfile, ReversibleEngine, RgeEngine, RpleEngine,
+    anonymize_batch_with_scratch, anonymize_with_retry_scratch, AnonymizationOutcome,
+    BatchCloakItem, BatchCloakScratch, CloakError, CloakPayload, CloakScratch, PrivacyProfile,
+    ReversibleEngine, RgeEngine, RpleEngine,
 };
 use keystream::{AccessControlProfile, AccessError, Key256, KeyManager, Level, TrustDegree};
 use mobisim::OccupancySnapshot;
@@ -429,10 +430,89 @@ impl AnonymizerService {
         })
     }
 
+    /// The owner-batched core behind
+    /// [`anonymize_batch`](Self::anonymize_batch): cloaks a run of
+    /// requests against **one** snapshot handle through
+    /// [`cloak::anonymize_batch_with_scratch`], so the whole run shares
+    /// the region bitset, the transition-table rows/columns, and the
+    /// structure-of-arrays round/hint arenas. Per-request key and nonce
+    /// derivation is exactly
+    /// [`anonymize_seeded_with`](Self::anonymize_seeded_with)'s, so
+    /// receipts are bit-identical to the sequential path.
+    fn anonymize_run_batched(
+        &self,
+        requests: &[AnonymizeRequest],
+        scratch: &mut BatchCloakScratch,
+    ) -> Vec<Result<AnonymizeReceipt, CloakError>> {
+        let snapshot = self.snapshot();
+        // Derive each request's keys and nonce up front, in request
+        // order, from its own seeded RNG (the seeded contract).
+        let mut keyed: Vec<(KeyManager, u64)> = Vec::with_capacity(requests.len());
+        let mut key_vecs: Vec<Vec<Key256>> = Vec::with_capacity(requests.len());
+        for r in requests {
+            let mut rng = StdRng::seed_from_u64(r.seed);
+            let profile = r.profile.as_ref().unwrap_or(&self.config.default_profile);
+            let keys = KeyManager::generate(profile.level_count(), &mut rng);
+            let nonce: u64 = rng.gen();
+            key_vecs.push(keys.iter().map(|(_, k)| k).collect());
+            keyed.push((keys, nonce));
+        }
+        let items: Vec<BatchCloakItem<'_>> = requests
+            .iter()
+            .zip(&key_vecs)
+            .zip(&keyed)
+            .map(|((r, kv), &(_, nonce))| BatchCloakItem {
+                segment: r.segment,
+                profile: r.profile.as_ref().unwrap_or(&self.config.default_profile),
+                keys: kv,
+                nonce,
+                max_attempts: self.config.max_attempts,
+            })
+            .collect();
+        let outcomes = anonymize_batch_with_scratch(
+            &self.net,
+            &snapshot,
+            &items,
+            self.engine.as_dyn(),
+            scratch,
+        );
+        drop(items);
+        outcomes
+            .into_iter()
+            .zip(requests)
+            .zip(keyed)
+            .map(|((res, r), (keys, _))| {
+                res.map(|(outcome, attempts)| {
+                    let payload = Arc::new(outcome.payload.clone());
+                    let record = OwnerRecord {
+                        owner: r.owner.clone(),
+                        payload: Arc::clone(&payload),
+                        keys,
+                        access: AccessControlProfile::new(),
+                    };
+                    self.records
+                        .insert_merging(r.owner.clone(), record, |old, new| {
+                            new.access = old.access.clone();
+                        });
+                    AnonymizeReceipt {
+                        payload,
+                        attempts,
+                        outcome,
+                    }
+                })
+            })
+            .collect()
+    }
+
     /// Anonymizes a batch of requests, fanned across a scoped worker pool
     /// in chunks. Results keep request order, and — because every request
     /// carries its own seed — are identical to running
     /// [`anonymize_seeded`](Self::anonymize_seeded) sequentially.
+    ///
+    /// Each worker drives its chunks through the owner-batched core
+    /// ([`cloak::anonymize_batch_with_scratch`]) with one
+    /// [`BatchCloakScratch`]: the chunk shares one snapshot handle, one
+    /// region bitset, and the structure-of-arrays round/hint arenas.
     ///
     /// Parallelism comes from
     /// [`AnonymizerConfig::batch_parallelism`] (`0` = all available
@@ -448,19 +528,7 @@ impl AnonymizerService {
         .min(requests.len().max(1));
         if workers <= 1 || requests.len() <= 1 {
             // One scratch serves the whole sequential sweep.
-            let mut scratch = CloakScratch::new();
-            return requests
-                .iter()
-                .map(|r| {
-                    self.anonymize_seeded_with(
-                        &r.owner,
-                        r.segment,
-                        r.profile.as_ref(),
-                        r.seed,
-                        &mut scratch,
-                    )
-                })
-                .collect();
+            return self.anonymize_run_batched(requests, &mut BatchCloakScratch::new());
         }
         // Chunked work-stealing: a shared cursor hands out runs of
         // requests so threads stay busy even when per-request cost varies
@@ -476,28 +544,20 @@ impl AnonymizerService {
                     scope.spawn(move || {
                         // Per-worker scratch pool: buffers grow to the
                         // workload's high-water mark once, then every
-                        // further request on this worker is allocation-
+                        // further chunk on this worker is allocation-
                         // free inside the cloak walk.
-                        let mut scratch = CloakScratch::new();
-                        let mut done = Vec::new();
+                        let mut scratch = BatchCloakScratch::new();
+                        let mut done: Vec<(usize, Result<AnonymizeReceipt, CloakError>)> =
+                            Vec::new();
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                             if start >= requests.len() {
                                 return done;
                             }
                             let end = (start + chunk).min(requests.len());
-                            for (i, r) in requests[start..end].iter().enumerate() {
-                                done.push((
-                                    start + i,
-                                    self.anonymize_seeded_with(
-                                        &r.owner,
-                                        r.segment,
-                                        r.profile.as_ref(),
-                                        r.seed,
-                                        &mut scratch,
-                                    ),
-                                ));
-                            }
+                            let run =
+                                self.anonymize_run_batched(&requests[start..end], &mut scratch);
+                            done.extend(run.into_iter().enumerate().map(|(i, r)| (start + i, r)));
                         }
                     })
                 })

@@ -402,6 +402,105 @@ fn cli_simulate_runs_the_continuous_pipeline() {
     let _ = std::fs::remove_file(metrics);
 }
 
+/// `rcloak simulate --attack MODE` runs the attack leg alongside the
+/// pipeline and widens the per-tick metrics CSV with the leg's rollup
+/// columns — engine stream first, then the NRE control.
+#[test]
+fn cli_simulate_attack_flag_widens_the_csv() {
+    let metrics = tmp("sim-attack-metrics.csv");
+    let out = rcloak()
+        .args([
+            "simulate",
+            "--ticks",
+            "4",
+            "--cars",
+            "250",
+            "--grid",
+            "8x8",
+            "--owners",
+            "6",
+            "--k",
+            "4,8",
+            "--seed",
+            "5",
+            "--attack",
+            "all",
+            "--out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("attack leg `all`"), "{stdout}");
+
+    let csv = std::fs::read_to_string(&metrics).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 5, "header + one row per tick");
+    assert!(
+        lines[0].ends_with(
+            "attack_observations,attack_mean_entropy_bits,attack_guess_rate,\
+             nre_observations,nre_mean_entropy_bits,nre_guess_rate"
+        ),
+        "{}",
+        lines[0]
+    );
+    let header_cols = lines[0].split(',').count();
+    for row in &lines[1..] {
+        assert_eq!(row.split(',').count(), header_cols, "{row}");
+    }
+    // Both streams observed every tracked owner each tick.
+    let first: Vec<&str> = lines[1].split(',').collect();
+    assert_eq!(first[header_cols - 6], "6", "engine observations per tick");
+    assert_eq!(first[header_cols - 3], "6", "nre observations per tick");
+
+    // --no-baseline keeps the arity but leaves the NRE cells empty.
+    let out = rcloak()
+        .args([
+            "simulate",
+            "--ticks",
+            "2",
+            "--cars",
+            "200",
+            "--grid",
+            "7x7",
+            "--owners",
+            "4",
+            "--attack",
+            "peel",
+            "--no-baseline",
+            "--out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = std::fs::read_to_string(&metrics).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    let header_cols = lines[0].split(',').count();
+    for row in &lines[1..] {
+        assert_eq!(row.split(',').count(), header_cols, "{row}");
+        assert!(row.ends_with(",,,"), "empty NRE cells: {row}");
+    }
+
+    // Unknown adversary modes are usage errors.
+    let out = rcloak()
+        .args(["simulate", "--ticks", "1", "--attack", "bogus"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_file(metrics);
+}
+
 /// `rcloak attack` runs the continuous adversarial evaluation: the
 /// summary separates the keyed engine stream from the NRE control, and
 /// the CSV logs one row per (scheme, owner, tick).

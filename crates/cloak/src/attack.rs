@@ -35,6 +35,11 @@ use roadnet::{RoadNetwork, SegmentId};
 /// them keeps the region connected and they are adjacent to the remainder.
 ///
 /// This is the keyless adversary's candidate set for undoing one step.
+///
+/// Allocating reference implementation — one connectivity DFS per member,
+/// `O(|region|²)`. The temporal adversary's per-tick loop uses
+/// [`peel_candidates_into`], which computes the same set with a single
+/// articulation-point pass.
 pub fn peel_candidates(net: &RoadNetwork, region: &[SegmentId]) -> Vec<SegmentId> {
     if region.len() <= 1 {
         return Vec::new();
@@ -52,6 +57,158 @@ pub fn peel_candidates(net: &RoadNetwork, region: &[SegmentId]) -> Vec<SegmentId
         }
     }
     out
+}
+
+/// Pooled buffers for [`peel_candidates_into`]: the region-induced
+/// adjacency in CSR form plus the iterative articulation-point DFS
+/// state. Same reuse contract as [`crate::CloakScratch`] — plain state,
+/// results identical to [`peel_candidates`] for any scratch.
+#[derive(Debug, Clone, Default)]
+pub struct PeelScratch {
+    /// `SegmentId -> local vertex index`, valid where `pos_epoch` holds
+    /// the current epoch (stamped membership, never cleared).
+    pos: Vec<u32>,
+    pos_epoch: Vec<u32>,
+    epoch: u32,
+    /// Region-induced adjacency, CSR over local vertex indices.
+    adj: Vec<u32>,
+    adj_off: Vec<u32>,
+    /// DFS discovery times / low-links / articulation flags.
+    disc: Vec<u32>,
+    low: Vec<u32>,
+    art: Vec<bool>,
+    /// Explicit DFS stack: `(vertex, parent, adjacency cursor)`.
+    stack: Vec<(u32, u32, u32)>,
+}
+
+impl PeelScratch {
+    /// A fresh scratch; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`peel_candidates`] with caller-owned scratch, computed as **one**
+/// articulation-point DFS over the region-induced adjacency instead of
+/// one connectivity check per member.
+///
+/// For a connected region of `n ≥ 2` segments, a member can be peeled
+/// exactly when it is *not* an articulation vertex of the induced graph
+/// (removing a non-articulation vertex keeps the rest connected, and in
+/// a connected graph every vertex has a neighbor among the rest).
+/// Disconnected regions defer to the reference scan, which is the
+/// semantics of record. Output order matches [`peel_candidates`]
+/// (region iteration order).
+pub fn peel_candidates_into(
+    net: &RoadNetwork,
+    region: &[SegmentId],
+    scratch: &mut PeelScratch,
+    out: &mut Vec<SegmentId>,
+) {
+    out.clear();
+    let n = region.len();
+    if n <= 1 {
+        return;
+    }
+    let PeelScratch {
+        pos,
+        pos_epoch,
+        epoch,
+        adj,
+        adj_off,
+        disc,
+        low,
+        art,
+        stack,
+    } = scratch;
+    let seg_count = net.segment_count();
+    if pos.len() < seg_count {
+        pos.resize(seg_count, 0);
+        pos_epoch.resize(seg_count, 0);
+    }
+    *epoch = epoch.wrapping_add(1);
+    if *epoch == 0 {
+        pos_epoch.fill(0);
+        *epoch = 1;
+    }
+    for (i, &s) in region.iter().enumerate() {
+        pos[s.index()] = i as u32;
+        pos_epoch[s.index()] = *epoch;
+    }
+    adj.clear();
+    adj_off.clear();
+    adj_off.push(0);
+    for &s in region {
+        for &nb in net.neighbor_segments_csr(s) {
+            if pos_epoch[nb.index()] == *epoch {
+                adj.push(pos[nb.index()]);
+            }
+        }
+        adj_off.push(adj.len() as u32);
+    }
+
+    const UNVISITED: u32 = u32::MAX;
+    disc.clear();
+    disc.resize(n, UNVISITED);
+    low.clear();
+    low.resize(n, 0);
+    art.clear();
+    art.resize(n, false);
+    let mut timer: u32 = 1;
+    let mut root_children: u32 = 0;
+    let mut visited: usize = 1;
+    disc[0] = 0;
+    stack.clear();
+    stack.push((0, UNVISITED, adj_off[0]));
+    while let Some(&mut (v, parent, ref mut cursor)) = stack.last_mut() {
+        let c = *cursor;
+        if c < adj_off[v as usize + 1] {
+            *cursor += 1;
+            let w = adj[c as usize];
+            if w == parent {
+                // Skipping every traversal edge to the parent is sound
+                // for *vertex* cuts: a parallel back-edge could only set
+                // low[v] to disc[parent], which leaves the
+                // `low ≥ disc[parent]` test unchanged.
+                continue;
+            }
+            if disc[w as usize] == UNVISITED {
+                disc[w as usize] = timer;
+                low[w as usize] = timer;
+                timer += 1;
+                visited += 1;
+                stack.push((w, v, adj_off[w as usize]));
+            } else {
+                let d = disc[w as usize];
+                if d < low[v as usize] {
+                    low[v as usize] = d;
+                }
+            }
+        } else {
+            stack.pop();
+            if let Some(&(p, _, _)) = stack.last() {
+                let lv = low[v as usize];
+                if lv < low[p as usize] {
+                    low[p as usize] = lv;
+                }
+                if p == 0 {
+                    root_children += 1;
+                } else if lv >= disc[p as usize] {
+                    art[p as usize] = true;
+                }
+            }
+        }
+    }
+    if visited < n {
+        out.extend(peel_candidates(net, region));
+        return;
+    }
+    art[0] = root_children > 1;
+    for (i, &s) in region.iter().enumerate() {
+        if !art[i] {
+            out.push(s);
+        }
+    }
 }
 
 /// Entropy (bits) of the adversary's posterior over the user's segment.
@@ -192,6 +349,51 @@ mod tests {
         assert!(!cands.is_empty());
         // Singleton region has no peel candidates.
         assert!(peel_candidates(&net, &[SegmentId(0)]).is_empty());
+    }
+
+    #[test]
+    fn articulation_peel_matches_reference() {
+        let net = grid_city(5, 5, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let mut scratch = PeelScratch::new();
+        let mut fast = Vec::new();
+        // Engine-grown regions (always connected) of varied shapes.
+        let profile = PrivacyProfile::builder()
+            .level(LevelRequirement::with_k(10))
+            .build()
+            .unwrap();
+        let engine = RgeEngine::new();
+        for nonce in 0..24u64 {
+            let keys = vec![Key256::from_seed(900 + nonce)];
+            let out = crate::multilevel::anonymize(
+                &net,
+                &snapshot,
+                SegmentId((nonce % 40) as u32),
+                &profile,
+                &keys,
+                nonce,
+                &engine,
+            )
+            .unwrap();
+            peel_candidates_into(&net, &out.payload.segments, &mut scratch, &mut fast);
+            assert_eq!(
+                fast,
+                peel_candidates(&net, &out.payload.segments),
+                "nonce {nonce}"
+            );
+        }
+        // Degenerate and disconnected inputs agree too (the latter via
+        // the reference fallback).
+        for region in [
+            vec![],
+            vec![SegmentId(0)],
+            vec![SegmentId(0), SegmentId(1)],
+            vec![SegmentId(0), SegmentId(30)],
+            vec![SegmentId(0), SegmentId(1), SegmentId(30), SegmentId(31)],
+        ] {
+            peel_candidates_into(&net, &region, &mut scratch, &mut fast);
+            assert_eq!(fast, peel_candidates(&net, &region), "{region:?}");
+        }
     }
 
     #[test]

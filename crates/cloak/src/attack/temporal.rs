@@ -49,10 +49,14 @@
 //! ([`ReachScratch`] survives as the reference implementation and the
 //! fallback for pathological hop budgets), and a pipeline observing
 //! many owners against one snapshot calls
-//! [`TemporalAdversary::begin_tick`] so the occupancy weighting is
-//! computed once per tick rather than once per owner. Both shortcuts
+//! [`TemporalAdversary::begin_tick`] — or the owner-batched
+//! [`TemporalAdversary::begin_tick_population`], which additionally ORs
+//! the whole population's movement masks into one row-major bitset
+//! matrix — so the occupancy weighting and reachability pruning are
+//! computed once per tick rather than once per owner. All shortcuts
 //! are bit-exact: every attack metric is identical to the unindexed
-//! path (unit-tested below).
+//! per-owner path (unit-tested below and property-tested in
+//! `crates/cloak/tests/batch_prop.rs`).
 //!
 //! # Example
 //!
@@ -94,8 +98,8 @@
 //! # }
 //! ```
 
-use crate::attack::peel_candidates;
-use crate::baseline::random_expansion;
+use crate::attack::{peel_candidates_into, PeelScratch};
+use crate::baseline::{replay_expansion_matches, ExpansionScratch};
 use crate::profile::LevelRequirement;
 use mobisim::OccupancySnapshot;
 use rand::rngs::StdRng;
@@ -459,6 +463,12 @@ struct OwnerState {
     /// Sorted candidate segments with nonzero posterior mass.
     support: Vec<SegmentId>,
     warm: bool,
+    /// Row of the population mask matrix holding this owner's movement
+    /// mask, precomputed by
+    /// [`TemporalAdversary::begin_tick_population`]. Consumed (taken) by
+    /// the first `observe` of the tick, so a row can never outlive the
+    /// support it was computed from.
+    mask_row: Option<usize>,
 }
 
 /// Stamped scratch for the h-hop reachability expansion (reused across
@@ -546,6 +556,18 @@ pub struct TemporalAdversary {
     reach_index: Option<Arc<ReachIndex>>,
     /// OR-accumulator for the candidate set's packed reach masks.
     reach_union: Vec<u64>,
+    /// Row-major matrix of per-owner movement masks, one bitset row per
+    /// owner listed in [`begin_tick_population`](Self::begin_tick_population)
+    /// — the whole population's reachability computed as one OR-pass.
+    mask_matrix: Vec<u64>,
+    /// Words per `mask_matrix` row.
+    mask_words: usize,
+    /// Scratch for the single-pass articulation-point peel frontier.
+    peel: PeelScratch,
+    peel_out: Vec<SegmentId>,
+    /// Pooled replay-inversion buffers (early-exit expansion replays).
+    replay_scratch: ExpansionScratch,
+    survivors: Vec<bool>,
     /// Candidate/weight buffers reused across observations.
     candidates: Vec<SegmentId>,
     weights: Vec<f64>,
@@ -589,6 +611,12 @@ impl TemporalAdversary {
             reach: ReachScratch::default(),
             reach_index,
             reach_union: Vec::new(),
+            mask_matrix: Vec::new(),
+            mask_words: 0,
+            peel: PeelScratch::new(),
+            peel_out: Vec::new(),
+            replay_scratch: ExpansionScratch::new(),
+            survivors: Vec::new(),
             candidates: Vec::new(),
             weights: Vec::new(),
             tick_weights: Vec::new(),
@@ -619,6 +647,60 @@ impl TemporalAdversary {
                 }
             }));
         self.tick_weights_ready = true;
+        // A fresh tick invalidates any population mask rows a previous
+        // tick computed but never consumed.
+        for state in self.owners.values_mut() {
+            state.mask_row = None;
+        }
+        self.mask_matrix.clear();
+    }
+
+    /// [`begin_tick`](Self::begin_tick) plus the whole population's
+    /// movement masks: for every listed warm owner, the h-hop
+    /// reachability of its candidate set is ORed from the packed
+    /// [`ReachIndex`] masks into one row-major bitset matrix, so the
+    /// tick's per-owner `observe` calls read a precomputed row instead
+    /// of re-running the OR-pass. Combined with the shared occupancy
+    /// sweep of `begin_tick`, this prices the tick's matrix/bitset work
+    /// once for the population.
+    ///
+    /// Purely an amortization, like `begin_tick`: each owner's row is
+    /// exactly what `observe` would have computed (and is consumed on
+    /// first use, so repeated observations fall back to the live path) —
+    /// metrics are bit-identical either way. Owners not yet tracked, or
+    /// not listed here, simply keep the per-owner path. No-op for modes
+    /// without a movement model and on networks where the hop budget
+    /// exceeds the packed index cap.
+    pub fn begin_tick_population<'a, I>(
+        &mut self,
+        snapshot: &OccupancySnapshot,
+        snapshot_fresh: bool,
+        owners: I,
+    ) where
+        I: IntoIterator<Item = &'a str>,
+    {
+        self.begin_tick(snapshot, snapshot_fresh);
+        if !(self.cfg.mode.has_memory() && self.cfg.mode.uses_movement()) {
+            return;
+        }
+        let Some(index) = self.reach_index.clone() else {
+            return;
+        };
+        for owner in owners {
+            let Some(state) = self.owners.get_mut(owner) else {
+                continue;
+            };
+            if !state.warm {
+                continue;
+            }
+            index.union_into(state.support.iter().copied(), &mut self.reach_union);
+            if self.mask_words == 0 {
+                self.mask_words = self.reach_union.len();
+            }
+            let row = self.mask_matrix.len() / self.mask_words.max(1);
+            self.mask_matrix.extend_from_slice(&self.reach_union);
+            state.mask_row = Some(row);
+        }
     }
 
     /// The adversary's configuration.
@@ -660,7 +742,8 @@ impl TemporalAdversary {
         replay: Option<ReplayProbe<'_>>,
         truth: Option<SegmentId>,
     ) -> AttackObservation {
-        let peel_frontier = peel_candidates(net, obs.region).len();
+        peel_candidates_into(net, obs.region, &mut self.peel, &mut self.peel_out);
+        let peel_frontier = self.peel_out.len();
         let mode = self.cfg.mode;
         let mut state = self.owners.remove(owner).unwrap_or_default();
         let mut reset = false;
@@ -674,8 +757,23 @@ impl TemporalAdversary {
                     // Packed path: OR the candidates' precomputed h-hop
                     // masks, then test each region bit — word ops over
                     // the index instead of a per-owner BFS. Identical
-                    // set to the scratch expansion (unit-tested).
-                    index.union_into(state.support.iter().copied(), &mut self.reach_union);
+                    // set to the scratch expansion (unit-tested). When
+                    // `begin_tick_population` already ORed this owner's
+                    // row into the mask matrix, consume it instead of
+                    // re-running the pass — taking the row ties it to
+                    // the support it was computed from.
+                    match state.mask_row.take() {
+                        Some(row) => {
+                            let start = row * self.mask_words;
+                            self.reach_union.clear();
+                            self.reach_union.extend_from_slice(
+                                &self.mask_matrix[start..start + self.mask_words],
+                            );
+                        }
+                        None => {
+                            index.union_into(state.support.iter().copied(), &mut self.reach_union)
+                        }
+                    }
                     let union = &self.reach_union;
                     self.candidates.extend(
                         obs.region
@@ -749,20 +847,36 @@ impl TemporalAdversary {
 
         // 3. Replay inversion: re-simulate the keyless scheme from every
         //    candidate seed; only seeds reproducing the observed region
-        //    keep their mass.
+        //    keep their mass. The pooled matcher replays the exact pick
+        //    sequence but abandons a candidate the moment its walk
+        //    leaves the observed region — boolean-identical to a full
+        //    re-expansion and comparison.
         if let (Some(probe), true) = (replay, mode.uses_snapshot()) {
+            self.replay_scratch.set_replay_target(net, obs.region);
             let mut any = false;
-            let survivors: Vec<bool> = self
-                .candidates
-                .iter()
-                .map(|&c| {
-                    let hit = replay_matches(net, obs.snapshot, c, probe, obs.region);
-                    any |= hit;
-                    hit
-                })
-                .collect();
+            self.survivors.clear();
+            for (&c, &w) in self.candidates.iter().zip(&self.weights) {
+                // A candidate the occupancy/movement passes already
+                // killed cannot regain mass — its replay outcome is
+                // unobservable, so skip the re-simulation.
+                if w == 0.0 {
+                    self.survivors.push(false);
+                    continue;
+                }
+                let mut rng = StdRng::seed_from_u64(probe.seed);
+                let hit = replay_expansion_matches(
+                    net,
+                    obs.snapshot,
+                    c,
+                    probe.requirement,
+                    &mut rng,
+                    &mut self.replay_scratch,
+                );
+                any |= hit;
+                self.survivors.push(hit);
+            }
             if any {
-                for (w, hit) in self.weights.iter_mut().zip(survivors) {
+                for (w, &hit) in self.weights.iter_mut().zip(&self.survivors) {
                     if !hit {
                         *w = 0.0;
                     }
@@ -851,22 +965,6 @@ impl TemporalAdversary {
     }
 }
 
-/// Whether re-running the keyless expansion from `candidate` under the
-/// adversary-known randomness reproduces the observed region exactly.
-fn replay_matches(
-    net: &RoadNetwork,
-    snapshot: &OccupancySnapshot,
-    candidate: SegmentId,
-    probe: ReplayProbe<'_>,
-    region: &[SegmentId],
-) -> bool {
-    let mut rng = StdRng::seed_from_u64(probe.seed);
-    match random_expansion(net, snapshot, candidate, probe.requirement, &mut rng) {
-        Ok(out) => out.segments == region,
-        Err(_) => false,
-    }
-}
-
 /// SplitMix64 finalizer for the guess sampler.
 fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -877,6 +975,7 @@ fn splitmix64(mut z: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::baseline::random_expansion;
     use crate::engine::RgeEngine;
     use crate::profile::{LevelRequirement, PrivacyProfile};
     use keystream::{Key256, KeyManager};

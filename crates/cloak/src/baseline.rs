@@ -9,9 +9,10 @@
 //! anonymization-cost and region-quality baseline.
 
 use crate::error::{CloakError, StepFailure};
-use crate::frontier::candidates;
+use crate::frontier::{candidates_into, position_in_sorted};
 use crate::profile::LevelRequirement;
 use crate::region::RegionState;
+use crate::scratch::StampSet;
 use keystream::Level;
 use mobisim::OccupancySnapshot;
 use rand::Rng;
@@ -26,7 +27,44 @@ pub struct BaselineOutcome {
     pub steps: u32,
 }
 
+/// Pooled buffers for [`random_expansion_with`] and
+/// [`replay_expansion_matches`]: the growing region, the frontier
+/// dedup/sort buffers, and the replay target set. Same reuse contract as
+/// [`crate::CloakScratch`] — plain state, bit-identical results for any
+/// scratch.
+#[derive(Debug, Clone, Default)]
+pub struct ExpansionScratch {
+    region: RegionState,
+    stamp: StampSet,
+    frontier: Vec<SegmentId>,
+    admissible: Vec<SegmentId>,
+    /// Membership set of the observed region a replay must reproduce.
+    target: StampSet,
+    target_len: usize,
+}
+
+impl ExpansionScratch {
+    /// A fresh scratch; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs the observed region [`replay_expansion_matches`] tests
+    /// candidate seeds against. Call once per observation; every replay
+    /// for that observation then shares the membership set.
+    pub fn set_replay_target(&mut self, net: &RoadNetwork, observed: &[SegmentId]) {
+        self.target.begin(net.segment_count());
+        for &s in observed {
+            self.target.insert(s.index());
+        }
+        self.target_len = observed.len();
+    }
+}
+
 /// Grows a one-way cloaking region from `user_segment` until `req` holds.
+///
+/// Allocating convenience over [`random_expansion_with`] (one throwaway
+/// [`ExpansionScratch`] per call).
 ///
 /// # Errors
 ///
@@ -39,26 +77,64 @@ pub fn random_expansion<R: Rng + ?Sized>(
     req: &LevelRequirement,
     rng: &mut R,
 ) -> Result<BaselineOutcome, CloakError> {
+    random_expansion_with(
+        net,
+        snapshot,
+        user_segment,
+        req,
+        rng,
+        &mut ExpansionScratch::new(),
+    )
+}
+
+/// [`random_expansion`] with caller-owned scratch buffers: the pipeline's
+/// per-tick NRE control grows owner after owner with no steady-state
+/// heap traffic beyond the returned outcome. Results are bit-identical
+/// to [`random_expansion`] for any scratch state (the RNG draw sequence
+/// depends only on the admissible counts, which are value-determined).
+///
+/// # Errors
+///
+/// As [`random_expansion`].
+pub fn random_expansion_with<R: Rng + ?Sized>(
+    net: &RoadNetwork,
+    snapshot: &OccupancySnapshot,
+    user_segment: SegmentId,
+    req: &LevelRequirement,
+    rng: &mut R,
+    scratch: &mut ExpansionScratch,
+) -> Result<BaselineOutcome, CloakError> {
     if net.get_segment(user_segment).is_none() {
         return Err(CloakError::UnknownSegment(user_segment));
     }
-    let mut region = RegionState::from_segments(net, [user_segment]);
+    let ExpansionScratch {
+        region,
+        stamp,
+        frontier,
+        admissible,
+        ..
+    } = scratch;
+    region.reset_for(net);
+    region.insert(net, user_segment);
+    // Users and frontier are maintained incrementally around each pick
+    // instead of being recomputed per step — value-identical to the full
+    // recomputation (pinned by `incremental_walk_matches_full_recompute`),
+    // so the RNG draw sequence is unchanged.
+    let mut users = u64::from(snapshot.users_on(user_segment));
+    candidates_into(net, region, stamp, frontier);
     let mut steps = 0u32;
-    while region.users(snapshot) < req.k as u64 || region.len() < req.l as usize {
-        let cans = candidates(net, &region);
-        if cans.is_empty() {
+    while users < req.k as u64 || region.len() < req.l as usize {
+        if frontier.is_empty() {
             return Err(CloakError::CloakingFailed {
                 level: Level(1),
                 reason: StepFailure::NoCandidates,
             });
         }
-        let admissible: Vec<SegmentId> = cans
-            .into_iter()
-            .filter(|&c| {
-                req.tolerance
-                    .allows_extended(net, region.total_length(), region.bounding_box(), c)
-            })
-            .collect();
+        admissible.clear();
+        admissible.extend(frontier.iter().copied().filter(|&c| {
+            req.tolerance
+                .allows_extended(net, region.total_length(), region.bounding_box(), c)
+        }));
         if admissible.is_empty() {
             return Err(CloakError::CloakingFailed {
                 level: Level(1),
@@ -67,12 +143,103 @@ pub fn random_expansion<R: Rng + ?Sized>(
         }
         let pick = admissible[rng.gen_range(0..admissible.len())];
         region.insert(net, pick);
+        users += u64::from(snapshot.users_on(pick));
         steps += 1;
+        advance_frontier(net, region, stamp, frontier, pick);
     }
     Ok(BaselineOutcome {
         segments: region.to_sorted_ids(),
         steps,
     })
+}
+
+/// Updates a `(length, id)`-sorted frontier around a just-inserted pick:
+/// the pick leaves the frontier, its not-yet-seen non-member neighbors
+/// join at their sorted positions. Contents and order are exactly what
+/// [`candidates_into`] would recompute — the comparator is a strict
+/// total order (ties broken by id), so sorted insertion and a full
+/// re-sort agree — provided `stamp` has tracked every frontier member
+/// since the seeding [`candidates_into`] call.
+fn advance_frontier(
+    net: &RoadNetwork,
+    region: &RegionState,
+    stamp: &mut StampSet,
+    frontier: &mut Vec<SegmentId>,
+    pick: SegmentId,
+) {
+    if let Some(at) = position_in_sorted(net, frontier, pick) {
+        frontier.remove(at);
+    }
+    for &n in net.neighbor_segments_csr(pick) {
+        if !region.contains(n) && stamp.insert(n.index()) {
+            let key = net.segment(n).length();
+            let at = frontier
+                .binary_search_by(|&s| net.segment(s).length().total_cmp(&key).then(s.cmp(&n)))
+                .unwrap_or_else(|e| e);
+            frontier.insert(at, n);
+        }
+    }
+}
+
+/// Decides whether replaying a random expansion from `user_segment` with
+/// `rng` reproduces exactly the observed region installed by
+/// [`ExpansionScratch::set_replay_target`] — the adversary's replay
+/// inversion against keyless deterministic schemes.
+///
+/// Boolean-equivalent to
+/// `random_expansion(…).map(|out| out.segments == observed).unwrap_or(false)`
+/// but **early-exiting**: the walk replays the exact pick sequence of
+/// [`random_expansion`] and bails the moment a pick (or the seed) falls
+/// outside the observed region, since the grown set could then never
+/// equal it. The grown region is always a subset of the target after
+/// those checks, so the final verdict reduces to a length comparison.
+pub fn replay_expansion_matches<R: Rng + ?Sized>(
+    net: &RoadNetwork,
+    snapshot: &OccupancySnapshot,
+    user_segment: SegmentId,
+    req: &LevelRequirement,
+    rng: &mut R,
+    scratch: &mut ExpansionScratch,
+) -> bool {
+    if net.get_segment(user_segment).is_none() {
+        return false;
+    }
+    let ExpansionScratch {
+        region,
+        stamp,
+        frontier,
+        admissible,
+        target,
+        target_len,
+    } = scratch;
+    if !target.contains(user_segment.index()) {
+        return false;
+    }
+    region.reset_for(net);
+    region.insert(net, user_segment);
+    let mut users = u64::from(snapshot.users_on(user_segment));
+    candidates_into(net, region, stamp, frontier);
+    while users < req.k as u64 || region.len() < req.l as usize {
+        if frontier.is_empty() {
+            return false;
+        }
+        admissible.clear();
+        admissible.extend(frontier.iter().copied().filter(|&c| {
+            req.tolerance
+                .allows_extended(net, region.total_length(), region.bounding_box(), c)
+        }));
+        if admissible.is_empty() {
+            return false;
+        }
+        let pick = admissible[rng.gen_range(0..admissible.len())];
+        if !target.contains(pick.index()) {
+            return false;
+        }
+        region.insert(net, pick);
+        users += u64::from(snapshot.users_on(pick));
+        advance_frontier(net, region, stamp, frontier, pick);
+    }
+    region.len() == *target_len
 }
 
 #[cfg(test)]
@@ -134,6 +301,122 @@ mod tests {
         assert!(matches!(
             random_expansion(&net, &snapshot, SegmentId(0), &req, &mut rng),
             Err(CloakError::CloakingFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn pooled_expansion_is_bit_identical_to_allocating() {
+        let net = grid_city(6, 6, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 2);
+        let req = LevelRequirement::with_k(12).l(4);
+        let mut scratch = ExpansionScratch::new();
+        for seed in 0..20u64 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let allocating = random_expansion(&net, &snapshot, SegmentId(17), &req, &mut r1);
+            let pooled =
+                random_expansion_with(&net, &snapshot, SegmentId(17), &req, &mut r2, &mut scratch);
+            assert_eq!(allocating, pooled, "seed {seed}");
+        }
+    }
+
+    /// Pins the incremental users/frontier maintenance to a per-step
+    /// full recomputation: same frontier (contents *and* order, so the
+    /// same RNG draw sequence), same pick, same stop condition.
+    #[test]
+    fn incremental_walk_matches_full_recompute() {
+        let net = grid_city(6, 6, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 2);
+        let req = LevelRequirement::with_k(14).l(4);
+        for seed in 0..20u64 {
+            let start = SegmentId((seed as u32 * 13) % net.segment_count() as u32);
+            let mut reference_rng = StdRng::seed_from_u64(seed);
+            let mut region = RegionState::new(&net);
+            region.insert(&net, start);
+            let mut steps = 0u32;
+            let reference = loop {
+                if region.users(&snapshot) >= req.k as u64 && region.len() >= req.l as usize {
+                    break Some(region.to_sorted_ids());
+                }
+                let admissible: Vec<SegmentId> = crate::frontier::candidates(&net, &region)
+                    .into_iter()
+                    .filter(|&c| {
+                        req.tolerance.allows_extended(
+                            &net,
+                            region.total_length(),
+                            region.bounding_box(),
+                            c,
+                        )
+                    })
+                    .collect();
+                if admissible.is_empty() {
+                    break None;
+                }
+                let pick = admissible[reference_rng.gen_range(0..admissible.len())];
+                region.insert(&net, pick);
+                steps += 1;
+            };
+            let fast = random_expansion(
+                &net,
+                &snapshot,
+                start,
+                &req,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            match (reference, fast) {
+                (Some(segments), Ok(out)) => {
+                    assert_eq!(segments, out.segments, "seed {seed}");
+                    assert_eq!(steps, out.steps, "seed {seed}");
+                }
+                (None, Err(_)) => {}
+                (r, f) => panic!("seed {seed}: reference {r:?} vs incremental {f:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn replay_matcher_agrees_with_full_replay() {
+        let net = grid_city(6, 6, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let req = LevelRequirement::with_k(10);
+        let seed = 0xfeedu64;
+        let observed = random_expansion(
+            &net,
+            &snapshot,
+            SegmentId(20),
+            &req,
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap()
+        .segments;
+        let mut scratch = ExpansionScratch::new();
+        scratch.set_replay_target(&net, &observed);
+        // Every candidate seed across the whole network, matching and
+        // not, agrees with the brute-force replay — including seeds
+        // whose walks dead-end (grid corners under tight tolerance).
+        for s in net.segment_ids() {
+            let brute =
+                random_expansion(&net, &snapshot, s, &req, &mut StdRng::seed_from_u64(seed))
+                    .map(|out| out.segments == observed)
+                    .unwrap_or(false);
+            let fast = replay_expansion_matches(
+                &net,
+                &snapshot,
+                s,
+                &req,
+                &mut StdRng::seed_from_u64(seed),
+                &mut scratch,
+            );
+            assert_eq!(brute, fast, "seed segment {s}");
+        }
+        // The true seed replays to a match.
+        assert!(replay_expansion_matches(
+            &net,
+            &snapshot,
+            SegmentId(20),
+            &req,
+            &mut StdRng::seed_from_u64(seed),
+            &mut scratch,
         ));
     }
 

@@ -126,18 +126,22 @@ pub use attack::temporal::{
     AdversaryConfig, AdversaryMode, AttackObservation, AttackSummary, Observation, ReachScratch,
     ReplayProbe, TemporalAdversary,
 };
-pub use baseline::{random_expansion, BaselineOutcome};
+pub use baseline::{
+    random_expansion, random_expansion_with, replay_expansion_matches, BaselineOutcome,
+    ExpansionScratch,
+};
 pub use engine::{HintStack, ReversibleEngine, RgeEngine, RpleEngine, StepAccept, MAX_REDRAWS};
 pub use error::{CloakError, DeanonError, StepFailure};
 pub use metrics::{QualitySummary, RegionQuality, SuccessRate};
 pub use multilevel::{
-    ambiguity_profile, anonymize, anonymize_with_retry, anonymize_with_retry_scratch,
-    anonymize_with_scratch, deanonymize, deanonymize_with_scratch, AmbiguityReport,
-    AnonymizationOutcome, DeanonymizedView, LevelStats, MAX_STEPS_PER_LEVEL,
+    ambiguity_profile, anonymize, anonymize_batch_with_scratch, anonymize_with_retry,
+    anonymize_with_retry_scratch, anonymize_with_scratch, deanonymize, deanonymize_with_scratch,
+    AmbiguityReport, AnonymizationOutcome, BatchCloakItem, DeanonymizedView, LevelStats,
+    MAX_STEPS_PER_LEVEL,
 };
 pub use payload::{CloakPayload, LevelMeta};
 pub use preassign::PreassignedTables;
 pub use profile::{LevelRequirement, PrivacyProfile, PrivacyProfileBuilder, SpatialTolerance};
 pub use region::RegionState;
-pub use scratch::{CloakScratch, StepScratch};
+pub use scratch::{BatchCloakScratch, CloakScratch, StepScratch};
 pub use table::{TableView, TransitionTable};

@@ -58,6 +58,12 @@ impl StampSet {
             true
         }
     }
+
+    /// Whether `i` is a member of the current generation. Indices beyond
+    /// the last [`StampSet::begin`] bound are simply absent.
+    pub fn contains(&self, i: usize) -> bool {
+        self.stamp.get(i).copied() == Some(self.epoch)
+    }
 }
 
 /// Per-step buffers threaded through
@@ -113,6 +119,52 @@ impl CloakScratch {
     /// A fresh scratch; buffers grow lazily on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Buffers for growing k-anonymity regions for **many owners of one
+/// snapshot** in a single pass
+/// ([`crate::multilevel::anonymize_batch_with_scratch`]).
+///
+/// The shared per-step state (region bitset, table rows/columns, dedup
+/// stamps) is reused across every owner in the batch, and the per-level
+/// round/hint metadata is laid out structure-of-arrays: one contiguous
+/// row-major `u32` arena per kind, with `lanes` recording each owner's
+/// `(offset, len)` row. The inner encrypt/decrypt sweeps then run over
+/// contiguous lanes instead of per-owner re-walks, which keeps them
+/// autovectorizable.
+///
+/// Same reuse contract as [`CloakScratch`]: plain state, any scratch
+/// yields bit-identical results, one scratch per worker thread.
+#[derive(Debug, Clone, Default)]
+pub struct BatchCloakScratch {
+    /// The evolving cloaking region, shared across the batch (reset per
+    /// owner; the membership bitset is sized once per network).
+    pub(crate) region: RegionState,
+    /// Engine per-step buffers — the shared table rows/columns every
+    /// owner's expansion walks over.
+    pub(crate) step: StepScratch,
+    /// Context bytes for deriving keyed streams.
+    pub(crate) ctx: Vec<u8>,
+    /// Owner-major contiguous arena of plain per-step accepting rounds.
+    pub(crate) rounds: Vec<u32>,
+    /// Owner-major contiguous arena of plain quotient hints.
+    pub(crate) hints: Vec<u32>,
+    /// Each successfully cloaked owner's `(rounds, hints)` lane starts —
+    /// the row index of the structure-of-arrays layout.
+    pub(crate) lanes: Vec<(u32, u32)>,
+}
+
+impl BatchCloakScratch {
+    /// A fresh scratch; buffers grow lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lane starts recorded for the owners cloaked so far in the current
+    /// batch (diagnostics; one entry per successful owner).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
     }
 }
 

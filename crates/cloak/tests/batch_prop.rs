@@ -1,0 +1,170 @@
+//! Property tests for the owner-batched tick cores: the batched region
+//! growth ([`cloak::anonymize_batch_with_scratch`]) and the batched
+//! adversary evaluation
+//! ([`cloak::attack::temporal::TemporalAdversary::begin_tick_population`])
+//! must be bit-identical to the per-owner paths — for both engines,
+//! every adversary mode, and owner counts of 0, 1, and sizes that are
+//! not a multiple of any SIMD lane width.
+
+use cloak::attack::temporal::{
+    AdversaryConfig, AdversaryMode, Observation, ReplayProbe, TemporalAdversary,
+};
+use cloak::{
+    anonymize_batch_with_scratch, anonymize_with_retry, random_expansion, BatchCloakItem,
+    BatchCloakScratch, LevelRequirement, PrivacyProfile, ReversibleEngine, RgeEngine, RpleEngine,
+};
+use keystream::Key256;
+use mobisim::OccupancySnapshot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roadnet::{grid_city, SegmentId};
+
+/// Empty batch, single owner, and two batch sizes that are not a
+/// multiple of any power-of-two lane width.
+const OWNER_COUNTS: &[usize] = &[0, 1, 5, 17];
+
+const MAX_ATTEMPTS: u32 = 4;
+
+fn batch_matches_per_owner(engine: &dyn ReversibleEngine) {
+    let net = grid_city(8, 8, 100.0);
+    let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+    let profile = PrivacyProfile::builder()
+        .level(LevelRequirement::with_k(5))
+        .level(LevelRequirement::with_k(9))
+        .build()
+        .unwrap();
+    let mut scratch = BatchCloakScratch::new();
+    for &n in OWNER_COUNTS {
+        let key_vecs: Vec<Vec<Key256>> = (0..n as u64)
+            .map(|i| vec![Key256::from_seed(3 * i), Key256::from_seed(3 * i + 1)])
+            .collect();
+        let items: Vec<BatchCloakItem<'_>> = (0..n)
+            .map(|i| BatchCloakItem {
+                // One mid-batch unknown segment exercises the error path
+                // (and the arena truncation that follows it).
+                segment: if i == 3 {
+                    SegmentId(9999)
+                } else {
+                    SegmentId((i as u32 * 7) % 100)
+                },
+                profile: &profile,
+                keys: &key_vecs[i],
+                nonce: 0xabc ^ i as u64,
+                max_attempts: MAX_ATTEMPTS,
+            })
+            .collect();
+        let batched = anonymize_batch_with_scratch(&net, &snapshot, &items, engine, &mut scratch);
+        assert_eq!(batched.len(), n);
+        for (i, (item, res)) in items.iter().zip(&batched).enumerate() {
+            let solo = anonymize_with_retry(
+                &net,
+                &snapshot,
+                item.segment,
+                &profile,
+                item.keys,
+                item.nonce,
+                engine,
+                MAX_ATTEMPTS,
+            );
+            match (res, solo) {
+                (Ok((out_b, attempts_b)), Ok((out_s, attempts_s))) => {
+                    assert_eq!(
+                        out_b.payload.encode(),
+                        out_s.payload.encode(),
+                        "owner {i} of {n}: payload bytes diverge"
+                    );
+                    assert_eq!(out_b.chain, out_s.chain, "owner {i} of {n}");
+                    assert_eq!(*attempts_b, attempts_s, "owner {i} of {n}");
+                }
+                (Err(e_b), Err(e_s)) => assert_eq!(*e_b, e_s, "owner {i} of {n}"),
+                (b, s) => panic!("owner {i} of {n}: batched {b:?} vs per-owner {s:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn rge_batch_is_bit_identical_to_per_owner() {
+    batch_matches_per_owner(&RgeEngine::new());
+}
+
+#[test]
+fn rple_batch_is_bit_identical_to_per_owner() {
+    batch_matches_per_owner(&RpleEngine::build(&grid_city(8, 8, 100.0), 10));
+}
+
+#[test]
+fn batched_adversary_observe_matches_per_owner() {
+    let net = grid_city(8, 8, 100.0);
+    let req = LevelRequirement::with_k(6);
+    for mode in [
+        AdversaryMode::Peel,
+        AdversaryMode::Correlate,
+        AdversaryMode::Move,
+        AdversaryMode::All,
+    ] {
+        for &n in OWNER_COUNTS {
+            let cfg = AdversaryConfig {
+                mode,
+                ..Default::default()
+            };
+            let mut batched = TemporalAdversary::new(&net, cfg.clone());
+            let mut solo = TemporalAdversary::new(&net, cfg);
+            let owners: Vec<String> = (0..n).map(|i| format!("owner-{i}")).collect();
+            for tick in 1..=4u64 {
+                let fresh = tick % 2 == 1;
+                let snapshot =
+                    OccupancySnapshot::uniform(net.segment_count(), ((tick % 3) + 1) as u32);
+                // The batched adversary packs the whole population's
+                // reachability masks up front; the per-owner adversary
+                // computes each mask inside `observe`.
+                batched.begin_tick_population(&snapshot, fresh, owners.iter().map(String::as_str));
+                solo.begin_tick(&snapshot, fresh);
+                for (i, owner) in owners.iter().enumerate() {
+                    let seed = tick * 1000 + i as u64;
+                    let true_segment = SegmentId(((i * 11 + tick as usize) % 100) as u32);
+                    let region = random_expansion(
+                        &net,
+                        &snapshot,
+                        true_segment,
+                        &req,
+                        &mut StdRng::seed_from_u64(seed),
+                    )
+                    .unwrap()
+                    .segments;
+                    let a = batched.observe(
+                        &net,
+                        owner,
+                        Observation {
+                            tick,
+                            region: &region,
+                            snapshot: &snapshot,
+                            snapshot_fresh: fresh,
+                        },
+                        Some(ReplayProbe {
+                            requirement: &req,
+                            seed,
+                        }),
+                        Some(true_segment),
+                    );
+                    let b = solo.observe(
+                        &net,
+                        owner,
+                        Observation {
+                            tick,
+                            region: &region,
+                            snapshot: &snapshot,
+                            snapshot_fresh: fresh,
+                        },
+                        Some(ReplayProbe {
+                            requirement: &req,
+                            seed,
+                        }),
+                        Some(true_segment),
+                    );
+                    assert_eq!(a, b, "mode {mode:?}, {n} owners, tick {tick}, {owner}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Behavioral tests for `tools/bench_gate.sh`: the CI tick-latency gate
+//! must cover all six pipeline cells — raw, verified, and **attacked**,
+//! for both engines — fail on a regression in any one of them, and
+//! refuse to pass vacuously when nothing is comparable.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const CELLS: [&str; 6] = [
+    "rge_raw",
+    "rge_verified",
+    "rge_attacked",
+    "rple_raw",
+    "rple_verified",
+    "rple_attacked",
+];
+
+fn script() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tools/bench_gate.sh")
+}
+
+/// Writes a BENCH_pipeline.json-shaped file: one flat
+/// `"cell": { "mean_tick_ms": N, ... }` line per cell, the format the
+/// gate's grep relies on.
+fn write_bench_json(path: &Path, cells: &[(&str, f64)]) {
+    let body = cells
+        .iter()
+        .map(|(cell, ms)| {
+            format!("  \"{cell}\": {{ \"mean_tick_ms\": {ms:.4}, \"ticks_per_sec\": 1.0 }}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    std::fs::write(path, format!("{{\n{body}\n}}\n")).unwrap();
+}
+
+fn run_gate(name: &str, committed: &[(&str, f64)], fresh: &[(&str, f64)]) -> Output {
+    let dir = std::env::temp_dir().join(format!("bench-gate-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let committed_path = dir.join("committed.json");
+    let fresh_path = dir.join("fresh.json");
+    write_bench_json(&committed_path, committed);
+    write_bench_json(&fresh_path, fresh);
+    let output = Command::new("bash")
+        .arg(script())
+        .arg(&committed_path)
+        .arg(&fresh_path)
+        .output()
+        .expect("bench_gate.sh runs");
+    std::fs::remove_dir_all(&dir).ok();
+    output
+}
+
+#[test]
+fn gate_checks_every_cell_including_attacked() {
+    let cells: Vec<(&str, f64)> = CELLS.iter().map(|&c| (c, 2.0)).collect();
+    let output = run_gate("all-ok", &cells, &cells);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "identical points must pass: {stdout}"
+    );
+    for cell in CELLS {
+        assert!(
+            stdout.contains(&format!("gate: {cell} ok")),
+            "cell {cell} must be gated, got:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn gate_fails_on_attacked_cell_regression() {
+    let committed: Vec<(&str, f64)> = CELLS.iter().map(|&c| (c, 2.0)).collect();
+    // Only the attacked cell regresses (2× the committed point, far
+    // beyond the default 25% tolerance); every raw/verified cell is
+    // unchanged.
+    let fresh: Vec<(&str, f64)> = CELLS
+        .iter()
+        .map(|&c| (c, if c == "rge_attacked" { 4.0 } else { 2.0 }))
+        .collect();
+    let output = run_gate("attacked-regressed", &committed, &fresh);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(output.status.code(), Some(1), "regression must fail");
+    assert!(
+        stdout.contains("gate: rge_attacked REGRESSED"),
+        "the attacked cell must be named:\n{stdout}"
+    );
+}
+
+#[test]
+fn gate_tolerates_noise_within_threshold() {
+    let committed: Vec<(&str, f64)> = CELLS.iter().map(|&c| (c, 2.0)).collect();
+    let fresh: Vec<(&str, f64)> = CELLS.iter().map(|&c| (c, 2.4)).collect();
+    let output = run_gate("noise", &committed, &fresh);
+    assert!(
+        output.status.success(),
+        "+20% sits inside the default 25% tolerance"
+    );
+}
+
+#[test]
+fn gate_refuses_to_pass_vacuously() {
+    let committed: Vec<(&str, f64)> = CELLS.iter().map(|&c| (c, 2.0)).collect();
+    let output = run_gate("vacuous", &committed, &[("unrelated_cell", 1.0)]);
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "no comparable cells must exit 2"
+    );
+    assert!(String::from_utf8_lossy(&output.stderr).contains("refusing to pass vacuously"));
+}
