@@ -227,27 +227,22 @@ fn cmd_keys(opts: &Opts) -> Result<(), String> {
         .parse()
         .map_err(|_| "--levels expects a number")?;
     // Auto key generation, like the GUI button; seeded only when asked.
-    let keys: Vec<Key256> = match opts.get("seed") {
+    // Seeded keys go through the sponge-derived grid (`KeyManager::
+    // from_seed`), which domain-separates every (seed, level) pair.
+    let mgr = match opts.get("seed") {
         Some(s) => {
             let seed: u64 = s.parse().map_err(|_| "--seed expects a number")?;
-            (0..levels)
-                .map(|i| Key256::from_seed(seed.wrapping_mul(1_000_003).wrapping_add(i as u64)))
-                .collect()
+            keystream::KeyManager::from_seed(levels, seed)
         }
-        None => {
-            let mut rng = rand::thread_rng();
-            (0..levels).map(|_| Key256::generate(&mut rng)).collect()
-        }
+        None => keystream::KeyManager::generate(levels, &mut rand::thread_rng()),
     };
     if let Some(path) = opts.get("out") {
-        let mgr = keystream::KeyManager::from_keys(keys.clone());
-        let mut buf = Vec::new();
-        keystream::write_keyring(&mgr, &mut buf).map_err(|e| e.to_string())?;
-        std::fs::write(path, buf).map_err(|e| format!("write {path}: {e}"))?;
-        println!("wrote keyring with {} keys to {path}", keys.len());
+        // Owner-only (0o600) creation: the keyring is secret material.
+        keystream::write_keyring_file(&mgr, path).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote keyring with {} keys to {path}", mgr.level_count());
     }
-    for (i, k) in keys.iter().enumerate() {
-        println!("Key{} = {}", i + 1, k.to_hex());
+    for (level, k) in mgr.iter() {
+        println!("Key{} = {}", level.0, k.to_hex());
     }
     Ok(())
 }

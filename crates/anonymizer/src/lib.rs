@@ -73,18 +73,23 @@
 //! use roadnet::{grid_city, SegmentId};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let net = grid_city(6, 6, 100.0);
-//! let service = AnonymizerService::new(net, AnonymizerConfig::default());
-//! service.update_snapshot(OccupancySnapshot::uniform(
-//!     service.network().segment_count(),
-//!     1,
-//! ));
+//! let build = || {
+//!     let net = grid_city(6, 6, 100.0);
+//!     let service = AnonymizerService::new(net, AnonymizerConfig::default());
+//!     service.update_snapshot(OccupancySnapshot::uniform(
+//!         service.network().segment_count(),
+//!         1,
+//!     ));
+//!     service
+//! };
 //!
 //! // One worker, one scratch, many requests — allocation-free at
-//! // steady state inside the cloak walk.
+//! // steady state inside the cloak walk. Each anonymization ratchets
+//! // the owner's forward-secret chain, so the comparison run uses a
+//! // second identically-configured service at the same chain state.
 //! let mut scratch = CloakScratch::new();
-//! let pooled = service.anonymize_seeded_with("alice", SegmentId(17), None, 7, &mut scratch)?;
-//! let fresh = service.anonymize_seeded("alice", SegmentId(17), None, 7)?;
+//! let pooled = build().anonymize_seeded_with("alice", SegmentId(17), None, 7, &mut scratch)?;
+//! let fresh = build().anonymize_seeded("alice", SegmentId(17), None, 7)?;
 //! assert_eq!(pooled.payload, fresh.payload, "scratch never changes results");
 //! # Ok(())
 //! # }

@@ -20,11 +20,16 @@
 //!   requirement's k users *on the snapshot the receipt was issued
 //!   under* (later swaps never retroactively invalidate a receipt);
 //! * **grant preservation** — a requester registered at an owner's first
-//!   cloak keeps working after every re-anonymization;
+//!   cloak keeps working after every re-anonymization (its captured
+//!   epoch grant keeps opening *that* epoch's receipt even though the
+//!   owner's chain has ratcheted past it);
 //! * **determinism** — request seeds derive from (pipeline seed, tick,
-//!   owner), so two pipelines with the same configuration produce
-//!   bit-identical receipt streams regardless of batch parallelism
-//!   (compare [`TickReport::digest`]).
+//!   owner), and each request's level keys derive from the owner's
+//!   forward-secret chain ([`keystream::ChainState`]), which the service
+//!   advances in request order. Two pipelines with the same
+//!   configuration therefore produce bit-identical receipt streams
+//!   regardless of batch parallelism (compare [`TickReport::digest`]) —
+//!   determinism is per *service history*, not per request.
 //!
 //! An optional **attack leg** ([`AttackConfig`], like the LBS leg)
 //! subscribes a keyless [`TemporalAdversary`] to the receipt stream and
@@ -144,7 +149,10 @@ impl Default for PipelineConfig {
 /// owner's expansion randomness derives from fixed public per-owner
 /// state — which is exactly what the adversary's replay inversion
 /// exploits. The reversible engines are immune because their selection
-/// randomness is keyed, and keys rotate every re-anonymization.
+/// randomness is keyed, and keys ratchet forward through the owner's
+/// chain state on every re-anonymization — forward secrecy: even a
+/// later compromise of the service's current chain state replays
+/// nothing from earlier epochs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AttackConfig {
     /// The adversary's attack portfolio (see [`AdversaryMode`]).
@@ -908,8 +916,9 @@ fn fnv_fold(state: u64, bytes: &[u8]) -> u64 {
 }
 
 /// SplitMix-style mix of (base seed, tick, owner index) into a request
-/// seed — collision-resistant enough that every request draws
-/// independent keys, and pure, so the stream is reproducible.
+/// seed — collision-resistant enough that every request feeds
+/// independent entropy into its owner's chain ratchet, and pure, so
+/// the stream is reproducible.
 fn mix_seed(base: u64, tick: u64, idx: u64) -> u64 {
     crate::service::splitmix64(
         base ^ tick.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ idx.wrapping_mul(0xd1b5_4a32_d192_ed03),

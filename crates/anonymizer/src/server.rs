@@ -164,7 +164,11 @@ impl AnonymizerServer {
     /// jobs at once and collecting results in request order. Every
     /// request's `seed` is honored as given (use
     /// [`AnonymizerServer::derive_seed`] for server-derived seeds), so a
-    /// batch is reproducible no matter how many workers serve it.
+    /// batch of distinct owners is reproducible no matter how many
+    /// workers serve it. When a batch repeats an owner, worker scheduling
+    /// decides which chain epoch each duplicate draws; the last duplicate
+    /// is re-run sequentially afterwards so its returned receipt and the
+    /// stored record agree (last-wins).
     pub fn anonymize_batch(
         &self,
         requests: Vec<AnonymizeRequest>,
@@ -182,10 +186,10 @@ impl AnonymizerServer {
             entry.0 += 1;
             entry.1 = i;
         }
-        let reruns: Vec<AnonymizeRequest> = per_owner
+        let reruns: Vec<(usize, AnonymizeRequest)> = per_owner
             .values()
             .filter(|(count, _)| *count > 1)
-            .map(|&(_, last)| requests[last].clone())
+            .map(|&(_, last)| (last, requests[last].clone()))
             .collect();
         let (reply_tx, reply_rx) = bounded(n);
         let submit = self.submit.as_ref().expect("server is running");
@@ -207,12 +211,18 @@ impl AnonymizerServer {
                 .expect("every job replies before its sender drops");
             results[index] = Some(result);
         }
-        // Pin stored records for duplicated owners (receipts are seeded,
-        // so the re-run reproduces the already-returned result exactly).
-        for r in reruns {
-            let _ = self
-                .service
-                .anonymize_seeded(&r.owner, r.segment, r.profile.as_ref(), r.seed);
+        // Pin stored records for duplicated owners. Worker scheduling
+        // decides which epoch each duplicate drew from the owner's
+        // forward-secret chain, so the re-run ratchets once more and
+        // *replaces* the last request's returned receipt too — stored
+        // record and returned result stay the same (last-wins) receipt.
+        for (last, r) in reruns {
+            results[last] = Some(self.service.anonymize_seeded(
+                &r.owner,
+                r.segment,
+                r.profile.as_ref(),
+                r.seed,
+            ));
         }
         results
             .into_iter()

@@ -22,7 +22,10 @@
 //!   blocking in-flight anonymizations;
 //! * the owner-record and requester-registry maps are sharded N ways by
 //!   key hash, each shard its own `RwLock`, so concurrent requests for
-//!   different owners never contend.
+//!   different owners never contend;
+//! * each owner's forward-secret [`ChainState`] lives in its own sharded
+//!   map and advances under one shard write lock per anonymization —
+//!   ratchet, key derivation, and epoch read are a single atomic step.
 //!
 //! Workers share the service via `Arc<AnonymizerService>`; no global
 //! lock exists anywhere on the anonymize path.
@@ -35,7 +38,9 @@ use cloak::{
     BatchCloakItem, BatchCloakScratch, CloakError, CloakPayload, CloakScratch, PrivacyProfile,
     ReversibleEngine, RgeEngine, RpleEngine,
 };
-use keystream::{AccessControlProfile, AccessError, Key256, KeyManager, Level, TrustDegree};
+use keystream::{
+    AccessControlProfile, AccessError, ChainState, Key256, KeyManager, Level, TrustDegree,
+};
 use mobisim::OccupancySnapshot;
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -162,6 +167,20 @@ impl<V> ShardedMap<V> {
         self.shard(key).write().get_mut(key).map(f)
     }
 
+    /// Inserts (when absent) then mutates the value and returns a clone,
+    /// all under one shard write lock — the chain-ratchet step: concurrent
+    /// advances of the same key serialize, so every caller observes a
+    /// distinct post-advance state.
+    fn advance(&self, key: &str, insert: impl FnOnce() -> V, step: impl FnOnce(&mut V)) -> V
+    where
+        V: Clone,
+    {
+        let mut shard = self.shard(key).write();
+        let v = shard.entry(key.to_string()).or_insert_with(insert);
+        step(v);
+        v.clone()
+    }
+
     /// Runs `f` on the value under the shard's read lock.
     fn read<T>(&self, key: &str, f: impl FnOnce(&V) -> T) -> Option<T> {
         self.shard(key).read().get(key).map(f)
@@ -174,10 +193,13 @@ impl<V> ShardedMap<V> {
 
 /// One anonymization request for [`AnonymizerService::anonymize_batch`].
 ///
-/// The `seed` deterministically drives key generation and the nonce, so a
-/// batch run is bit-identical to sequential
-/// [`AnonymizerService::anonymize_seeded`] calls with the same seeds —
-/// results do not depend on how the batch was scheduled.
+/// The `seed` deterministically drives chain-genesis entropy and the
+/// nonce, so a batch run is bit-identical to sequential
+/// [`AnonymizerService::anonymize_seeded`] calls with the same seeds in
+/// the same order from the same service state — results do not depend on
+/// how the batch was scheduled. (Per-level keys come from the owner's
+/// forward-secret chain, so *re-running* a request advances the epoch
+/// rather than reproducing the receipt.)
 #[derive(Debug, Clone)]
 pub struct AnonymizeRequest {
     /// The owner identity.
@@ -233,6 +255,12 @@ pub struct AnonymizerService {
     /// access-control profiles so key-distribution decisions stay an
     /// isolated, auditable layer.
     requesters: ShardedMap<HashMap<String, TrustDegree>>,
+    /// Per-owner forward-secret chain states. Every anonymization
+    /// ratchets the owner's chain one epoch forward and derives that
+    /// epoch's level keys from the post-ratchet state; the pre-ratchet
+    /// state is overwritten, so nothing the service retains can rebuild
+    /// an earlier epoch's keys.
+    chains: ShardedMap<ChainState>,
 }
 
 /// What the owner gets back from an anonymization: the payload to upload
@@ -260,6 +288,7 @@ impl AnonymizerService {
             snapshot: RwLock::new(Arc::new(OccupancySnapshot::uniform(segment_count, 0))),
             records: ShardedMap::new(shards),
             requesters: ShardedMap::new(shards),
+            chains: ShardedMap::new(shards),
             config,
         }
     }
@@ -306,13 +335,35 @@ impl AnonymizerService {
         Arc::clone(&self.snapshot.read())
     }
 
+    /// Ratchets `owner`'s forward-secret chain one epoch and returns the
+    /// post-ratchet state. A first-time owner gets a genesis state built
+    /// from `entropy` (the chain then never touches caller entropy
+    /// again); every call serializes under the chain shard's write lock,
+    /// so concurrent anonymizations of one owner get distinct epochs.
+    fn advance_chain(&self, owner: &str, entropy: Key256) -> ChainState {
+        self.chains.advance(
+            owner,
+            || ChainState::genesis(owner, &entropy),
+            ChainState::ratchet,
+        )
+    }
+
+    /// The owner's current chain epoch (count of anonymizations so far),
+    /// or `None` for owners never anonymized. Receipts carry their epoch
+    /// in [`CloakPayload::epoch`].
+    pub fn owner_epoch(&self, owner: &str) -> Option<u64> {
+        self.chains.read(owner, ChainState::epoch)
+    }
+
     /// Anonymizes `owner`'s location with `profile` (or the default
     /// profile), auto-generating keys — the GUI's 'Auto key generation'.
     /// Stores the owner record for later key fetches.
     ///
-    /// Keys and nonce draw directly from the caller's `rng` at full
-    /// width, so key entropy is whatever the caller's generator provides
-    /// (256 bits per key with a CSPRNG). For pinned randomness use
+    /// The caller's `rng` seeds the owner's forward-secret chain on first
+    /// use (256 bits of entropy) and supplies the per-request nonce; the
+    /// per-level keys come from the chain's post-ratchet epoch state, so
+    /// re-anonymizing rotates keys forward and erases the prior epoch's
+    /// secret. For pinned randomness use
     /// [`anonymize_seeded`](Self::anonymize_seeded).
     ///
     /// # Errors
@@ -326,23 +377,28 @@ impl AnonymizerService {
         rng: &mut R,
     ) -> Result<AnonymizeReceipt, CloakError> {
         let profile = profile.unwrap_or(&self.config.default_profile);
-        let keys = KeyManager::generate(profile.level_count(), rng);
+        let entropy = Key256::generate(rng);
         let nonce: u64 = rng.gen();
+        let chain = self.advance_chain(owner, entropy);
+        let keys = chain.level_keys(profile.level_count());
         self.anonymize_with_keys(
             owner,
             user_segment,
             profile,
             keys,
             nonce,
+            chain.epoch(),
             &mut CloakScratch::default(),
         )
     }
 
     /// Like [`anonymize_owner`](Self::anonymize_owner) with the request's
-    /// randomness pinned by `seed`: the same seed always generates the
-    /// same keys and nonce, which makes batch and sequential execution
-    /// bit-identical. Key entropy is bounded by the 64-bit seed — use
-    /// this for reproducible pipelines and experiments, and
+    /// randomness pinned by `seed`. Reproducibility is per *service
+    /// history*, not per call: two identically-configured services fed
+    /// the same request sequence produce bit-identical receipt streams,
+    /// but repeating a request on one service ratchets the owner's chain
+    /// and yields a fresh epoch — that asymmetry is the forward-secrecy
+    /// contract. Key entropy is bounded by the 64-bit seed — use
     /// [`anonymize_owner`](Self::anonymize_owner) with a strong RNG when
     /// key secrecy matters.
     ///
@@ -378,13 +434,25 @@ impl AnonymizerService {
     ) -> Result<AnonymizeReceipt, CloakError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let profile = profile.unwrap_or(&self.config.default_profile);
-        let keys = KeyManager::generate(profile.level_count(), &mut rng);
+        let entropy = Key256::generate(&mut rng);
         let nonce: u64 = rng.gen();
-        self.anonymize_with_keys(owner, user_segment, profile, keys, nonce, scratch)
+        let chain = self.advance_chain(owner, entropy);
+        let keys = chain.level_keys(profile.level_count());
+        self.anonymize_with_keys(
+            owner,
+            user_segment,
+            profile,
+            keys,
+            nonce,
+            chain.epoch(),
+            scratch,
+        )
     }
 
-    /// The shared core: runs the cloak with the given keys and nonce and
-    /// stores the owner record.
+    /// The shared core: runs the cloak with the given keys and nonce,
+    /// stamps the chain epoch into the payload, and stores the owner
+    /// record.
+    #[allow(clippy::too_many_arguments)]
     fn anonymize_with_keys(
         &self,
         owner: &str,
@@ -392,11 +460,12 @@ impl AnonymizerService {
         profile: &PrivacyProfile,
         keys: KeyManager,
         nonce: u64,
+        epoch: u64,
         scratch: &mut CloakScratch,
     ) -> Result<AnonymizeReceipt, CloakError> {
         let key_vec: Vec<Key256> = keys.iter().map(|(_, k)| k).collect();
         let snapshot = self.snapshot();
-        let (outcome, attempts) = anonymize_with_retry_scratch(
+        let (mut outcome, attempts) = anonymize_with_retry_scratch(
             &self.net,
             &snapshot,
             user_segment,
@@ -407,6 +476,7 @@ impl AnonymizerService {
             self.config.max_attempts,
             scratch,
         )?;
+        outcome.payload.epoch = epoch;
         // One payload allocation shared by the stored record and the
         // returned receipt (the record used to deep-clone it twice).
         let payload = Arc::new(outcome.payload.clone());
@@ -430,38 +500,54 @@ impl AnonymizerService {
         })
     }
 
+    /// The sequential chain pre-pass of a batch: ratchets every request's
+    /// owner chain **in request order** and captures that request's
+    /// `(keys, nonce, epoch)`. Running this before any parallel dispatch
+    /// is what keeps a batch bit-identical to sequential execution — the
+    /// epoch an owner's n-th request gets must not depend on worker
+    /// scheduling.
+    fn derive_batch_keys(&self, requests: &[AnonymizeRequest]) -> Vec<(KeyManager, u64, u64)> {
+        requests
+            .iter()
+            .map(|r| {
+                let mut rng = StdRng::seed_from_u64(r.seed);
+                let profile = r.profile.as_ref().unwrap_or(&self.config.default_profile);
+                let entropy = Key256::generate(&mut rng);
+                let nonce: u64 = rng.gen();
+                let chain = self.advance_chain(&r.owner, entropy);
+                (
+                    chain.level_keys(profile.level_count()),
+                    nonce,
+                    chain.epoch(),
+                )
+            })
+            .collect()
+    }
+
     /// The owner-batched core behind
     /// [`anonymize_batch`](Self::anonymize_batch): cloaks a run of
     /// requests against **one** snapshot handle through
     /// [`cloak::anonymize_batch_with_scratch`], so the whole run shares
     /// the region bitset, the transition-table rows/columns, and the
-    /// structure-of-arrays round/hint arenas. Per-request key and nonce
-    /// derivation is exactly
-    /// [`anonymize_seeded_with`](Self::anonymize_seeded_with)'s, so
+    /// structure-of-arrays round/hint arenas. `keyed` is the run's slice
+    /// of the [`derive_batch_keys`](Self::derive_batch_keys) pre-pass, so
     /// receipts are bit-identical to the sequential path.
-    fn anonymize_run_batched(
+    fn anonymize_run_keyed(
         &self,
         requests: &[AnonymizeRequest],
+        keyed: &[(KeyManager, u64, u64)],
         scratch: &mut BatchCloakScratch,
     ) -> Vec<Result<AnonymizeReceipt, CloakError>> {
         let snapshot = self.snapshot();
-        // Derive each request's keys and nonce up front, in request
-        // order, from its own seeded RNG (the seeded contract).
-        let mut keyed: Vec<(KeyManager, u64)> = Vec::with_capacity(requests.len());
-        let mut key_vecs: Vec<Vec<Key256>> = Vec::with_capacity(requests.len());
-        for r in requests {
-            let mut rng = StdRng::seed_from_u64(r.seed);
-            let profile = r.profile.as_ref().unwrap_or(&self.config.default_profile);
-            let keys = KeyManager::generate(profile.level_count(), &mut rng);
-            let nonce: u64 = rng.gen();
-            key_vecs.push(keys.iter().map(|(_, k)| k).collect());
-            keyed.push((keys, nonce));
-        }
+        let key_vecs: Vec<Vec<Key256>> = keyed
+            .iter()
+            .map(|(keys, _, _)| keys.iter().map(|(_, k)| k).collect())
+            .collect();
         let items: Vec<BatchCloakItem<'_>> = requests
             .iter()
             .zip(&key_vecs)
-            .zip(&keyed)
-            .map(|((r, kv), &(_, nonce))| BatchCloakItem {
+            .zip(keyed)
+            .map(|((r, kv), &(_, nonce, _))| BatchCloakItem {
                 segment: r.segment,
                 profile: r.profile.as_ref().unwrap_or(&self.config.default_profile),
                 keys: kv,
@@ -481,13 +567,14 @@ impl AnonymizerService {
             .into_iter()
             .zip(requests)
             .zip(keyed)
-            .map(|((res, r), (keys, _))| {
-                res.map(|(outcome, attempts)| {
+            .map(|((res, r), (keys, _, epoch))| {
+                res.map(|(mut outcome, attempts)| {
+                    outcome.payload.epoch = *epoch;
                     let payload = Arc::new(outcome.payload.clone());
                     let record = OwnerRecord {
                         owner: r.owner.clone(),
                         payload: Arc::clone(&payload),
-                        keys,
+                        keys: keys.clone(),
                         access: AccessControlProfile::new(),
                     };
                     self.records
@@ -505,9 +592,11 @@ impl AnonymizerService {
     }
 
     /// Anonymizes a batch of requests, fanned across a scoped worker pool
-    /// in chunks. Results keep request order, and — because every request
-    /// carries its own seed — are identical to running
-    /// [`anonymize_seeded`](Self::anonymize_seeded) sequentially.
+    /// in chunks. Results keep request order, and — because chain epochs
+    /// are assigned in a sequential pre-pass and every request carries
+    /// its own seed — are identical to running
+    /// [`anonymize_seeded`](Self::anonymize_seeded) sequentially from the
+    /// same service state.
     ///
     /// Each worker drives its chunks through the owner-batched core
     /// ([`cloak::anonymize_batch_with_scratch`]) with one
@@ -526,9 +615,13 @@ impl AnonymizerService {
             n => n,
         }
         .min(requests.len().max(1));
+        // Chain pre-pass first: epochs are assigned in request order
+        // before any worker runs, so batch scheduling can never reorder
+        // an owner's ratchet sequence.
+        let keyed = self.derive_batch_keys(requests);
         if workers <= 1 || requests.len() <= 1 {
             // One scratch serves the whole sequential sweep.
-            return self.anonymize_run_batched(requests, &mut BatchCloakScratch::new());
+            return self.anonymize_run_keyed(requests, &keyed, &mut BatchCloakScratch::new());
         }
         // Chunked work-stealing: a shared cursor hands out runs of
         // requests so threads stay busy even when per-request cost varies
@@ -541,6 +634,7 @@ impl AnonymizerService {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
+                    let keyed = &keyed;
                     scope.spawn(move || {
                         // Per-worker scratch pool: buffers grow to the
                         // workload's high-water mark once, then every
@@ -555,8 +649,11 @@ impl AnonymizerService {
                                 return done;
                             }
                             let end = (start + chunk).min(requests.len());
-                            let run =
-                                self.anonymize_run_batched(&requests[start..end], &mut scratch);
+                            let run = self.anonymize_run_keyed(
+                                &requests[start..end],
+                                &keyed[start..end],
+                                &mut scratch,
+                            );
                             done.extend(run.into_iter().enumerate().map(|(i, r)| (start + i, r)));
                         }
                     })
@@ -569,9 +666,10 @@ impl AnonymizerService {
             }
         });
         // A batch may repeat an owner; parallel workers then race on the
-        // stored record. Re-run each duplicated owner's last request
-        // sequentially (seeded, so the receipt is unchanged) to pin the
-        // stored record to sequential semantics: last request wins.
+        // stored record. Re-run each duplicated owner's last request with
+        // its *precomputed* keys/nonce/epoch (no fresh ratchet — the
+        // chain already advanced in the pre-pass) to pin the stored
+        // record to sequential semantics: last request wins.
         let mut per_owner: HashMap<&str, (usize, usize)> = HashMap::new();
         for (i, r) in requests.iter().enumerate() {
             let entry = per_owner.entry(&r.owner).or_insert((0, i));
@@ -581,8 +679,16 @@ impl AnonymizerService {
         for &(count, last) in per_owner.values() {
             if count > 1 {
                 let r = &requests[last];
-                results[last] =
-                    Some(self.anonymize_seeded(&r.owner, r.segment, r.profile.as_ref(), r.seed));
+                let (keys, nonce, epoch) = &keyed[last];
+                results[last] = Some(self.anonymize_with_keys(
+                    &r.owner,
+                    r.segment,
+                    r.profile.as_ref().unwrap_or(&self.config.default_profile),
+                    keys.clone(),
+                    *nonce,
+                    *epoch,
+                    &mut CloakScratch::new(),
+                ));
             }
         }
         results
@@ -807,16 +913,33 @@ mod tests {
     }
 
     #[test]
-    fn seeded_anonymization_is_deterministic() {
-        let s = service();
-        let a = s
+    fn seeded_anonymization_is_deterministic_across_services() {
+        // The determinism contract is per service history: two
+        // identically-configured services replay the same stream…
+        let a = service()
             .anonymize_seeded("alice", SegmentId(40), None, 1234)
             .unwrap();
-        let b = s
+        let b = service()
             .anonymize_seeded("alice", SegmentId(40), None, 1234)
             .unwrap();
         assert_eq!(a.payload, b.payload);
-        let c = s
+        assert_eq!(a.payload.epoch, 1, "first receipt carries epoch 1");
+        // …while repeating the request on ONE service ratchets the chain:
+        // fresh epoch, fresh keys, fresh receipt.
+        let s = service();
+        let first = s
+            .anonymize_seeded("alice", SegmentId(40), None, 1234)
+            .unwrap();
+        let again = s
+            .anonymize_seeded("alice", SegmentId(40), None, 1234)
+            .unwrap();
+        assert_eq!(again.payload.epoch, 2);
+        assert_ne!(
+            first.payload, again.payload,
+            "ratchet must rotate the receipt"
+        );
+        // Different seeds still diverge.
+        let c = service()
             .anonymize_seeded("alice", SegmentId(40), None, 1235)
             .unwrap();
         assert_ne!(a.payload.segments, c.payload.segments);
@@ -831,8 +954,12 @@ mod tests {
             })
             .collect();
         let batch = s.anonymize_batch(&requests);
+        // Sequential replay must run on a fresh service: each owner's
+        // chain has to sit at the same (genesis) state it had in the
+        // batch run.
+        let fresh = service();
         for (req, result) in requests.iter().zip(&batch) {
-            let solo = s
+            let solo = fresh
                 .anonymize_seeded(&req.owner, req.segment, None, req.seed)
                 .unwrap();
             assert_eq!(
@@ -843,6 +970,43 @@ mod tests {
             );
         }
         assert_eq!(s.owner_count(), 24);
+    }
+
+    #[test]
+    fn forward_secrecy_across_reanonymizations() {
+        use crate::deanonymizer::Deanonymizer;
+        let s = service();
+        let early = s
+            .anonymize_seeded("alice", SegmentId(40), None, 77)
+            .unwrap();
+        assert_eq!(early.payload.epoch, 1);
+        s.register_requester("alice", "auditor", TrustDegree(10), Level(0));
+        // The auditor fetches epoch 1's keys while they are current.
+        let granted = s.fetch_keys("alice", "auditor").unwrap();
+
+        // Re-anonymization ratchets the chain forward: the service's own
+        // stored keys now belong to epoch 2 and the epoch-1 state is gone.
+        let late = s
+            .anonymize_seeded("alice", SegmentId(12), None, 78)
+            .unwrap();
+        assert_eq!(late.payload.epoch, early.payload.epoch + 1);
+        assert_eq!(s.owner_epoch("alice"), Some(2));
+        let current = s.fetch_keys("alice", "auditor").unwrap();
+        assert_ne!(granted, current, "ratchet must rotate the granted keys");
+
+        let dean = Deanonymizer::new(
+            s.network_arc(),
+            Engine::build(s.network(), s.config().engine),
+        );
+        // The captured grant stays good for its own epoch forever…
+        let view = dean.reduce(&early.payload, &granted).unwrap();
+        assert_eq!(view.segments, vec![SegmentId(40)]);
+        // …but nothing the service retains after the ratchet opens the
+        // earlier receipt: current keys fail against the epoch-1 payload.
+        assert!(
+            dean.reduce(&early.payload, &current).is_err(),
+            "post-ratchet keys must not deanonymize an earlier epoch"
+        );
     }
 
     #[test]

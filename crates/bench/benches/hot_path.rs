@@ -16,13 +16,21 @@
 //! bit-identical candidate sets (property-tested in
 //! `crates/lbs/tests/indexed_prop.rs`), so the deltas are pure
 //! allocator traffic and pure search work respectively.
+//!
+//! The `keyed_draw` group prices the keystream primitive itself —
+//! stream initialization (sponge absorption) plus draws, and the
+//! chain-ratchet `derive_key` — the cells the ChaCha20-class PRF swap
+//! touches directly. With `BENCH_OUT=path` set, a plain-timed
+//! `keyed_draw` point is written as JSON for CI's perf-trajectory gate
+//! (same schema and min-of-`BENCH_RUNS` methodology as
+//! `pipeline_ticks.rs`).
 
 use cloak::{
     anonymize_batch_with_scratch, anonymize_with_scratch, BatchCloakItem, BatchCloakScratch,
     CloakScratch, LevelRequirement, PrivacyProfile, RgeEngine, RpleEngine,
 };
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use keystream::{Key256, KeyManager};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use keystream::{derive_key, DrawStream, Key256, KeyManager};
 use lbs::{nearest_query_reference_with, nearest_query_with, PoiCategory, PoiStore, SearchScratch};
 use mobisim::OccupancySnapshot;
 use rand::rngs::StdRng;
@@ -267,12 +275,107 @@ fn bench_lbs_indexed_vs_reference(c: &mut Criterion) {
     group.finish();
 }
 
+/// One pass of the keyed-draw workload: the keystream work of cloaking
+/// a small population — per owner, one stream initialization (sponge
+/// absorption of key and context) plus a run of draws, and one
+/// chain-style `derive_key` ratchet. Returns a fold of the outputs so
+/// the work cannot be optimized away.
+fn keyed_draw_pass(streams: usize, draws: usize) -> u64 {
+    let mut acc = 0u64;
+    let mut chain = Key256::from_seed(0x1e57);
+    for i in 0..streams {
+        let key = Key256::from_seed(i as u64);
+        let ctx = (i as u64).to_le_bytes();
+        let mut s = DrawStream::new(key, &ctx);
+        for _ in 0..draws {
+            acc = acc.wrapping_add(s.next_u64());
+        }
+        chain = derive_key(chain, b"bench/ratchet");
+    }
+    acc ^ chain.as_bytes()[0] as u64
+}
+
+/// The PR 7 keystream cells: the ChaCha20-class sponge `DrawStream`
+/// (initialization + draws) and the chain-ratchet `derive_key`, timed in
+/// isolation from any graph work.
+fn bench_keyed_draw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keyed_draw");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("stream_init_plus_32_draws", |b| {
+        b.iter(|| black_box(keyed_draw_pass(64, 32)))
+    });
+    group.bench_function("derive_key_ratchet", |b| {
+        let mut chain = Key256::from_seed(7);
+        b.iter(|| {
+            for _ in 0..64 {
+                chain = derive_key(chain, b"bench/ratchet");
+            }
+            black_box(chain)
+        })
+    });
+    group.finish();
+}
+
+/// Plain-timed `keyed_draw` point, emitted as JSON when `BENCH_OUT` is
+/// set — the keystream cell of the perf trajectory CI gates per commit.
+/// Schema matches `pipeline_ticks.rs`:
+/// `{ "keyed_draw": { "mean_tick_ms": f, "ticks_per_sec": f } }`, where
+/// one "tick" is [`keyed_draw_pass`] over 512 streams × 32 draws.
+fn write_json_point() {
+    let Ok(path) = std::env::var("BENCH_OUT") else {
+        return;
+    };
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0");
+    let measure = if quick {
+        std::time::Duration::from_millis(400)
+    } else {
+        std::time::Duration::from_secs(2)
+    };
+    let runs: usize = std::env::var("BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1);
+    let mut mean_ms = f64::INFINITY;
+    for _ in 0..runs {
+        // Warm-up pass before timing.
+        black_box(keyed_draw_pass(512, 32));
+        let t0 = std::time::Instant::now();
+        let mut ticks = 0u64;
+        while t0.elapsed() < measure || ticks == 0 {
+            black_box(keyed_draw_pass(512, 32));
+            ticks += 1;
+        }
+        mean_ms = mean_ms.min(t0.elapsed().as_secs_f64() * 1e3 / ticks as f64);
+    }
+    println!("keyed_draw mean {mean_ms:.4} ms/pass (min of {runs})");
+    let json = format!(
+        "{{\n  \"keyed_draw\": {{ \"mean_tick_ms\": {mean_ms:.4}, \"ticks_per_sec\": {:.1} }}\n}}\n",
+        1e3 / mean_ms
+    );
+    std::fs::write(&path, json).expect("write BENCH_OUT");
+    println!("wrote bench point to {path}");
+}
+
 criterion_group!(
     benches,
     bench_adjacency,
     bench_single_cloak,
     bench_batch_cloak,
     bench_lbs_nearest,
-    bench_lbs_indexed_vs_reference
+    bench_lbs_indexed_vs_reference,
+    bench_keyed_draw
 );
-criterion_main!(benches);
+
+fn main() {
+    // `BENCH_OUT` is the CI trajectory mode: measure the keystream cell
+    // plain-timed and emit JSON; the criterion groups are the local
+    // exploration mode.
+    if std::env::var("BENCH_OUT").is_ok() {
+        write_json_point();
+    } else {
+        benches();
+    }
+}

@@ -61,32 +61,26 @@ pub struct DeanonymizedView {
     pub anchor: SegmentId,
 }
 
-/// Writes the step-substream context into `ctx` (cleared first) — the
-/// scratch-buffer form that keeps the per-step context off the heap.
-fn step_context_into(ctx: &mut Vec<u8>, algorithm: u8, level: Level, step: u32, nonce: u64) {
+/// Writes the per-level walk context into `ctx` (cleared first). One
+/// base stream is absorbed from this context per level; each expansion
+/// step then [`DrawStream::fork`]s its own counter lane off that base
+/// (the step index is public walk structure, so it lives in the counter
+/// rather than costing an absorption per step), and the level's round
+/// and hint metadata encrypt under the reserved lanes below.
+fn steps_context_into(ctx: &mut Vec<u8>, algorithm: u8, level: Level, nonce: u64) {
     ctx.clear();
     ctx.extend_from_slice(b"rc/step/");
     ctx.push(algorithm);
     ctx.push(level.0);
-    ctx.extend_from_slice(&step.to_le_bytes());
     ctx.extend_from_slice(&nonce.to_le_bytes());
 }
 
-fn hint_context_into(ctx: &mut Vec<u8>, algorithm: u8, level: Level, nonce: u64) {
-    ctx.clear();
-    ctx.extend_from_slice(b"rc/hint/");
-    ctx.push(algorithm);
-    ctx.push(level.0);
-    ctx.extend_from_slice(&nonce.to_le_bytes());
-}
-
-fn round_context_into(ctx: &mut Vec<u8>, algorithm: u8, level: Level, nonce: u64) {
-    ctx.clear();
-    ctx.extend_from_slice(b"rc/round/");
-    ctx.push(algorithm);
-    ctx.push(level.0);
-    ctx.extend_from_slice(&nonce.to_le_bytes());
-}
+/// Reserved fork lanes of the per-level base stream for the round and
+/// hint metadata keystreams. Step lanes are `1..=MAX_STEPS_PER_LEVEL`
+/// (100 000), so the top of the `u32` lane space can never collide with
+/// a walk step.
+const ROUNDS_LANE: u32 = u32::MAX - 1;
+const HINTS_LANE: u32 = u32::MAX;
 
 fn tag_context_into(ctx: &mut Vec<u8>, level: Level, nonce: u64) {
     ctx.clear();
@@ -95,20 +89,29 @@ fn tag_context_into(ctx: &mut Vec<u8>, level: Level, nonce: u64) {
     ctx.extend_from_slice(&nonce.to_le_bytes());
 }
 
-/// XORs `words` against the keyed stream for `ctx` (the symmetric
-/// encrypt/decrypt of round and hint metadata), returning a fresh `Vec`.
-fn xor_stream(key: Key256, ctx: &[u8], words: &[u32]) -> Vec<u32> {
+/// XORs `words` against the keystream of the given fork `lane` of the
+/// per-level base stream (the symmetric encrypt/decrypt of round and
+/// hint metadata), returning a fresh `Vec`.
+fn xor_lane(base: &DrawStream, lane: u32, words: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(words.len());
-    xor_stream_into(&mut out, key, ctx, words);
+    xor_lane_into(&mut out, base, lane, words);
     out
 }
 
-/// Like [`xor_stream`], writing into a caller-owned buffer (cleared
-/// first).
-fn xor_stream_into(out: &mut Vec<u32>, key: Key256, ctx: &[u8], words: &[u32]) {
-    let mut ks = DrawStream::new(key, ctx);
+/// Like [`xor_lane`], writing into a caller-owned buffer (cleared
+/// first). Each u64 draw masks two u32 words (low half first), so the
+/// keystream is consumed at its native width.
+fn xor_lane_into(out: &mut Vec<u32>, base: &DrawStream, lane: u32, words: &[u32]) {
+    let mut ks = base.fork(lane);
     out.clear();
-    out.extend(words.iter().map(|&w| w ^ (ks.next_u64() as u32)));
+    out.reserve(words.len());
+    for pair in words.chunks(2) {
+        let draw = ks.next_u64();
+        out.push(pair[0] ^ (draw as u32));
+        if let Some(&hi) = pair.get(1) {
+            out.push(hi ^ ((draw >> 32) as u32));
+        }
+    }
 }
 
 /// Anonymizes `user_segment` under `profile`, driving level `Li` with
@@ -240,6 +243,8 @@ fn anonymize_core(
         let mut voided = 0u32;
         let r0 = rounds.len();
         let h0 = hints.len();
+        steps_context_into(ctx, algorithm, level, nonce);
+        let step_base = DrawStream::new(key, ctx);
         while region.users(snapshot) < req.k as u64 || region.len() < req.l as usize {
             if added as usize >= MAX_STEPS_PER_LEVEL {
                 return Err(CloakError::CloakingFailed {
@@ -248,8 +253,7 @@ fn anonymize_core(
                 });
             }
             let step_no = added + 1;
-            step_context_into(ctx, algorithm, level, step_no, nonce);
-            let mut stream = DrawStream::new(key, ctx);
+            let mut stream = step_base.fork(step_no);
             let accept = engine
                 .forward_step(net, region, last, &mut stream, &req.tolerance, step)
                 .map_err(|reason| CloakError::CloakingFailed { level, reason })?;
@@ -266,10 +270,8 @@ fn anonymize_core(
         }
         tag_context_into(ctx, level, nonce);
         let tag = tag::compute(key, ctx, &last.0.to_le_bytes());
-        round_context_into(ctx, algorithm, level, nonce);
-        let enc_rounds = xor_stream(key, ctx, &rounds[r0..]);
-        hint_context_into(ctx, algorithm, level, nonce);
-        let enc_hints = xor_stream(key, ctx, &hints[h0..]);
+        let enc_rounds = xor_lane(&step_base, ROUNDS_LANE, &rounds[r0..]);
+        let enc_hints = xor_lane(&step_base, HINTS_LANE, &hints[h0..]);
         level_metas.push(LevelMeta {
             count: added,
             tag,
@@ -289,6 +291,9 @@ fn anonymize_core(
         payload: CloakPayload {
             algorithm,
             nonce,
+            // Chain position is a service-level concern: callers running a
+            // forward-secret chain stamp the epoch after anonymization.
+            epoch: 0,
             segments: region.to_sorted_ids(),
             levels: level_metas,
         },
@@ -605,17 +610,16 @@ pub fn deanonymize_with_scratch(
 
         // Decrypt the level's round numbers and quotient hints, then walk
         // backward.
-        round_context_into(ctx, payload.algorithm, level, payload.nonce);
-        xor_stream_into(rounds, key, ctx, &meta.enc_rounds);
-        hint_context_into(ctx, payload.algorithm, level, payload.nonce);
-        xor_stream_into(hints, key, ctx, &meta.enc_hints);
+        steps_context_into(ctx, payload.algorithm, level, payload.nonce);
+        let step_base = DrawStream::new(key, ctx);
+        xor_lane_into(rounds, &step_base, ROUNDS_LANE, &meta.enc_rounds);
+        xor_lane_into(hints, &step_base, HINTS_LANE, &meta.enc_hints);
         let mut hint_stack = HintStack::new(std::mem::take(hints));
         let mut current = last;
         let mut walk = || -> Result<SegmentId, DeanonError> {
             for t in (1..=meta.count).rev() {
                 region.remove(net, current);
-                step_context_into(ctx, payload.algorithm, level, t, payload.nonce);
-                let mut stream = DrawStream::new(key, ctx);
+                let mut stream = step_base.fork(t);
                 current = engine
                     .backward_step(
                         net,
@@ -1025,15 +1029,15 @@ pub fn ambiguity_profile(
     for (idx, meta) in payload.levels.iter().enumerate().rev() {
         let level = Level(idx as u8 + 1);
         let key = keys[idx];
-        hint_context_into(&mut ctx, algorithm, level, payload.nonce);
-        let hints = xor_stream(key, &ctx, &meta.enc_hints);
+        steps_context_into(&mut ctx, algorithm, level, payload.nonce);
+        let step_base = DrawStream::new(key, &ctx);
+        let hints = xor_lane(&step_base, HINTS_LANE, &meta.enc_hints);
         let mut hint_stack = HintStack::new(hints);
         for t in (1..=meta.count).rev() {
             let removed = outcome.chain[chain_end - 1];
             chain_end -= 1;
             region.remove(net, removed);
-            step_context_into(&mut ctx, algorithm, level, t, payload.nonce);
-            let mut stream = DrawStream::new(key, &ctx);
+            let mut stream = step_base.fork(t);
             let count = engine.ambiguous_predecessors(
                 net,
                 &region,

@@ -12,8 +12,15 @@
 //!   XOR-encrypted under the level key (pseudorandom noise without it).
 //!
 //! The codec is a hand-rolled length-prefixed binary format (no serde
-//! format dependency): `"RCLK" | version | algorithm | nonce | segments |
-//! levels`.
+//! format dependency): `"RCLK" | version | algorithm | nonce | epoch |
+//! segments | levels`.
+//!
+//! Wire version 2 added the `epoch` field: the owner's forward-secret
+//! chain position at anonymization time. v1 payloads (no epoch) are
+//! rejected explicitly rather than mis-parsed — the epoch tells a
+//! requester *which* granted key set opens a receipt, so a silent
+//! epoch-less parse would be a correctness hazard, not a compatibility
+//! feature.
 
 use crate::error::DeanonError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -23,8 +30,9 @@ use serde::{Deserialize, Serialize};
 
 /// Magic bytes opening every payload.
 pub const MAGIC: &[u8; 4] = b"RCLK";
-/// Current wire version.
-pub const VERSION: u8 = 1;
+/// Current wire version. Version 2 added the chain `epoch` field; v1
+/// payloads are rejected at decode.
+pub const VERSION: u8 = 2;
 
 /// Per-level public metadata.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,6 +62,11 @@ pub struct CloakPayload {
     pub algorithm: u8,
     /// Per-request nonce for domain separation of the keyed streams.
     pub nonce: u64,
+    /// The owner's forward-secret chain epoch at anonymization time
+    /// (0 for payloads produced outside a chain, e.g. one-shot CLI use).
+    /// Requesters use it to match a receipt to the key set they were
+    /// granted for that epoch.
+    pub epoch: u64,
     /// The cloaking region, sorted by segment id (chain order withheld).
     pub segments: Vec<SegmentId>,
     /// Metadata for levels `L1..`, in level order.
@@ -79,7 +92,7 @@ impl CloakPayload {
     /// Serializes the payload.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(
-            16 + 4 * self.segments.len()
+            24 + 4 * self.segments.len()
                 + self
                     .levels
                     .iter()
@@ -90,6 +103,7 @@ impl CloakPayload {
         b.put_u8(VERSION);
         b.put_u8(self.algorithm);
         b.put_u64_le(self.nonce);
+        b.put_u64_le(self.epoch);
         b.put_u32_le(self.segments.len() as u32);
         for s in &self.segments {
             b.put_u32_le(s.0);
@@ -139,14 +153,16 @@ impl CloakPayload {
         let version = data.get_u8();
         if version != VERSION {
             return Err(DeanonError::MalformedPayload(format!(
-                "unsupported version {version}"
+                "unsupported version {version} (expected {VERSION}; epoch-less v1 \
+                 payloads are retired and must be re-anonymized)"
             )));
         }
         let algorithm = data.get_u8();
-        if data.remaining() < 12 {
-            return Err(err("truncated nonce/segment count"));
+        if data.remaining() < 20 {
+            return Err(err("truncated nonce/epoch/segment count"));
         }
         let nonce = data.get_u64_le();
+        let epoch = data.get_u64_le();
         let seg_count = data.get_u32_le() as usize;
         if data.remaining() < seg_count * 4 {
             return Err(err("truncated segment list"));
@@ -232,6 +248,7 @@ impl CloakPayload {
         Ok(CloakPayload {
             algorithm,
             nonce,
+            epoch,
             segments,
             levels,
         })
@@ -246,6 +263,7 @@ mod tests {
         CloakPayload {
             algorithm: 1,
             nonce: 0xdead_beef_cafe_f00d,
+            epoch: 42,
             segments: vec![SegmentId(2), SegmentId(5), SegmentId(9), SegmentId(14)],
             levels: vec![
                 LevelMeta {
@@ -314,6 +332,26 @@ mod tests {
         ));
     }
 
+    /// A captured v1 payload — the v2 byte-string with the 8 epoch bytes
+    /// spliced out and the version byte rewound — must fail decode with a
+    /// clear unsupported-version error, not mis-parse the segment count
+    /// out of the nonce's tail.
+    #[test]
+    fn rejects_captured_v1_payload_bytes() {
+        let mut v1 = sample().encode().to_vec();
+        v1[4] = 1; // version byte back to v1
+        v1.drain(14..22); // strip the epoch (after magic+ver+algo+nonce)
+        match CloakPayload::decode(&v1) {
+            Err(DeanonError::MalformedPayload(m)) => {
+                assert!(
+                    m.contains("unsupported version 1"),
+                    "error should name the rejected version: {m}"
+                );
+            }
+            other => panic!("v1 bytes must be rejected, got {other:?}"),
+        }
+    }
+
     #[test]
     fn rejects_unsorted_segments() {
         let mut p = sample();
@@ -345,6 +383,7 @@ mod tests {
         let p = CloakPayload {
             algorithm: 2,
             nonce: 1,
+            epoch: 0,
             segments: vec![SegmentId(0)],
             levels: vec![],
         };

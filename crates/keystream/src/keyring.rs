@@ -9,8 +9,10 @@
 //! level 2 <64-hex>
 //! ```
 //!
-//! **The file contains secrets.** Callers are responsible for placing it
-//! somewhere with appropriate permissions.
+//! **The file contains secrets.** [`write_keyring_file`] creates it with
+//! owner-only permissions (`0o600`) on Unix; callers streaming through
+//! [`write_keyring`] with their own writer are responsible for placing
+//! the output somewhere equally protected.
 
 use crate::key::Key256;
 use crate::manager::KeyManager;
@@ -64,6 +66,39 @@ pub fn write_keyring<W: Write>(mgr: &KeyManager, mut w: W) -> Result<(), Keyring
     for (level, key) in mgr.iter() {
         writeln!(w, "level {} {}", level.0, key.to_hex())?;
     }
+    Ok(())
+}
+
+/// Writes a key manager's keys as a keyring file at `path`, created (or
+/// truncated) with owner-only permissions (`0o600`) on Unix — the file
+/// contains secrets, so group/world readability is never acceptable.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_keyring_file(
+    mgr: &KeyManager,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), KeyringError> {
+    let mut opts = std::fs::OpenOptions::new();
+    opts.write(true).create(true).truncate(true);
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::OpenOptionsExt;
+        opts.mode(0o600);
+    }
+    let file = opts.open(path)?;
+    // `mode` only applies at creation; tighten pre-existing files too.
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt;
+        let mut perm = file.metadata()?.permissions();
+        perm.set_mode(0o600);
+        file.set_permissions(perm)?;
+    }
+    let mut w = std::io::BufWriter::new(file);
+    write_keyring(mgr, &mut w)?;
+    w.flush()?;
     Ok(())
 }
 
@@ -135,6 +170,30 @@ mod tests {
         write_keyring(&mgr, &mut buf).unwrap();
         let back = read_keyring(buf.as_slice()).unwrap();
         assert_eq!(mgr, back);
+    }
+
+    #[test]
+    fn file_roundtrip_creates_owner_only_permissions() {
+        let mgr = KeyManager::from_seed(3, 42);
+        let path = std::env::temp_dir().join(format!("rc-keyring-test-{}.txt", std::process::id()));
+        // Pre-create the file wide open: the writer must tighten it.
+        std::fs::write(&path, "stale").unwrap();
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o644)).unwrap();
+        }
+        write_keyring_file(&mgr, &path).unwrap();
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            let mode = std::fs::metadata(&path).unwrap().permissions().mode() & 0o777;
+            assert_eq!(mode, 0o600, "keyring file must be owner-only");
+        }
+        let back =
+            read_keyring(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        assert_eq!(mgr, back);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //!
 //! * [`Key256`] — 256-bit access keys with hex I/O and auto generation,
 //! * [`DrawStream`] — the deterministic keyed stream of pseudo-random draws
-//!   `R_1, R_2, …` shared by anonymization and de-anonymization,
+//!   `R_1, R_2, …` shared by anonymization and de-anonymization, now a
+//!   ChaCha20-class sponge PRF with length-delimited absorption,
+//! * [`ChainState`] — the forward-secret per-owner chain: a hash-forward
+//!   ratchet whose per-epoch keys make past receipts unrecoverable from
+//!   current state,
 //! * [`tag`] — keyed tags used by the payload to bootstrap reversal,
 //! * [`KeyManager`] / [`AccessControlProfile`] — the owner-side key store
 //!   and the trust-based entitlement logic of the paper's toolkit.
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod chain;
 pub mod key;
 pub mod keyring;
 pub mod manager;
@@ -36,8 +41,9 @@ pub mod stream;
 pub mod tag;
 
 pub use access::{AccessControlProfile, AccessError, TrustDegree};
+pub use chain::ChainState;
 pub use key::{Key256, ParseKeyError};
-pub use keyring::{read_keyring, write_keyring, KeyringError};
+pub use keyring::{read_keyring, write_keyring, write_keyring_file, KeyringError};
 pub use manager::{KeyError, KeyManager, Level};
-pub use stream::DrawStream;
+pub use stream::{derive_key, DrawStream};
 pub use tag::Tag128;

@@ -80,13 +80,32 @@ impl KeyManager {
         }
     }
 
-    /// Deterministic manager for tests and reproducible experiments.
-    pub fn from_seed(levels: usize, seed: u64) -> Self {
+    /// Derives per-level keys from a 256-bit master key, domain-separating
+    /// each level through the keyed sponge
+    /// ([`derive_key`](crate::stream::derive_key)): level `i` gets
+    /// `derive_key(master, "rc/level-key/" || i)`. Distinct `(master,
+    /// level)` pairs cannot collide short of a sponge collision.
+    pub fn derive(levels: usize, master: Key256) -> Self {
         KeyManager {
             keys: (0..levels)
-                .map(|i| Key256::from_seed(seed.wrapping_mul(1_000_003).wrapping_add(i as u64)))
+                .map(|i| {
+                    let mut ctx = Vec::with_capacity(21);
+                    ctx.extend_from_slice(b"rc/level-key/");
+                    ctx.extend_from_slice(&(i as u64 + 1).to_le_bytes());
+                    crate::stream::derive_key(master, &ctx)
+                })
                 .collect(),
         }
+    }
+
+    /// Deterministic manager for tests and reproducible experiments:
+    /// expands the seed to a master key and derives per-level keys via
+    /// [`derive`](Self::derive). (An earlier version derived level keys
+    /// as `from_seed(seed * 1_000_003 + i)`, under which distinct
+    /// `(seed, level)` pairs could collide by shifting the seed along the
+    /// multiplier's modular inverse — see the regression test.)
+    pub fn from_seed(levels: usize, seed: u64) -> Self {
+        Self::derive(levels, Key256::from_seed(seed))
     }
 
     /// Number of keyed levels (`N - 1` in the paper's notation).
@@ -175,6 +194,54 @@ mod tests {
         for (_, k) in mgr.iter() {
             assert!(seen.insert(k));
         }
+    }
+
+    /// Regression test for the `seed * 1_000_003 + level` derivation:
+    /// seeds `s` and `s + inv(1_000_003)` (mod 2^64) produced managers
+    /// whose key material was the same sequence shifted by one level —
+    /// `(s, L2)` literally equaled `(s + inv, L1)`. The sponge-derived
+    /// keys must keep the whole seed×level grid pairwise distinct,
+    /// including that adversarial pair.
+    #[test]
+    fn from_seed_keys_are_distinct_across_a_seed_level_grid() {
+        // inv(1_000_003) mod 2^64 by Newton iteration (odd => invertible).
+        let k: u64 = 1_000_003;
+        let mut inv = k;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(k.wrapping_mul(inv)));
+        }
+        assert_eq!(k.wrapping_mul(inv), 1);
+
+        let base = 0x5eed_0001u64;
+        let seeds = [0, 1, 2, 7, base, base + 1, base.wrapping_add(inv)];
+        let mut seen = std::collections::HashSet::new();
+        for &seed in &seeds {
+            let mgr = KeyManager::from_seed(5, seed);
+            for (level, key) in mgr.iter() {
+                assert!(
+                    seen.insert(key),
+                    "key collision at seed {seed}, level {level}"
+                );
+            }
+        }
+        // The sharp case the old formula collapsed:
+        let a = KeyManager::from_seed(3, base);
+        let b = KeyManager::from_seed(3, base.wrapping_add(inv));
+        assert_ne!(
+            a.key_for(Level(2)).unwrap(),
+            b.key_for(Level(1)).unwrap(),
+            "level-shifted seeds must not alias"
+        );
+    }
+
+    #[test]
+    fn derive_matches_from_seed_and_separates_masters() {
+        let master = Key256::from_seed(11);
+        assert_eq!(KeyManager::derive(4, master), KeyManager::from_seed(4, 11));
+        assert_ne!(
+            KeyManager::derive(4, master),
+            KeyManager::derive(4, Key256::from_seed(12))
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property and statistical tests of the keyed stream and tags: the
 //! pseudo-randomness the privacy argument rests on.
 
-use keystream::{tag, DrawStream, Key256};
+use keystream::{tag, DrawStream, Key256, KeyManager, Level};
 use proptest::prelude::*;
 
 proptest! {
@@ -83,6 +83,27 @@ proptest! {
     fn key_hex_roundtrip(key_seed in any::<u64>()) {
         let k = Key256::from_seed(key_seed);
         prop_assert_eq!(Key256::from_hex(&k.to_hex()).unwrap(), k);
+    }
+
+    /// Distinct `(seed, level)` pairs must never share a key — the old
+    /// `seed * 1_000_003 + level` derivation collided whenever two seeds
+    /// differed by the multiplier's modular inverse.
+    #[test]
+    fn seeded_level_keys_form_a_collision_free_grid(
+        seed_a in any::<u64>(),
+        delta in 1u64..1u64 << 32,
+        levels in 1usize..6,
+    ) {
+        let seed_b = seed_a.wrapping_add(delta);
+        let a = KeyManager::from_seed(levels, seed_a);
+        let b = KeyManager::from_seed(levels, seed_b);
+        let mut seen = std::collections::HashSet::new();
+        for mgr in [&a, &b] {
+            for (_, key) in mgr.iter() {
+                prop_assert!(seen.insert(key), "duplicate key in seed×level grid");
+            }
+        }
+        prop_assert_eq!(a.key_for(Level(1)).unwrap(), KeyManager::from_seed(levels, seed_a).key_for(Level(1)).unwrap());
     }
 }
 

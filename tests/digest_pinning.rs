@@ -1,16 +1,27 @@
 //! Receipt-stream digest pinning: the continuous pipeline's per-tick
-//! digests for a fixed configuration, captured **before** the
-//! allocation-free hot-path refactor (CSR adjacency, engine scratch
-//! buffers, pooled LBS search) from `rcloak simulate --ticks 6 --cars
-//! 300 --grid 8x8 --owners 8 --cadence 2 [--engine rple]` at the
-//! default seed.
+//! digests for a fixed configuration, as produced by `rcloak simulate
+//! --ticks 6 --cars 300 --grid 8x8 --owners 8 --cadence 2 [--engine
+//! rple]` at the default seed.
 //!
 //! [`TickReport::digest`] folds every issued `(owner, payload.encode())`
-//! pair in order, so equality here proves the refactor changed **no
-//! byte of any receipt**: same draws, same regions, same metadata — a
-//! pure mechanical-sympathy change. If an intentional protocol change
-//! ever breaks these constants, re-pin them from a trusted build and
-//! say so loudly in the commit.
+//! pair in order, so equality here proves a refactor changed **no byte
+//! of any receipt**: same draws, same regions, same metadata. If an
+//! intentional protocol change ever breaks these constants, re-pin them
+//! from a trusted build and say so loudly in the commit.
+//!
+//! # Pin history
+//!
+//! * **Wire v1** (retired): pinned before the allocation-free hot-path
+//!   refactor, under the xoshiro-based `DrawStream`, per-request
+//!   generated keys, and the epoch-less payload encoding. First RGE
+//!   digest was `0x08ab_1b44_f5d6_ed3e`, first RPLE
+//!   `0x5527_b17e_13ee_f68c`. Those constants are unreachable by any
+//!   current build: the keystream is now a ChaCha20-class sponge, keys
+//!   come from the per-owner forward-secret chain, and payloads encode
+//!   wire v2 (with the chain epoch). v1 payload bytes are explicitly
+//!   rejected at decode.
+//! * **Wire v2** (current): pinned below from the first trusted build of
+//!   the forward-secret keystream.
 
 use anonymizer::{AnonymizerConfig, ContinuousPipeline, EngineChoice, PipelineConfig};
 use mobisim::SimConfig;
@@ -53,31 +64,31 @@ fn digests(engine: EngineChoice) -> Vec<u64> {
 }
 
 #[test]
-fn rge_receipt_stream_is_bit_identical_to_pre_refactor_baseline() {
+fn rge_receipt_stream_matches_the_wire_v2_baseline() {
     assert_eq!(
         digests(EngineChoice::Rge),
         vec![
-            0x08ab_1b44_f5d6_ed3e,
-            0x58e5_5243_4297_594c,
-            0x5acc_24a8_2142_4846,
-            0xc83e_bd04_76d1_16b2,
-            0xa958_10d0_3e19_9f85,
-            0xdce6_0903_cc98_dfe4,
+            0x80b0_db4a_cb22_03c2,
+            0x8abc_8fb3_46ae_24ed,
+            0x45e0_1569_0f5d_b844,
+            0x84ba_02b9_0b5c_1c54,
+            0x9bf8_eea3_2748_8aed,
+            0x69a6_08af_9f9c_ddd5,
         ]
     );
 }
 
 #[test]
-fn rple_receipt_stream_is_bit_identical_to_pre_refactor_baseline() {
+fn rple_receipt_stream_matches_the_wire_v2_baseline() {
     assert_eq!(
         digests(EngineChoice::Rple { t_len: 12 }),
         vec![
-            0x5527_b17e_13ee_f68c,
-            0xf95f_a4c2_1ba5_24a6,
-            0x3a33_9e50_a682_eccb,
-            0x9b74_3435_f863_3f67,
-            0x57ee_7756_96a7_9bd8,
-            0xc7d5_38ba_8c01_0bc2,
+            0x4d8a_3233_7429_d395,
+            0x3ea2_27cb_a300_88b1,
+            0xd288_6a78_07e8_0d87,
+            0xcb7e_5a0b_a2e9_4502,
+            0xd28f_15d0_4369_be8d,
+            0x17d3_11e0_64c5_c3d9,
         ]
     );
 }

@@ -25,7 +25,7 @@ extract() {
 
 status=0
 checked=0
-for cfg in rge_raw rge_verified rge_attacked rple_raw rple_verified rple_attacked; do
+for cfg in rge_raw rge_verified rge_attacked rple_raw rple_verified rple_attacked keyed_draw; do
     base=$(extract "$committed" "$cfg")
     cur=$(extract "$fresh" "$cfg")
     if [ -z "$base" ] || [ -z "$cur" ]; then
