@@ -1,0 +1,198 @@
+//! Hardened parsing of `rcloak batch` request CSV.
+//!
+//! The batch surface reads files an operator did not necessarily author
+//! — exported from other tools, truncated by failed copies, or outright
+//! adversarial. Parsing therefore lives here, behind a pure function
+//! over `&str`, where the mutation fuzzer (`tests/batch_fuzz.rs`) can
+//! sweep it directly: no row, however hostile, may panic, over-allocate,
+//! or abort the well-formed rows around it.
+//!
+//! The format is one `owner,segment` pair per line; blank lines and `#`
+//! comments are skipped. Malformed rows are *collected*, not fatal: each
+//! carries its 1-based line number for the CLI's per-row stderr reports,
+//! and [`BatchInput::capped_reports`] bounds how many are echoed so a
+//! hostile file cannot flood stderr with millions of error lines.
+//!
+//! Request seeds derive from the base seed and the *accepted-row* index
+//! with the same mix `rcloak batch` has always used, so a rerun over the
+//! same input reproduces byte-identical payloads — malformed rows do not
+//! shift the seeds of the valid rows after them being the one deliberate
+//! exception: they never consumed an index in the old code either.
+
+use crate::service::AnonymizeRequest;
+use roadnet::SegmentId;
+
+/// Owner names longer than this are rejected as malformed: no plausible
+/// owner identity needs more, and the bound keeps a hostile row from
+/// dominating the request table.
+pub const MAX_OWNER_LEN: usize = 256;
+
+/// At most this many malformed rows are echoed to stderr; the rest are
+/// summarized in one trailing line (see [`BatchInput::capped_reports`]).
+pub const MALFORMED_REPORT_CAP: usize = 20;
+
+/// One malformed row: its 1-based line number and what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowError {
+    /// 1-based line number in the input file.
+    pub line: usize,
+    /// Human-readable reason, e.g. ``bad segment id `4x` ``.
+    pub message: String,
+}
+
+/// The parse of one batch CSV: the accepted requests in input order and
+/// every malformed row with its line number.
+#[derive(Debug, Clone)]
+pub struct BatchInput {
+    /// Accepted requests, in input order, with derived per-row seeds.
+    pub requests: Vec<AnonymizeRequest>,
+    /// Rejected rows, in input order.
+    pub malformed: Vec<RowError>,
+}
+
+impl BatchInput {
+    /// The per-row stderr report lines, capped at
+    /// [`MALFORMED_REPORT_CAP`]: each is `"{path}:{line}: {message}"`,
+    /// and when rows were suppressed the last line summarizes how many.
+    pub fn capped_reports(&self, path: &str) -> Vec<String> {
+        let mut reports: Vec<String> = self
+            .malformed
+            .iter()
+            .take(MALFORMED_REPORT_CAP)
+            .map(|r| format!("{path}:{}: {}", r.line, r.message))
+            .collect();
+        let suppressed = self.malformed.len().saturating_sub(MALFORMED_REPORT_CAP);
+        if suppressed > 0 {
+            reports.push(format!(
+                "{path}: … and {suppressed} more malformed row(s) not shown"
+            ));
+        }
+        reports
+    }
+}
+
+/// Derives the seed of accepted row `index` (0-based over accepted rows
+/// only) from the CLI's base `--seed` — the exact mix `rcloak batch` has
+/// always used, pinned here so reruns keep reproducing byte-identical
+/// payloads.
+pub fn batch_row_seed(base_seed: u64, index: usize) -> u64 {
+    base_seed ^ 0xba7c_c10a ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Parses a batch request CSV. Never fails as a whole: hostile or
+/// damaged rows land in [`BatchInput::malformed`] and every well-formed
+/// row still becomes a request. Allocation is bounded by the input
+/// length — no row can claim more than it is.
+pub fn parse_batch_requests(text: &str, base_seed: u64) -> BatchInput {
+    let mut requests: Vec<AnonymizeRequest> = Vec::new();
+    let mut malformed = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut reject = |message: String| {
+            malformed.push(RowError {
+                line: lineno + 1,
+                message,
+            });
+        };
+        let Some((owner, segment)) = line.split_once(',') else {
+            reject("expected `owner,segment`".to_string());
+            continue;
+        };
+        let owner = owner.trim();
+        if owner.is_empty() {
+            reject("empty owner".to_string());
+            continue;
+        }
+        if owner.len() > MAX_OWNER_LEN {
+            reject(format!(
+                "owner name of {} bytes exceeds the {MAX_OWNER_LEN}-byte cap",
+                owner.len()
+            ));
+            continue;
+        }
+        let segment: u32 = match segment.trim().parse() {
+            Ok(s) => s,
+            Err(_) => {
+                reject(format!("bad segment id `{}`", segment.trim()));
+                continue;
+            }
+        };
+        let row_seed = batch_row_seed(base_seed, requests.len());
+        requests.push(AnonymizeRequest::new(owner, SegmentId(segment), row_seed));
+    }
+    BatchInput {
+        requests,
+        malformed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_trimmed_rows_and_skips_comments_and_blanks() {
+        let parsed = parse_batch_requests("# hdr\nalice, 40\n\n  bob ,10  \n", 42);
+        assert!(parsed.malformed.is_empty());
+        assert_eq!(parsed.requests.len(), 2);
+        assert_eq!(parsed.requests[0].owner, "alice");
+        assert_eq!(parsed.requests[0].segment, SegmentId(40));
+        assert_eq!(parsed.requests[1].owner, "bob");
+    }
+
+    #[test]
+    fn row_seeds_are_the_pinned_mix_over_accepted_rows_only() {
+        let parsed = parse_batch_requests("alice,1\nbroken\nbob,2\n", 7);
+        assert_eq!(parsed.requests[0].seed, batch_row_seed(7, 0));
+        // The malformed row between them never consumed a seed index.
+        assert_eq!(parsed.requests[1].seed, batch_row_seed(7, 1));
+        assert_eq!(batch_row_seed(7, 0), 7 ^ 0xba7c_c10a);
+    }
+
+    #[test]
+    fn malformed_rows_carry_line_numbers_and_reasons() {
+        let parsed = parse_batch_requests("alice,40\nbob\n,5\ncarol,4x\n", 0);
+        assert_eq!(parsed.requests.len(), 1);
+        let rendered: Vec<String> = parsed
+            .malformed
+            .iter()
+            .map(|r| format!("{}: {}", r.line, r.message))
+            .collect();
+        assert_eq!(
+            rendered,
+            [
+                "2: expected `owner,segment`",
+                "3: empty owner",
+                "4: bad segment id `4x`",
+            ]
+        );
+    }
+
+    #[test]
+    fn hostile_owner_lengths_are_rejected_not_allocated() {
+        let row = format!("{},7\nok,1\n", "x".repeat(MAX_OWNER_LEN + 1));
+        let parsed = parse_batch_requests(&row, 0);
+        assert_eq!(parsed.requests.len(), 1, "the valid row still runs");
+        assert!(parsed.malformed[0].message.contains("256-byte cap"));
+    }
+
+    #[test]
+    fn stderr_reports_are_capped_with_a_summary_line() {
+        let text = "bad\n".repeat(MALFORMED_REPORT_CAP + 5);
+        let parsed = parse_batch_requests(&text, 0);
+        assert_eq!(parsed.malformed.len(), MALFORMED_REPORT_CAP + 5);
+        let reports = parsed.capped_reports("in.csv");
+        assert_eq!(reports.len(), MALFORMED_REPORT_CAP + 1);
+        assert_eq!(reports[0], "in.csv:1: expected `owner,segment`");
+        assert_eq!(
+            reports.last().unwrap(),
+            "in.csv: … and 5 more malformed row(s) not shown"
+        );
+        // Under the cap there is no summary line at all.
+        let small = parse_batch_requests("bad\n", 0);
+        assert_eq!(small.capped_reports("in.csv").len(), 1);
+    }
+}

@@ -18,6 +18,7 @@
 //! rcloak simulate --ticks 100 --cars 1000 [--grid RxC | --map city.map]
 //!        [--engine rge|rple] [--k 5,10,20] [--owners N] [--cadence N]
 //!        [--dt SECONDS] [--lbs N] [--seed N] [--out metrics.csv] [--no-verify]
+//!        [--chain-store journal.rcs]
 //!        [--attack peel|correlate|move|all] [--no-baseline]
 //! rcloak attack --ticks 100 --cars 1000 [--grid RxC | --map city.map]
 //!        [--engine rge|rple] [--adversary peel|correlate|move|all]
@@ -36,7 +37,11 @@
 //! snapshot swaps every `--cadence` ticks, batched re-anonymization of
 //! `--owners` tracked cars, LBS probes, and (unless `--no-verify`)
 //! per-receipt verification of exact reversibility, issue-time
-//! k-anonymity, and grant preservation. Per-tick metrics go to `--out`
+//! k-anonymity, and grant preservation. With `--chain-store PATH` every
+//! owner's key-chain ratchet is journaled to a crash-safe write-ahead
+//! log at `PATH` before its receipt is issued, and re-running over the
+//! same path resumes every chain at its journaled epoch (no epoch
+//! reuse). Per-tick metrics go to `--out`
 //! as CSV; with `--attack MODE` the attack leg runs alongside and the
 //! CSV gains its per-tick rollup columns (engine stream and NRE
 //! control — `--no-baseline` disables the control and leaves its cells
@@ -91,8 +96,8 @@ fn main() -> ExitCode {
         "map" => cmd_map(&opts).map_err(CmdError::from),
         "keys" => cmd_keys(&opts).map_err(CmdError::from),
         "anonymize" => cmd_anonymize(&opts).map_err(CmdError::from),
-        "deanonymize" => cmd_deanonymize(&opts).map_err(CmdError::from),
-        "render" => cmd_render(&opts).map_err(CmdError::from),
+        "deanonymize" => cmd_deanonymize(&opts),
+        "render" => cmd_render(&opts),
         "batch" => cmd_batch(&opts),
         "simulate" => cmd_simulate(&opts),
         "attack" => cmd_attack(&opts),
@@ -120,7 +125,7 @@ fn usage(err: &str) -> ExitCode {
          rcloak batch --map FILE --input FILE [--engine rge|rple] [--workers N] [--cars N] [--seed N] [--out FILE]\n  \
          rcloak simulate --ticks N --cars N [--grid RxC | --map FILE] [--engine rge|rple] \
          [--k K1,K2,..] [--owners N] [--cadence N] [--dt S] [--lbs N] [--seed N] [--out FILE] [--no-verify] \
-         [--attack peel|correlate|move|all] [--no-baseline]\n  \
+         [--chain-store FILE] [--attack peel|correlate|move|all] [--no-baseline]\n  \
          rcloak attack --ticks N --cars N [--grid RxC | --map FILE] [--engine rge|rple] \
          [--adversary peel|correlate|move|all] [--k K1,K2,..] [--owners N] [--cadence N] [--dt S] \
          [--seed N] [--out FILE] [--no-baseline]"
@@ -357,11 +362,16 @@ fn regions_of(out: &cloak::AnonymizationOutcome) -> Vec<(Level, Vec<SegmentId>)>
     regions
 }
 
-fn cmd_deanonymize(opts: &Opts) -> Result<(), String> {
+fn cmd_deanonymize(opts: &Opts) -> Result<(), CmdError> {
     let net = load_map(opts)?;
-    let path = opts.get("payload").ok_or("--payload is required")?;
-    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
-    let payload = CloakPayload::decode(&bytes).map_err(|e| e.to_string())?;
+    let path = opts
+        .get("payload")
+        .ok_or_else(|| CmdError::Usage("--payload is required".into()))?;
+    // A payload that won't read or decode is hostile/damaged *data*, not
+    // a usage mistake: report it without the usage dump (exit 1).
+    let bytes = std::fs::read(path).map_err(|e| CmdError::Data(format!("read {path}: {e}")))?;
+    let payload =
+        CloakPayload::decode(&bytes).map_err(|e| CmdError::Data(format!("{path}: {e}")))?;
     let mut keys = parse_keys(opts)?;
     if opts.contains_key("keyring") {
         // Keyrings store level 1 first; peeling needs top level first.
@@ -376,7 +386,8 @@ fn cmd_deanonymize(opts: &Opts) -> Result<(), String> {
         .collect();
     let choice = parse_engine(opts)?;
     let engine = Engine::build(&net, choice);
-    let view = deanonymize(&net, &payload, &leveled, engine.as_dyn()).map_err(|e| e.to_string())?;
+    let view = deanonymize(&net, &payload, &leveled, engine.as_dyn())
+        .map_err(|e| CmdError::Data(e.to_string()))?;
     println!(
         "reduced to level L{}: {} segments",
         view.level.0,
@@ -391,7 +402,7 @@ fn cmd_deanonymize(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_batch(opts: &Opts) -> Result<(), CmdError> {
-    use anonymizer::{AnonymizeRequest, AnonymizerConfig, AnonymizerServer};
+    use anonymizer::{AnonymizerConfig, AnonymizerServer};
 
     let net = load_map(opts)?;
     let input = opts
@@ -399,45 +410,18 @@ fn cmd_batch(opts: &Opts) -> Result<(), CmdError> {
         .ok_or_else(|| "--input is required".to_string())?;
     let text = std::fs::read_to_string(input)
         .map_err(|e| CmdError::Usage(format!("read {input}: {e}")))?;
-    let mut requests = Vec::new();
-    let mut malformed = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        // Malformed rows are collected (not aborted on): every bad row is
-        // reported with its line number, the good rows still run, and the
-        // exit code ends up nonzero.
-        let Some((owner, segment)) = line.split_once(',') else {
-            malformed.push(format!("{input}:{}: expected `owner,segment`", lineno + 1));
-            continue;
-        };
-        let segment: u32 = match segment.trim().parse() {
-            Ok(s) => s,
-            Err(_) => {
-                malformed.push(format!(
-                    "{input}:{}: bad segment id `{}`",
-                    lineno + 1,
-                    segment.trim()
-                ));
-                continue;
-            }
-        };
-        // Seeds derive from --seed and the row number, so a batch rerun
-        // with the same inputs reproduces byte-identical payloads.
-        let row_seed = get_seed(opts)
-            ^ 0xba7c_c10a
-            ^ (requests.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        requests.push(AnonymizeRequest::new(
-            owner.trim(),
-            SegmentId(segment),
-            row_seed,
-        ));
-    }
-    for report in &malformed {
+    // Malformed rows are collected (not aborted on): bad rows are
+    // reported with their line numbers (capped — a hostile file cannot
+    // flood stderr), the good rows still run, and the exit code ends up
+    // nonzero. The parser itself is the fuzz-hardened library surface.
+    let parsed = anonymizer::parse_batch_requests(&text, get_seed(opts));
+    for report in parsed.capped_reports(input) {
         eprintln!("error: {report}");
     }
+    let anonymizer::BatchInput {
+        requests,
+        malformed,
+    } = parsed;
     if requests.is_empty() {
         return Err(if malformed.is_empty() {
             CmdError::Usage(format!("{input}: no requests"))
@@ -601,7 +585,9 @@ fn parse_pipeline_world(
 fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
     use anonymizer::{AttackConfig, ContinuousPipeline, PipelineConfig, TickReport};
     use cloak::AdversaryMode;
+    use keystream::{ChainStore, FileStore, MemStore};
     use mobisim::SimConfig;
+    use std::sync::Arc;
 
     let PipelineWorld {
         ticks,
@@ -623,7 +609,16 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
                 .ok_or_else(|| format!("unknown adversary `{s}` (peel|correlate|move|all)"))?,
         ),
     };
-    let mut pipeline = ContinuousPipeline::new(
+    // A durable chain store journals every ratchet advance before its
+    // receipt is issued; re-running over the same path resumes every
+    // owner's chain at its journaled epoch. An unopenable path is a data
+    // error (exit 1): the invocation is fine, the filesystem is not.
+    let chain_store_path = opts.get("chain-store");
+    let store: Arc<dyn ChainStore> = match chain_store_path {
+        Some(path) => Arc::new(FileStore::open(path).map_err(|e| CmdError::Data(e.to_string()))?),
+        None => Arc::new(MemStore::new()),
+    };
+    let mut pipeline = ContinuousPipeline::with_store(
         net,
         SimConfig {
             cars,
@@ -648,7 +643,9 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
             }),
             ..Default::default()
         },
-    );
+        store,
+    )
+    .map_err(|e| CmdError::Data(e.to_string()))?;
     println!(
         "simulating {ticks} ticks × {dt}s: {cars} cars on {} segments, {} tracked owners, \
          engine {}, snapshot cadence {} (verification {}, attack leg {})",
@@ -659,6 +656,9 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
         if verify { "on" } else { "off" },
         attack_mode.map_or("off".to_string(), |m| format!("`{}`", m.name())),
     );
+    if let Some(path) = chain_store_path {
+        println!("journaling owner chains to {path} (crash-safe; reruns resume epochs)");
+    }
 
     let t0 = std::time::Instant::now();
     let mut reports = Vec::with_capacity(ticks);
@@ -839,7 +839,7 @@ fn cmd_attack(opts: &Opts) -> Result<(), CmdError> {
     Ok(())
 }
 
-fn cmd_render(opts: &Opts) -> Result<(), String> {
+fn cmd_render(opts: &Opts) -> Result<(), CmdError> {
     let net = load_map(opts)?;
     let width = opts
         .get("width")
@@ -851,8 +851,10 @@ fn cmd_render(opts: &Opts) -> Result<(), String> {
         .unwrap_or(36);
     let regions = match opts.get("payload") {
         Some(path) => {
-            let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
-            let payload = CloakPayload::decode(&bytes).map_err(|e| e.to_string())?;
+            let bytes =
+                std::fs::read(path).map_err(|e| CmdError::Data(format!("read {path}: {e}")))?;
+            let payload =
+                CloakPayload::decode(&bytes).map_err(|e| CmdError::Data(format!("{path}: {e}")))?;
             // Without keys only the full region is known: one flat level.
             vec![(payload.top_level(), payload.segments)]
         }

@@ -102,16 +102,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch_input;
 pub mod config;
 pub mod deanonymizer;
+pub mod fault;
 pub mod pipeline;
 pub mod render_ascii;
 pub mod render_svg;
 pub mod server;
 pub mod service;
 
+pub use batch_input::{parse_batch_requests, BatchInput, RowError};
 pub use config::{AnonymizerConfig, EngineChoice};
 pub use deanonymizer::Deanonymizer;
+pub use fault::{FaultInjector, FaultPlan, FaultPolicy, FaultyStore, TickHealth};
 pub use pipeline::{
     AttackConfig, AttackRecord, AttackTickSummary, ContinuousPipeline, PipelineConfig,
     PipelineError, TickReport,

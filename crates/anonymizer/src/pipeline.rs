@@ -72,6 +72,7 @@
 
 use crate::config::AnonymizerConfig;
 use crate::deanonymizer::Deanonymizer;
+use crate::fault::{FaultInjector, FaultPlan, FaultPolicy, FaultyStore, TickHealth};
 use crate::service::{AnonymizeRequest, AnonymizerService, Engine};
 use cloak::attack::temporal::{
     AdversaryConfig, AdversaryMode, AttackObservation, AttackSummary, Observation, ReplayProbe,
@@ -79,9 +80,9 @@ use cloak::attack::temporal::{
 };
 use cloak::{
     random_expansion_with, CloakError, CloakPayload, CloakScratch, ExpansionScratch,
-    PrivacyProfile, QualitySummary, RegionQuality,
+    PrivacyProfile, QualitySummary, RegionQuality, StepFailure,
 };
-use keystream::{Key256, Level, TrustDegree};
+use keystream::{ChainStore, JournalError, Key256, Level, MemStore, TrustDegree};
 use lbs::{nearest_query_with, PoiCategory, PoiStore, QueryStats, SearchScratch};
 use mobisim::{CarId, OccupancySnapshot, SimConfig, Simulation};
 use rand::rngs::StdRng;
@@ -122,6 +123,14 @@ pub struct PipelineConfig {
     /// stream and — unless disabled — an NRE baseline control runs
     /// side-by-side from the same true segments; see [`AttackConfig`].
     pub attack: Option<AttackConfig>,
+    /// Deterministic fault injection (`None` runs fault-free). When on,
+    /// the chain store is wrapped in a [`FaultyStore`] and the tick loop
+    /// injects snapshot-capture failures, per-owner cloak failures, and
+    /// the configured crash; see [`crate::fault`].
+    pub fault: Option<FaultPlan>,
+    /// How the tick loop degrades under persistence failures:
+    /// retry-with-backoff → skip-owner-and-count → abort.
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -135,6 +144,8 @@ impl Default for PipelineConfig {
             lbs_probes: 4,
             poi_count: 100,
             attack: None,
+            fault: None,
+            fault_policy: FaultPolicy::default(),
         }
     }
 }
@@ -278,6 +289,10 @@ pub struct TickReport {
     /// [`TickReport::csv_row_with_attack`] for the wide per-tick form,
     /// or [`AttackRecord::csv_row`] for the long-form per-owner log.
     pub attack: Option<AttackTickSummary>,
+    /// Health counters for this tick's degradation ladder: journal
+    /// retries/skips, snapshot faults, injected cloak failures. All
+    /// zeros on a fault-free run; not part of [`TickReport::csv_row`].
+    pub health: TickHealth,
 }
 
 impl TickReport {
@@ -373,6 +388,14 @@ pub struct ContinuousPipeline {
     lbs_scratch: SearchScratch,
     /// The continuous adversarial evaluation (attack leg), when on.
     attack: Option<AttackLeg>,
+    /// The seeded fault coin shared with the [`FaultyStore`] wrapper
+    /// (`None` when [`PipelineConfig::fault`] is off).
+    injector: Option<Arc<FaultInjector>>,
+    /// Set by an injected crash: every further [`tick`] refuses until
+    /// the operator rebuilds the pipeline from the surviving store.
+    ///
+    /// [`tick`]: ContinuousPipeline::tick
+    crashed: bool,
     tick: u64,
 }
 
@@ -418,9 +441,45 @@ impl ContinuousPipeline {
         anon_cfg: AnonymizerConfig,
         cfg: PipelineConfig,
     ) -> Self {
+        Self::with_store(net, sim_cfg, anon_cfg, cfg, Arc::new(MemStore::new()))
+            .expect("an empty MemStore never fails to load")
+    }
+
+    /// Builds the pipeline over an explicit [`ChainStore`] — the durable
+    /// entry point. With a [`keystream::FileStore`], every ratchet
+    /// advance is journaled before its receipt is issued, and rebuilding
+    /// the pipeline over the same store after a crash resumes every
+    /// tracked owner's chain at its journaled epoch (no epoch reuse).
+    /// When [`PipelineConfig::fault`] is set, the store is wrapped in a
+    /// [`FaultyStore`] sharing the pipeline's [`FaultInjector`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`JournalError`] if recovering the store's journaled
+    /// chains fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no segments, as [`ContinuousPipeline::new`]
+    /// does.
+    pub fn with_store(
+        net: RoadNetwork,
+        sim_cfg: SimConfig,
+        anon_cfg: AnonymizerConfig,
+        cfg: PipelineConfig,
+        store: Arc<dyn ChainStore>,
+    ) -> Result<Self, JournalError> {
         let top_simulated_speed = sim_cfg.speed_range.1;
         let sim = Simulation::new(net.clone(), sim_cfg);
-        let service = AnonymizerService::new(net, anon_cfg);
+        let injector = cfg
+            .fault
+            .clone()
+            .map(|plan| Arc::new(FaultInjector::new(plan)));
+        let store: Arc<dyn ChainStore> = match &injector {
+            Some(inj) => Arc::new(FaultyStore::new(store, Arc::clone(inj))),
+            None => store,
+        };
+        let service = AnonymizerService::with_store(net, anon_cfg, store)?;
         service.update_snapshot(OccupancySnapshot::capture(&sim));
         let dean = Deanonymizer::new(
             service.network_arc(),
@@ -474,7 +533,7 @@ impl ContinuousPipeline {
                 cfg: attack_cfg,
             }
         });
-        ContinuousPipeline {
+        Ok(ContinuousPipeline {
             sim,
             service: Arc::new(service),
             dean,
@@ -488,8 +547,10 @@ impl ContinuousPipeline {
             verify_scratch: CloakScratch::new(),
             lbs_scratch: SearchScratch::new(),
             attack,
+            injector,
+            crashed: false,
             tick: 0,
-        }
+        })
     }
 
     /// The shared service (snapshot swaps and key fetches are `&self`).
@@ -521,11 +582,29 @@ impl ContinuousPipeline {
     /// Returns [`PipelineError`] if any issued receipt violates
     /// reversibility, k-anonymity at issue time, or grant preservation.
     pub fn tick(&mut self) -> Result<TickReport, PipelineError> {
+        if self.crashed {
+            return Err(PipelineError {
+                message: format!(
+                    "tick {}: pipeline crashed (injected); rebuild over the surviving \
+                     chain store to resume",
+                    self.tick
+                ),
+            });
+        }
         self.tick += 1;
         self.sim.step(self.cfg.dt);
 
+        let mut health = TickHealth::default();
         let cadence = self.cfg.snapshot_cadence.max(1) as u64;
-        let snapshot_refreshed = self.tick.is_multiple_of(cadence);
+        let mut snapshot_refreshed = self.tick.is_multiple_of(cadence);
+        if snapshot_refreshed && self.injector.as_ref().is_some_and(|i| i.snapshot_fault()) {
+            // Injected capture failure: keep serving the stale snapshot
+            // and count the degradation — receipts stay correct because
+            // every per-tick invariant is checked against the snapshot
+            // actually in service at issue time.
+            snapshot_refreshed = false;
+            health.snapshot_faults += 1;
+        }
         if snapshot_refreshed {
             // Recapture into the buffer reclaimed from the previous swap
             // when no in-flight reader still holds it; the steady-state
@@ -559,7 +638,85 @@ impl ContinuousPipeline {
         // across the verification calls; it is restored before returning
         // on every path.
         let requests = std::mem::take(&mut self.requests);
-        let results = self.service.anonymize_batch(&requests);
+        let mut results = self.service.anonymize_batch(&requests);
+
+        // Injected crash between ratchet-advance and receipt-issue: the
+        // batch journaled every owner's advance, but no receipt reaches
+        // the stream. This is exactly the window the write-ahead journal
+        // exists for — recovery must resume past the journaled epochs.
+        if self
+            .injector
+            .as_ref()
+            .is_some_and(|i| i.crash_due(self.tick))
+        {
+            self.crashed = true;
+            self.requests = requests;
+            return Err(PipelineError {
+                message: format!(
+                    "tick {}: injected crash between ratchet-advance and receipt-issue",
+                    self.tick
+                ),
+            });
+        }
+
+        // Degradation ladder for journal write failures, in request
+        // order: retry with backoff, then skip the owner and count it,
+        // then abort once the tick's skip budget is blown. A failed
+        // advance never committed the chain, so a successful retry
+        // re-derives the same epoch from the same request seed — the
+        // recovered receipt is bit-identical to the one the fault
+        // suppressed, keeping the stream digest on its fault-free value.
+        let policy = self.cfg.fault_policy.clone();
+        for (i, slot) in results.iter_mut().enumerate() {
+            if !matches!(slot, Err(CloakError::Persistence(_))) {
+                continue;
+            }
+            let request = &requests[i];
+            for attempt in 0..policy.journal_retries {
+                if policy.backoff_base_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        policy.backoff_base_ms << attempt.min(16),
+                    ));
+                }
+                health.journal_retries += 1;
+                *slot = self.service.anonymize_seeded(
+                    &request.owner,
+                    request.segment,
+                    request.profile.as_ref(),
+                    request.seed,
+                );
+                if !matches!(slot, Err(CloakError::Persistence(_))) {
+                    break;
+                }
+            }
+            if matches!(slot, Err(CloakError::Persistence(_))) {
+                health.journal_skips += 1;
+            }
+        }
+        if health.journal_skips > policy.max_skipped_owners as u64 {
+            self.requests = requests;
+            return Err(PipelineError {
+                message: format!(
+                    "tick {}: {} owners skipped after journal failures (budget {})",
+                    self.tick, health.journal_skips, policy.max_skipped_owners
+                ),
+            });
+        }
+
+        // Injected per-owner cloak failures: the receipt is dropped as
+        // if the walk dead-ended — an availability event, counted in
+        // both `failed` and the health rollup.
+        if let Some(injector) = &self.injector {
+            for slot in results.iter_mut() {
+                if slot.is_ok() && injector.cloak_fault() {
+                    health.injected_cloak_failures += 1;
+                    *slot = Err(CloakError::CloakingFailed {
+                        level: Level(0),
+                        reason: StepFailure::NoCandidates,
+                    });
+                }
+            }
+        }
 
         let mut report = TickReport {
             tick: self.tick,
@@ -572,6 +729,7 @@ impl ContinuousPipeline {
             quality: QualitySummary::new(),
             lbs: QueryStats::new(),
             attack: None,
+            health,
         };
         for (i, (request, result)) in requests.iter().zip(&results).enumerate() {
             let receipt = match result {
@@ -1148,6 +1306,168 @@ mod tests {
         assert!(p.baseline_attack_summary().is_none());
         assert!(p.attack_records().is_empty());
         assert_eq!(p.baseline_attack_failures(), 0);
+    }
+
+    #[test]
+    fn fault_free_ticks_report_clean_health() {
+        let mut p = pipeline(
+            EngineChoice::Rge,
+            PipelineConfig {
+                tracked_owners: 3,
+                lbs_probes: 0,
+                ..Default::default()
+            },
+        );
+        for r in p.run(3).unwrap() {
+            assert!(
+                r.health.is_clean(),
+                "no plan, no degradation: {:?}",
+                r.health
+            );
+        }
+    }
+
+    #[test]
+    fn journal_fault_retries_recover_the_fault_free_digest() {
+        let run = |fault: Option<FaultPlan>| {
+            let mut p = pipeline(
+                EngineChoice::Rge,
+                PipelineConfig {
+                    tracked_owners: 6,
+                    lbs_probes: 0,
+                    fault,
+                    fault_policy: FaultPolicy {
+                        journal_retries: 8,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            p.run(4).unwrap()
+        };
+        let clean = run(None);
+        let faulty = run(Some(FaultPlan {
+            seed: 9,
+            journal_write_fail: 0.4,
+            ..Default::default()
+        }));
+        let retries: u64 = faulty.iter().map(|r| r.health.journal_retries).sum();
+        assert!(retries > 0, "p=0.4 over 24 requests injects failures");
+        assert!(faulty.iter().all(|r| r.health.journal_skips == 0));
+        // A recovered owner's chain never advanced on the failed write,
+        // so the retry re-derives the same epoch and the receipt stream
+        // is bit-identical to the fault-free run.
+        assert_eq!(
+            clean.iter().map(|r| r.digest).collect::<Vec<_>>(),
+            faulty.iter().map(|r| r.digest).collect::<Vec<_>>(),
+        );
+        assert!(faulty
+            .iter()
+            .all(|r| r.failed == 0 && r.verified == r.issued));
+    }
+
+    #[test]
+    fn exhausted_retries_skip_owners_and_blow_the_budget() {
+        let build = |max_skipped_owners| {
+            pipeline(
+                EngineChoice::Rge,
+                PipelineConfig {
+                    tracked_owners: 4,
+                    lbs_probes: 0,
+                    fault: Some(FaultPlan {
+                        journal_write_fail: 1.0,
+                        ..Default::default()
+                    }),
+                    fault_policy: FaultPolicy {
+                        journal_retries: 2,
+                        max_skipped_owners,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+        };
+        // A generous budget degrades to skip-and-count: the tick
+        // completes with every owner skipped and nothing issued.
+        let report = build(usize::MAX).tick().unwrap();
+        assert_eq!(report.health.journal_skips, 4);
+        assert_eq!(report.health.journal_retries, 8, "2 retries per owner");
+        assert_eq!(report.failed, 4);
+        assert_eq!(report.issued, 0);
+        // A zero budget aborts the tick instead.
+        let err = build(0).tick().unwrap_err();
+        assert!(err.message.contains("owners skipped"), "{err}");
+    }
+
+    #[test]
+    fn injected_crash_halts_until_rebuilt() {
+        let mut p = pipeline(
+            EngineChoice::Rge,
+            PipelineConfig {
+                tracked_owners: 3,
+                lbs_probes: 0,
+                fault: Some(FaultPlan {
+                    crash_at_tick: Some(2),
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        assert!(p.tick().is_ok());
+        let err = p.tick().unwrap_err();
+        assert!(
+            err.message
+                .contains("injected crash between ratchet-advance and receipt-issue"),
+            "{err}"
+        );
+        // The pipeline stays down: a crashed process serves nothing.
+        let err = p.tick().unwrap_err();
+        assert!(err.message.contains("rebuild over the surviving"), "{err}");
+        assert_eq!(p.ticks_run(), 2);
+    }
+
+    #[test]
+    fn snapshot_capture_faults_serve_the_stale_snapshot() {
+        let mut p = pipeline(
+            EngineChoice::Rge,
+            PipelineConfig {
+                tracked_owners: 3,
+                lbs_probes: 0,
+                fault: Some(FaultPlan {
+                    snapshot_capture_fail: 1.0,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        for r in p.run(3).unwrap() {
+            // Every capture fails, so the construction-time snapshot
+            // keeps serving — and every receipt still verifies against
+            // the snapshot it was actually issued under.
+            assert!(!r.snapshot_refreshed);
+            assert_eq!(r.health.snapshot_faults, 1);
+            assert_eq!(r.verified, r.issued);
+        }
+    }
+
+    #[test]
+    fn injected_cloak_failures_drop_receipts_and_are_counted() {
+        let mut p = pipeline(
+            EngineChoice::Rge,
+            PipelineConfig {
+                tracked_owners: 4,
+                lbs_probes: 0,
+                fault: Some(FaultPlan {
+                    cloak_fail: 1.0,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        let report = p.tick().unwrap();
+        assert_eq!(report.issued, 0);
+        assert_eq!(report.failed, 4);
+        assert_eq!(report.health.injected_cloak_failures, 4);
     }
 
     #[test]

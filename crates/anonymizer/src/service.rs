@@ -25,7 +25,10 @@
 //!   different owners never contend;
 //! * each owner's forward-secret [`ChainState`] lives in its own sharded
 //!   map and advances under one shard write lock per anonymization —
-//!   ratchet, key derivation, and epoch read are a single atomic step.
+//!   ratchet, journal write, key derivation, and epoch read are a single
+//!   atomic step, and the in-memory state commits only after the
+//!   [`ChainStore`] acknowledged the post-ratchet record (no receipt may
+//!   reference an unjournaled epoch).
 //!
 //! Workers share the service via `Arc<AnonymizerService>`; no global
 //! lock exists anywhere on the anonymize path.
@@ -39,7 +42,8 @@ use cloak::{
     ReversibleEngine, RgeEngine, RpleEngine,
 };
 use keystream::{
-    AccessControlProfile, AccessError, ChainState, Key256, KeyManager, Level, TrustDegree,
+    AccessControlProfile, AccessError, ChainState, ChainStore, JournalError, Key256, KeyManager,
+    Level, MemStore, TrustDegree,
 };
 use mobisim::OccupancySnapshot;
 use parking_lot::RwLock;
@@ -167,18 +171,32 @@ impl<V> ShardedMap<V> {
         self.shard(key).write().get_mut(key).map(f)
     }
 
-    /// Inserts (when absent) then mutates the value and returns a clone,
-    /// all under one shard write lock — the chain-ratchet step: concurrent
-    /// advances of the same key serialize, so every caller observes a
-    /// distinct post-advance state.
-    fn advance(&self, key: &str, insert: impl FnOnce() -> V, step: impl FnOnce(&mut V)) -> V
+    /// Inserts (when absent) then mutates the value, *persists* it, and
+    /// commits + returns a clone, all under one shard write lock — the
+    /// chain-ratchet step: concurrent advances of the same key serialize,
+    /// so every caller observes a distinct post-advance state. The commit
+    /// happens only after `persist` succeeds: on a persistence failure the
+    /// in-memory value is untouched, so a later retry re-derives the same
+    /// next state instead of skipping an epoch.
+    fn advance_persist<E>(
+        &self,
+        key: &str,
+        insert: impl FnOnce() -> V,
+        step: impl FnOnce(&mut V),
+        persist: impl FnOnce(&V) -> Result<(), E>,
+    ) -> Result<V, E>
     where
         V: Clone,
     {
         let mut shard = self.shard(key).write();
-        let v = shard.entry(key.to_string()).or_insert_with(insert);
-        step(v);
-        v.clone()
+        let mut next = match shard.get(key) {
+            Some(v) => v.clone(),
+            None => insert(),
+        };
+        step(&mut next);
+        persist(&next)?;
+        shard.insert(key.to_string(), next.clone());
+        Ok(next)
     }
 
     /// Runs `f` on the value under the shard's read lock.
@@ -190,6 +208,11 @@ impl<V> ShardedMap<V> {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
 }
+
+/// A batch pre-pass entry: the request's `(keys, nonce, epoch)` once its
+/// chain advance was journaled, or the persistence error that withheld
+/// the epoch.
+type KeyedRequest = Result<(KeyManager, u64, u64), CloakError>;
 
 /// One anonymization request for [`AnonymizerService::anonymize_batch`].
 ///
@@ -261,6 +284,12 @@ pub struct AnonymizerService {
     /// state is overwritten, so nothing the service retains can rebuild
     /// an earlier epoch's keys.
     chains: ShardedMap<ChainState>,
+    /// Chain persistence: every ratchet advance is journaled through
+    /// this store *before* the receipt is issued, so no receipt ever
+    /// references an epoch the store has not acknowledged. The default
+    /// [`MemStore`] keeps today's in-memory semantics; a
+    /// [`keystream::FileStore`] makes chains survive a restart.
+    store: Arc<dyn ChainStore>,
 }
 
 /// What the owner gets back from an anonymization: the payload to upload
@@ -276,13 +305,32 @@ pub struct AnonymizeReceipt {
 }
 
 impl AnonymizerService {
-    /// Creates the service over a road network.
+    /// Creates the service over a road network with an in-memory chain
+    /// store: chains live for the process lifetime only, exactly the
+    /// pre-durability semantics.
     pub fn new(net: RoadNetwork, config: AnonymizerConfig) -> Self {
+        Self::with_store(net, config, Arc::new(MemStore::new()))
+            .expect("an empty MemStore never fails to load")
+    }
+
+    /// Creates the service over a persistent chain store, replaying the
+    /// store's journal so every previously journaled owner chain resumes
+    /// at its recorded `(state, epoch)` — restart preserves epoch
+    /// monotonicity and captured-grant validity.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the store's journal cannot be read.
+    pub fn with_store(
+        net: RoadNetwork,
+        config: AnonymizerConfig,
+        store: Arc<dyn ChainStore>,
+    ) -> Result<Self, JournalError> {
         let net = Arc::new(net);
         let engine = Engine::build(&net, config.engine);
         let segment_count = net.segment_count();
         let shards = config.shard_count;
-        AnonymizerService {
+        let service = AnonymizerService {
             net,
             engine,
             snapshot: RwLock::new(Arc::new(OccupancySnapshot::uniform(segment_count, 0))),
@@ -290,7 +338,32 @@ impl AnonymizerService {
             requesters: ShardedMap::new(shards),
             chains: ShardedMap::new(shards),
             config,
+            store,
+        };
+        for (owner, state) in service.store.load()? {
+            service.chains.insert_merging(owner, state, |_, _| {});
         }
+        Ok(service)
+    }
+
+    /// Restart entry point: rebuilds a service from `store`'s journal.
+    /// Identical to [`with_store`](Self::with_store) — named for the
+    /// recovery path so call sites read as what they are.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the store's journal cannot be read.
+    pub fn recover(
+        net: RoadNetwork,
+        config: AnonymizerConfig,
+        store: Arc<dyn ChainStore>,
+    ) -> Result<Self, JournalError> {
+        Self::with_store(net, config, store)
+    }
+
+    /// The chain store journaling this service's ratchet advances.
+    pub fn chain_store(&self) -> &Arc<dyn ChainStore> {
+        &self.store
     }
 
     /// The network the service operates on.
@@ -335,17 +408,26 @@ impl AnonymizerService {
         Arc::clone(&self.snapshot.read())
     }
 
-    /// Ratchets `owner`'s forward-secret chain one epoch and returns the
-    /// post-ratchet state. A first-time owner gets a genesis state built
-    /// from `entropy` (the chain then never touches caller entropy
-    /// again); every call serializes under the chain shard's write lock,
-    /// so concurrent anonymizations of one owner get distinct epochs.
-    fn advance_chain(&self, owner: &str, entropy: Key256) -> ChainState {
-        self.chains.advance(
-            owner,
-            || ChainState::genesis(owner, &entropy),
-            ChainState::ratchet,
-        )
+    /// Ratchets `owner`'s forward-secret chain one epoch, journals the
+    /// post-ratchet state through the chain store, and returns it. A
+    /// first-time owner gets a genesis state built from `entropy` (the
+    /// chain then never touches caller entropy again); every call
+    /// serializes under the chain shard's write lock, so concurrent
+    /// anonymizations of one owner get distinct epochs.
+    ///
+    /// The journal write happens *before* the in-memory commit: on a
+    /// store failure the chain is left where it was, no receipt is
+    /// issued for the unjournaled epoch, and a retry re-derives the same
+    /// epoch instead of skipping one.
+    fn advance_chain(&self, owner: &str, entropy: Key256) -> Result<ChainState, CloakError> {
+        self.chains
+            .advance_persist(
+                owner,
+                || ChainState::genesis(owner, &entropy),
+                ChainState::ratchet,
+                |next| self.store.record(owner, next),
+            )
+            .map_err(|e| CloakError::Persistence(format!("owner {owner}: {e}")))
     }
 
     /// The owner's current chain epoch (count of anonymizations so far),
@@ -379,7 +461,7 @@ impl AnonymizerService {
         let profile = profile.unwrap_or(&self.config.default_profile);
         let entropy = Key256::generate(rng);
         let nonce: u64 = rng.gen();
-        let chain = self.advance_chain(owner, entropy);
+        let chain = self.advance_chain(owner, entropy)?;
         let keys = chain.level_keys(profile.level_count());
         self.anonymize_with_keys(
             owner,
@@ -436,7 +518,7 @@ impl AnonymizerService {
         let profile = profile.unwrap_or(&self.config.default_profile);
         let entropy = Key256::generate(&mut rng);
         let nonce: u64 = rng.gen();
-        let chain = self.advance_chain(owner, entropy);
+        let chain = self.advance_chain(owner, entropy)?;
         let keys = chain.level_keys(profile.level_count());
         self.anonymize_with_keys(
             owner,
@@ -505,8 +587,10 @@ impl AnonymizerService {
     /// `(keys, nonce, epoch)`. Running this before any parallel dispatch
     /// is what keeps a batch bit-identical to sequential execution — the
     /// epoch an owner's n-th request gets must not depend on worker
-    /// scheduling.
-    fn derive_batch_keys(&self, requests: &[AnonymizeRequest]) -> Vec<(KeyManager, u64, u64)> {
+    /// scheduling. A request whose chain advance could not be journaled
+    /// carries its [`CloakError::Persistence`] instead of keys: it never
+    /// reaches the cloak core and no receipt is issued for it.
+    fn derive_batch_keys(&self, requests: &[AnonymizeRequest]) -> Vec<KeyedRequest> {
         requests
             .iter()
             .map(|r| {
@@ -514,12 +598,12 @@ impl AnonymizerService {
                 let profile = r.profile.as_ref().unwrap_or(&self.config.default_profile);
                 let entropy = Key256::generate(&mut rng);
                 let nonce: u64 = rng.gen();
-                let chain = self.advance_chain(&r.owner, entropy);
-                (
+                let chain = self.advance_chain(&r.owner, entropy)?;
+                Ok((
                     chain.level_keys(profile.level_count()),
                     nonce,
                     chain.epoch(),
-                )
+                ))
             })
             .collect()
     }
@@ -535,24 +619,38 @@ impl AnonymizerService {
     fn anonymize_run_keyed(
         &self,
         requests: &[AnonymizeRequest],
-        keyed: &[(KeyManager, u64, u64)],
+        keyed: &[KeyedRequest],
         scratch: &mut BatchCloakScratch,
     ) -> Vec<Result<AnonymizeReceipt, CloakError>> {
         let snapshot = self.snapshot();
-        let key_vecs: Vec<Vec<Key256>> = keyed
+        // Requests whose chain advance failed to journal never reach the
+        // cloak core: their slot is pre-filled with the persistence
+        // error, and only the journaled remainder is cloaked.
+        let ok_idx: Vec<usize> = keyed
             .iter()
-            .map(|(keys, _, _)| keys.iter().map(|(_, k)| k).collect())
+            .enumerate()
+            .filter_map(|(i, k)| k.is_ok().then_some(i))
             .collect();
-        let items: Vec<BatchCloakItem<'_>> = requests
+        let key_vecs: Vec<Vec<Key256>> = ok_idx
+            .iter()
+            .map(|&i| {
+                let (keys, _, _) = keyed[i].as_ref().expect("ok_idx holds only Ok entries");
+                keys.iter().map(|(_, k)| k).collect()
+            })
+            .collect();
+        let items: Vec<BatchCloakItem<'_>> = ok_idx
             .iter()
             .zip(&key_vecs)
-            .zip(keyed)
-            .map(|((r, kv), &(_, nonce, _))| BatchCloakItem {
-                segment: r.segment,
-                profile: r.profile.as_ref().unwrap_or(&self.config.default_profile),
-                keys: kv,
-                nonce,
-                max_attempts: self.config.max_attempts,
+            .map(|(&i, kv)| {
+                let r = &requests[i];
+                let &(_, nonce, _) = keyed[i].as_ref().expect("ok_idx holds only Ok entries");
+                BatchCloakItem {
+                    segment: r.segment,
+                    profile: r.profile.as_ref().unwrap_or(&self.config.default_profile),
+                    keys: kv,
+                    nonce,
+                    max_attempts: self.config.max_attempts,
+                }
             })
             .collect();
         let outcomes = anonymize_batch_with_scratch(
@@ -563,31 +661,36 @@ impl AnonymizerService {
             scratch,
         );
         drop(items);
-        outcomes
+        let mut slots: Vec<Option<Result<AnonymizeReceipt, CloakError>>> = keyed
+            .iter()
+            .map(|k| k.as_ref().err().cloned().map(Err))
+            .collect();
+        for (&i, res) in ok_idx.iter().zip(outcomes) {
+            let r = &requests[i];
+            let (keys, _, epoch) = keyed[i].as_ref().expect("ok_idx holds only Ok entries");
+            slots[i] = Some(res.map(|(mut outcome, attempts)| {
+                outcome.payload.epoch = *epoch;
+                let payload = Arc::new(outcome.payload.clone());
+                let record = OwnerRecord {
+                    owner: r.owner.clone(),
+                    payload: Arc::clone(&payload),
+                    keys: keys.clone(),
+                    access: AccessControlProfile::new(),
+                };
+                self.records
+                    .insert_merging(r.owner.clone(), record, |old, new| {
+                        new.access = old.access.clone();
+                    });
+                AnonymizeReceipt {
+                    payload,
+                    attempts,
+                    outcome,
+                }
+            }));
+        }
+        slots
             .into_iter()
-            .zip(requests)
-            .zip(keyed)
-            .map(|((res, r), (keys, _, epoch))| {
-                res.map(|(mut outcome, attempts)| {
-                    outcome.payload.epoch = *epoch;
-                    let payload = Arc::new(outcome.payload.clone());
-                    let record = OwnerRecord {
-                        owner: r.owner.clone(),
-                        payload: Arc::clone(&payload),
-                        keys: keys.clone(),
-                        access: AccessControlProfile::new(),
-                    };
-                    self.records
-                        .insert_merging(r.owner.clone(), record, |old, new| {
-                            new.access = old.access.clone();
-                        });
-                    AnonymizeReceipt {
-                        payload,
-                        attempts,
-                        outcome,
-                    }
-                })
-            })
+            .map(|s| s.expect("every slot is a pre-filled error or a cloak outcome"))
             .collect()
     }
 
@@ -677,18 +780,23 @@ impl AnonymizerService {
             entry.1 = i;
         }
         for &(count, last) in per_owner.values() {
+            // A last request whose advance failed to journal keeps its
+            // persistence error; the stored record then reflects some
+            // earlier successful request, which is all a failed tail can
+            // promise.
             if count > 1 {
-                let r = &requests[last];
-                let (keys, nonce, epoch) = &keyed[last];
-                results[last] = Some(self.anonymize_with_keys(
-                    &r.owner,
-                    r.segment,
-                    r.profile.as_ref().unwrap_or(&self.config.default_profile),
-                    keys.clone(),
-                    *nonce,
-                    *epoch,
-                    &mut CloakScratch::new(),
-                ));
+                if let Ok((keys, nonce, epoch)) = &keyed[last] {
+                    let r = &requests[last];
+                    results[last] = Some(self.anonymize_with_keys(
+                        &r.owner,
+                        r.segment,
+                        r.profile.as_ref().unwrap_or(&self.config.default_profile),
+                        keys.clone(),
+                        *nonce,
+                        *epoch,
+                        &mut CloakScratch::new(),
+                    ));
+                }
             }
         }
         results
@@ -1078,5 +1186,108 @@ mod tests {
         let s = service();
         let dbg = format!("{s:?}");
         assert!(dbg.contains("RGE"));
+    }
+
+    /// A store that fails every `record` while `broken` — the minimal
+    /// stand-in for a full disk / yanked volume.
+    #[derive(Debug)]
+    struct BreakableStore {
+        inner: MemStore,
+        broken: std::sync::atomic::AtomicBool,
+    }
+
+    impl BreakableStore {
+        fn new(broken: bool) -> Self {
+            BreakableStore {
+                inner: MemStore::new(),
+                broken: std::sync::atomic::AtomicBool::new(broken),
+            }
+        }
+    }
+
+    impl ChainStore for BreakableStore {
+        fn record(&self, owner: &str, state: &ChainState) -> Result<(), JournalError> {
+            if self.broken.load(Ordering::Relaxed) {
+                return Err(JournalError::Injected("record refused".into()));
+            }
+            self.inner.record(owner, state)
+        }
+        fn load(&self) -> Result<Vec<(String, ChainState)>, JournalError> {
+            self.inner.load()
+        }
+        fn compact(&self) -> Result<(), JournalError> {
+            self.inner.compact()
+        }
+    }
+
+    fn service_with(store: Arc<dyn ChainStore>) -> AnonymizerService {
+        let net = grid_city(7, 7, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let s = AnonymizerService::with_store(net, AnonymizerConfig::default(), store).unwrap();
+        s.update_snapshot(snapshot);
+        s
+    }
+
+    #[test]
+    fn journal_failure_withholds_receipt_and_preserves_epoch() {
+        let store = Arc::new(BreakableStore::new(true));
+        let s = service_with(Arc::clone(&store) as Arc<dyn ChainStore>);
+        let err = s
+            .anonymize_seeded("alice", SegmentId(40), None, 7)
+            .unwrap_err();
+        assert!(matches!(err, CloakError::Persistence(_)));
+        assert!(err.to_string().contains("receipt withheld"));
+        // The failed advance committed nothing: no epoch, no record.
+        assert_eq!(s.owner_epoch("alice"), None);
+        assert!(s.owner_record("alice").is_none());
+        // After the store heals, the retry gets epoch 1 — no hole.
+        store.broken.store(false, Ordering::Relaxed);
+        let receipt = s.anonymize_seeded("alice", SegmentId(40), None, 7).unwrap();
+        assert_eq!(receipt.payload.epoch, 1);
+    }
+
+    #[test]
+    fn batch_carries_persistence_errors_without_reaching_the_cloak() {
+        let store = Arc::new(BreakableStore::new(true));
+        let s = service_with(Arc::clone(&store) as Arc<dyn ChainStore>);
+        let requests: Vec<AnonymizeRequest> = (0..6)
+            .map(|i| AnonymizeRequest::new(format!("o{i}"), SegmentId(10 + i), 50 + i as u64))
+            .collect();
+        let results = s.anonymize_batch(&requests);
+        assert!(results
+            .iter()
+            .all(|r| matches!(r, Err(CloakError::Persistence(_)))));
+        assert_eq!(s.owner_count(), 0, "no receipt ⇒ no stored record");
+        // Heal mid-service: the same batch now succeeds at epoch 1 each.
+        store.broken.store(false, Ordering::Relaxed);
+        let results = s.anonymize_batch(&requests);
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().payload.epoch, 1);
+        }
+    }
+
+    #[test]
+    fn recovery_from_shared_store_continues_every_chain() {
+        let store: Arc<dyn ChainStore> = Arc::new(MemStore::new());
+        let first = service_with(Arc::clone(&store));
+        for seed in 0..3 {
+            first
+                .anonymize_seeded("alice", SegmentId(40), None, seed)
+                .unwrap();
+        }
+        first
+            .anonymize_seeded("bob", SegmentId(12), None, 9)
+            .unwrap();
+        drop(first);
+
+        // "Restart": a fresh service over the same store must resume
+        // alice at epoch 3 and bob at epoch 1, not re-genesis them.
+        let second = service_with(Arc::clone(&store));
+        assert_eq!(second.owner_epoch("alice"), Some(3));
+        assert_eq!(second.owner_epoch("bob"), Some(1));
+        let next = second
+            .anonymize_seeded("alice", SegmentId(40), None, 99)
+            .unwrap();
+        assert_eq!(next.payload.epoch, 4, "ratchet continues, no epoch reuse");
     }
 }

@@ -1,0 +1,144 @@
+//! Structure-aware mutation fuzzing of the `rcloak batch` CSV parser.
+//!
+//! Companion to `crates/cloak/tests/payload_fuzz.rs` on the other decode
+//! surface: generate well-formed request CSVs, then sweep the mutations
+//! a hostile or damaged file actually shows up with — byte corruption,
+//! truncation, splice-in of arbitrary junk lines — and assert the parser
+//! never panics, bounds what it accepts, and keeps the accepted rows'
+//! seed derivation pinned. Deterministic by test name; CI runs this at a
+//! fixed case budget (`fuzz-smoke`).
+
+use anonymizer::batch_input::{
+    batch_row_seed, parse_batch_requests, MALFORMED_REPORT_CAP, MAX_OWNER_LEN,
+};
+use proptest::prelude::*;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds a well-formed batch CSV from a seed: 0–8 request rows with
+/// varied owner shapes, interleaved comments and blank lines.
+fn corpus_csv(seed: u64) -> String {
+    let mut s = seed;
+    let rows = splitmix(&mut s) % 9;
+    let mut text = String::from("# corpus\n");
+    for i in 0..rows {
+        match splitmix(&mut s) % 4 {
+            0 => text.push('\n'),
+            1 => text.push_str("# comment\n"),
+            _ => {}
+        }
+        let owner_len = 1 + (splitmix(&mut s) % 12) as usize;
+        let owner: String = (0..owner_len)
+            .map(|_| char::from(b'a' + (splitmix(&mut s) % 26) as u8))
+            .collect();
+        text.push_str(&format!("{owner}-{i},{}\n", splitmix(&mut s) % 10_000));
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary byte corruption of a valid CSV (kept UTF-8, as the CLI's
+    /// `read_to_string` guarantees): the parser never panics, every line
+    /// is either a request or a counted malformed row, and accepted rows
+    /// keep the pinned seed derivation.
+    #[test]
+    fn corrupted_csvs_never_panic_and_stay_accounted(
+        seed in any::<u64>(),
+        positions in proptest::collection::vec(any::<u32>(), 1..8),
+        values in proptest::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let mut bytes = corpus_csv(seed).into_bytes();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        for (&pos, &byte) in positions.iter().zip(&values) {
+            let idx = pos as usize % bytes.len();
+            bytes[idx] = byte;
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let parsed = parse_batch_requests(&text, 7);
+        let content_lines = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.trim().starts_with('#'))
+            .count();
+        prop_assert_eq!(parsed.requests.len() + parsed.malformed.len(), content_lines);
+        for (i, request) in parsed.requests.iter().enumerate() {
+            prop_assert_eq!(request.seed, batch_row_seed(7, i));
+            prop_assert!(!request.owner.is_empty());
+            prop_assert!(request.owner.len() <= MAX_OWNER_LEN);
+        }
+    }
+
+    /// Every truncation of a valid CSV parses cleanly: the rows before
+    /// the cut survive untouched, and at most the torn final row is
+    /// malformed — truncation never cascades.
+    #[test]
+    fn truncations_lose_at_most_the_torn_row(seed in any::<u64>(), raw_cut in any::<u64>()) {
+        let text = corpus_csv(seed);
+        let full = parse_batch_requests(&text, 3);
+        let mut cut = (raw_cut % (text.len() as u64 + 1)) as usize;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let parsed = parse_batch_requests(&text[..cut], 3);
+        prop_assert!(parsed.requests.len() <= full.requests.len());
+        prop_assert!(parsed.malformed.len() <= 1, "only the torn row may reject");
+        // Every fully-contained row parses exactly as it did untorn; only
+        // the final accepted row may be the torn one (e.g. `alice,1234`
+        // cut to `alice,12` still parses, as a shorter segment id).
+        let contained = parsed.requests.len().saturating_sub(1);
+        for (got, want) in parsed.requests[..contained].iter().zip(&full.requests) {
+            prop_assert_eq!(&got.owner, &want.owner);
+            prop_assert_eq!(got.segment, want.segment);
+            prop_assert_eq!(got.seed, want.seed);
+        }
+    }
+
+    /// Junk lines spliced between valid rows are rejected row-by-row and
+    /// the stderr report stays capped no matter how many there are.
+    #[test]
+    fn spliced_junk_is_contained_and_reports_stay_capped(
+        seed in any::<u64>(),
+        junk in proptest::collection::vec("[^\n]{0,40}", 0..40),
+    ) {
+        let valid = corpus_csv(seed);
+        let expected = parse_batch_requests(&valid, 11).requests.len();
+        let mut text = String::new();
+        for (i, line) in valid.lines().enumerate() {
+            if let Some(j) = junk.get(i) {
+                text.push_str(j);
+                text.push('\n');
+            }
+            text.push_str(line);
+            text.push('\n');
+        }
+        for j in junk.iter().skip(valid.lines().count()) {
+            text.push_str(j);
+            text.push('\n');
+        }
+        let parsed = parse_batch_requests(&text, 11);
+        // Junk may happen to be a valid `owner,segment` row, so accepted
+        // rows only ever grow; the original rows all survive.
+        prop_assert!(parsed.requests.len() >= expected);
+        prop_assert!(parsed.capped_reports("f.csv").len() <= MALFORMED_REPORT_CAP + 1);
+    }
+}
+
+/// The degenerate inputs a fuzzer finds first, pinned as plain units.
+#[test]
+fn degenerate_inputs_parse_to_empty_without_panic() {
+    for input in ["", "\n", "#only,a,comment\n", ",", ",,,,\n", "\u{0},\u{0}"] {
+        let parsed = parse_batch_requests(input, 0);
+        assert!(parsed.requests.is_empty(), "{input:?}");
+    }
+    // A lone comma is an empty owner, not a crash.
+    assert_eq!(parse_batch_requests(",", 0).malformed.len(), 1);
+}

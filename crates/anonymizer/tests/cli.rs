@@ -330,6 +330,222 @@ fn cli_batch_reports_malformed_rows_with_line_numbers() {
     }
 }
 
+/// A hostile batch file cannot flood stderr: per-row reports are capped
+/// and the overflow is summarized in one line.
+#[test]
+fn cli_batch_caps_malformed_row_reports() {
+    let map = tmp("capped.map");
+    let input = tmp("capped.csv");
+    rcloak()
+        .args(["map", "--out", map.to_str().unwrap(), "--grid", "8x8"])
+        .output()
+        .unwrap();
+    // 30 malformed rows (cap is 20) plus one valid row.
+    let mut csv = "no-comma\n".repeat(30);
+    csv.push_str("alice,40\n");
+    std::fs::write(&input, csv).unwrap();
+    let out = rcloak()
+        .args([
+            "batch",
+            "--map",
+            map.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--cars",
+            "300",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        stderr
+            .lines()
+            .filter(|l| l.contains("expected `owner,segment`"))
+            .count(),
+        20,
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("10 more malformed row(s) not shown"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("30 malformed row(s)"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("anonymized 1/1 requests"), "{stdout}");
+    for p in [map, input] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// An unwritable `--out` is a data error: exit 1 with a one-line error,
+/// never a panic backtrace.
+#[test]
+fn cli_unwritable_out_paths_fail_cleanly() {
+    let map = tmp("unwritable.map");
+    let input = tmp("unwritable.csv");
+    rcloak()
+        .args(["map", "--out", map.to_str().unwrap(), "--grid", "8x8"])
+        .output()
+        .unwrap();
+    std::fs::write(&input, "alice,40\n").unwrap();
+    let bad_out = "/nonexistent-dir-rcloak/results.csv";
+    let out = rcloak()
+        .args([
+            "batch",
+            "--map",
+            map.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--cars",
+            "300",
+            "--out",
+            bad_out,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "data error, not usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains(&format!("write {bad_out}")), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+
+    // Same for `simulate --out`.
+    let out = rcloak()
+        .args([
+            "simulate", "--ticks", "2", "--cars", "200", "--grid", "7x7", "--owners", "3", "--out",
+            bad_out,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    for p in [map, input] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// A payload file full of adversarial bytes is hostile *data*: both
+/// `deanonymize` and `render` must reject it with exit 1 and no usage
+/// dump — and certainly no panic.
+#[test]
+fn cli_garbage_payload_is_a_clean_data_error() {
+    let map = tmp("garbage.map");
+    let junk = tmp("garbage.bin");
+    rcloak()
+        .args(["map", "--out", map.to_str().unwrap(), "--grid", "8x8"])
+        .output()
+        .unwrap();
+    // Plausible-prefix junk: a huge length field right after random
+    // bytes, the over-allocation shape the decode cap exists for.
+    let mut bytes = vec![0x52, 0x43, 0x4c, 0x4b, 0xff, 0x07];
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&[0xa5; 40]);
+    std::fs::write(&junk, &bytes).unwrap();
+    let key = "ab".repeat(32);
+    for subcmd in ["deanonymize", "render"] {
+        let mut args = vec![
+            subcmd,
+            "--map",
+            map.to_str().unwrap(),
+            "--payload",
+            junk.to_str().unwrap(),
+        ];
+        if subcmd == "deanonymize" {
+            args.extend(["--keys", key.as_str()]);
+        }
+        let out = rcloak().args(&args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{subcmd}: data error, not usage error"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error:"), "{subcmd}: {stderr}");
+        assert!(!stderr.contains("usage:"), "{subcmd}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{subcmd}: {stderr}");
+    }
+    for p in [map, junk] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// `rcloak simulate --chain-store PATH` journals every owner chain to a
+/// durable write-ahead log; a rerun over the same path resumes, and an
+/// unopenable path is a clean data error (exit 1), not a panic.
+#[test]
+fn cli_simulate_chain_store_journals_and_resumes() {
+    let journal = tmp("chains.rcs");
+    let _ = std::fs::remove_file(&journal);
+    let run = || {
+        rcloak()
+            .args([
+                "simulate",
+                "--ticks",
+                "3",
+                "--cars",
+                "250",
+                "--grid",
+                "8x8",
+                "--owners",
+                "5",
+                "--seed",
+                "3",
+                "--chain-store",
+                journal.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap()
+    };
+    let out = run();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("journaling owner chains to"), "{stdout}");
+    assert!(stdout.contains("verified 15/15"), "{stdout}");
+    let first_len = std::fs::metadata(&journal).unwrap().len();
+    assert!(first_len > 0, "the journal holds the ratchet advances");
+
+    // Rerun over the surviving journal: chains resume, receipts verify.
+    let out = run();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("verified 15/15"),
+        "resumed chains still verify"
+    );
+
+    // An unopenable journal path: exit 1, one clean error line.
+    let out = rcloak()
+        .args([
+            "simulate",
+            "--ticks",
+            "1",
+            "--cars",
+            "200",
+            "--grid",
+            "7x7",
+            "--chain-store",
+            "/nonexistent-dir-rcloak/chains.rcs",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "data error, not usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    let _ = std::fs::remove_file(journal);
+}
+
 /// `rcloak simulate` runs the continuous pipeline end to end: every
 /// receipt verifies, and the per-tick metrics CSV has one row per tick.
 #[test]

@@ -28,6 +28,10 @@ pub enum CloakError {
         /// Why expansion stopped.
         reason: StepFailure,
     },
+    /// The anonymizer could not durably journal the owner's ratchet
+    /// advance, so no receipt was issued for the epoch: a receipt must
+    /// never reference an unjournaled epoch.
+    Persistence(String),
 }
 
 impl fmt::Display for CloakError {
@@ -40,6 +44,9 @@ impl fmt::Display for CloakError {
             }
             CloakError::CloakingFailed { level, reason } => {
                 write!(f, "cloaking failed at level {level}: {reason}")
+            }
+            CloakError::Persistence(msg) => {
+                write!(f, "chain journal write failed (receipt withheld): {msg}")
             }
         }
     }
@@ -82,10 +89,121 @@ impl fmt::Display for StepFailure {
     }
 }
 
+/// Structured payload-decode failures.
+///
+/// [`crate::CloakPayload::decode`] parses attacker-supplied bytes, so
+/// every variant carries what the parser *saw* (claimed lengths, the
+/// offending version byte) rather than a free-form string: fuzzers and
+/// callers can assert on the failure class, and no variant is produced
+/// by allocating first and validating later — length and count fields
+/// are capped against the remaining input before any allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// Fewer bytes remained than a fixed-size field requires.
+    Truncated {
+        /// The field being parsed when input ran out.
+        field: &'static str,
+        /// Bytes the field needs.
+        needed: usize,
+        /// Bytes that were actually available.
+        available: usize,
+    },
+    /// The payload does not open with the `RCLK` magic.
+    BadMagic,
+    /// The version byte is not the current wire version. Version 1
+    /// (epoch-less) payloads are retired and must be re-anonymized.
+    UnsupportedVersion(u8),
+    /// An embedded length/count field claims more elements than the
+    /// remaining input could possibly hold — hostile or corrupt, and
+    /// rejected *before* any allocation is sized from it.
+    HostileLength {
+        /// The count field in question.
+        field: &'static str,
+        /// Elements the field claimed.
+        claimed: u64,
+        /// Bytes actually remaining in the input.
+        available: usize,
+    },
+    /// Segment ids were not strictly ascending.
+    UnsortedSegments,
+    /// The tolerance kind byte was not a known encoding.
+    UnknownToleranceKind(u8),
+    /// A tolerance value was NaN, infinite, or negative.
+    NonFiniteTolerance,
+    /// A level declared more quotient hints than forward steps.
+    HintOverflow {
+        /// Hints declared.
+        hints: u64,
+        /// Steps the level has.
+        steps: u64,
+    },
+    /// Bytes remained after a structurally complete payload.
+    TrailingBytes(usize),
+    /// The per-level counts do not add up to the region size.
+    InconsistentCounts {
+        /// Sum of level counts plus the seed segment.
+        declared: u64,
+        /// Segments actually present in the region.
+        region: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated {
+                field,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {field}: need {needed} bytes, {available} available"
+            ),
+            DecodeError::BadMagic => write!(f, "bad magic (not an RCLK payload)"),
+            DecodeError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported version {v} (expected 2; epoch-less v1 payloads \
+                 are retired and must be re-anonymized)"
+            ),
+            DecodeError::HostileLength {
+                field,
+                claimed,
+                available,
+            } => write!(
+                f,
+                "hostile {field} count: claims {claimed} entries but only \
+                 {available} bytes remain"
+            ),
+            DecodeError::UnsortedSegments => {
+                write!(f, "segment ids must be strictly ascending")
+            }
+            DecodeError::UnknownToleranceKind(k) => write!(f, "unknown tolerance kind {k}"),
+            DecodeError::NonFiniteTolerance => write!(f, "non-finite tolerance"),
+            DecodeError::HintOverflow { hints, steps } => {
+                write!(f, "{hints} hints declared for {steps} steps")
+            }
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            DecodeError::InconsistentCounts { declared, region } => write!(
+                f,
+                "level counts declare {declared} segments but region holds {region}"
+            ),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+impl From<DecodeError> for DeanonError {
+    fn from(e: DecodeError) -> Self {
+        DeanonError::MalformedPayload(e.to_string())
+    }
+}
+
 /// Errors from de-anonymization.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DeanonError {
-    /// The payload could not be decoded.
+    /// The payload could not be decoded (see [`DecodeError`] for the
+    /// structured classification; this carries its rendered message).
     MalformedPayload(String),
     /// Keys must be supplied contiguously from the payload's top level
     /// downward.

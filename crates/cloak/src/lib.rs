@@ -131,7 +131,7 @@ pub use baseline::{
     ExpansionScratch,
 };
 pub use engine::{HintStack, ReversibleEngine, RgeEngine, RpleEngine, StepAccept, MAX_REDRAWS};
-pub use error::{CloakError, DeanonError, StepFailure};
+pub use error::{CloakError, DeanonError, DecodeError, StepFailure};
 pub use metrics::{QualitySummary, RegionQuality, SuccessRate};
 pub use multilevel::{
     ambiguity_profile, anonymize, anonymize_batch_with_scratch, anonymize_with_retry,

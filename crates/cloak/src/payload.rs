@@ -22,7 +22,7 @@
 //! epoch-less parse would be a correctness hazard, not a compatibility
 //! feature.
 
-use crate::error::DeanonError;
+use crate::error::DecodeError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use keystream::{Level, Tag128};
 use roadnet::SegmentId;
@@ -136,70 +136,86 @@ impl CloakPayload {
 
     /// Deserializes a payload.
     ///
+    /// The input is adversary-controlled (any requester or LBS provider
+    /// can feed bytes here), so the parser never panics and never sizes
+    /// an allocation from an embedded count before capping that count
+    /// against the bytes actually remaining.
+    ///
     /// # Errors
     ///
-    /// Fails on truncation, bad magic/version, unsorted or duplicate
-    /// segment ids, or inconsistent counts.
-    pub fn decode(mut data: &[u8]) -> Result<Self, DeanonError> {
-        let err = |msg: &str| DeanonError::MalformedPayload(msg.to_string());
-        if data.remaining() < 6 {
-            return Err(err("truncated header"));
+    /// Returns a structured [`DecodeError`] classifying the failure:
+    /// truncation, bad magic/version, hostile length fields, unsorted or
+    /// duplicate segment ids, or inconsistent counts.
+    pub fn decode(mut data: &[u8]) -> Result<Self, DecodeError> {
+        fn need(available: usize, field: &'static str, needed: usize) -> Result<(), DecodeError> {
+            if available < needed {
+                Err(DecodeError::Truncated {
+                    field,
+                    needed,
+                    available,
+                })
+            } else {
+                Ok(())
+            }
         }
+        /// Validates a count field against the remaining input *before*
+        /// the caller allocates `claimed` elements of `elem_bytes` each.
+        fn cap(
+            available: usize,
+            field: &'static str,
+            claimed: u64,
+            elem_bytes: u64,
+        ) -> Result<usize, DecodeError> {
+            if claimed.saturating_mul(elem_bytes) > available as u64 {
+                Err(DecodeError::HostileLength {
+                    field,
+                    claimed,
+                    available,
+                })
+            } else {
+                Ok(claimed as usize)
+            }
+        }
+        need(data.remaining(), "header", 6)?;
         let mut magic = [0u8; 4];
         data.copy_to_slice(&mut magic);
         if &magic != MAGIC {
-            return Err(err("bad magic"));
+            return Err(DecodeError::BadMagic);
         }
         let version = data.get_u8();
         if version != VERSION {
-            return Err(DeanonError::MalformedPayload(format!(
-                "unsupported version {version} (expected {VERSION}; epoch-less v1 \
-                 payloads are retired and must be re-anonymized)"
-            )));
+            return Err(DecodeError::UnsupportedVersion(version));
         }
         let algorithm = data.get_u8();
-        if data.remaining() < 20 {
-            return Err(err("truncated nonce/epoch/segment count"));
-        }
+        need(data.remaining(), "nonce/epoch/segment count", 20)?;
         let nonce = data.get_u64_le();
         let epoch = data.get_u64_le();
-        let seg_count = data.get_u32_le() as usize;
-        if data.remaining() < seg_count * 4 {
-            return Err(err("truncated segment list"));
-        }
+        let claimed_segs = data.get_u32_le() as u64;
+        let seg_count = cap(data.remaining(), "segment", claimed_segs, 4)?;
         let mut segments = Vec::with_capacity(seg_count);
         for _ in 0..seg_count {
             segments.push(SegmentId(data.get_u32_le()));
         }
         if segments.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(err("segment ids must be strictly ascending"));
+            return Err(DecodeError::UnsortedSegments);
         }
-        if !data.has_remaining() {
-            return Err(err("truncated level count"));
-        }
+        need(data.remaining(), "level count", 1)?;
         let level_count = data.get_u8() as usize;
         let mut levels = Vec::with_capacity(level_count);
         let mut total_added = 0u64;
         for _ in 0..level_count {
-            if data.remaining() < 24 {
-                return Err(err("truncated level metadata"));
-            }
+            need(data.remaining(), "level metadata", 21)?;
             let count = data.get_u32_le();
             total_added += count as u64;
             let mut tag = [0u8; 16];
             data.copy_to_slice(&mut tag);
-            if !data.has_remaining() {
-                return Err(err("truncated tolerance"));
-            }
             let tolerance = match data.get_u8() {
                 0 => crate::profile::SpatialTolerance::Unlimited,
                 code @ (1 | 2) => {
-                    if data.remaining() < 8 {
-                        return Err(err("truncated tolerance value"));
-                    }
+                    need(data.remaining(), "tolerance value", 8)?;
                     let v = data.get_f64_le();
                     if !v.is_finite() || v < 0.0 {
-                        return Err(err("non-finite tolerance"));
+                        return Err(DecodeError::NonFiniteTolerance);
                     }
                     if code == 1 {
                         crate::profile::SpatialTolerance::TotalLength(v)
@@ -207,25 +223,22 @@ impl CloakPayload {
                         crate::profile::SpatialTolerance::BboxDiagonal(v)
                     }
                 }
-                _ => return Err(err("unknown tolerance kind")),
+                kind => return Err(DecodeError::UnknownToleranceKind(kind)),
             };
-            if data.remaining() < count as usize * 4 {
-                return Err(err("truncated round list"));
-            }
-            let mut enc_rounds = Vec::with_capacity(count as usize);
-            for _ in 0..count {
+            let rounds = cap(data.remaining(), "round", count as u64, 4)?;
+            let mut enc_rounds = Vec::with_capacity(rounds);
+            for _ in 0..rounds {
                 enc_rounds.push(data.get_u32_le());
             }
-            if data.remaining() < 4 {
-                return Err(err("truncated hint count"));
+            need(data.remaining(), "hint count", 4)?;
+            let claimed_hints = data.get_u32_le() as u64;
+            if claimed_hints > count as u64 {
+                return Err(DecodeError::HintOverflow {
+                    hints: claimed_hints,
+                    steps: count as u64,
+                });
             }
-            let hint_count = data.get_u32_le() as usize;
-            if hint_count > count as usize {
-                return Err(err("more hints than steps"));
-            }
-            if data.remaining() < hint_count * 4 {
-                return Err(err("truncated hint list"));
-            }
+            let hint_count = cap(data.remaining(), "hint", claimed_hints, 4)?;
             let mut enc_hints = Vec::with_capacity(hint_count);
             for _ in 0..hint_count {
                 enc_hints.push(data.get_u32_le());
@@ -239,11 +252,14 @@ impl CloakPayload {
             });
         }
         if data.has_remaining() {
-            return Err(err("trailing bytes"));
+            return Err(DecodeError::TrailingBytes(data.remaining()));
         }
         // Region must hold the seed segment plus everything ever added.
         if total_added + 1 != segments.len() as u64 {
-            return Err(err("level counts inconsistent with region size"));
+            return Err(DecodeError::InconsistentCounts {
+                declared: total_added + 1,
+                region: segments.len(),
+            });
         }
         Ok(CloakPayload {
             algorithm,
@@ -323,13 +339,13 @@ mod tests {
     fn rejects_bad_magic_and_version() {
         let mut v = sample().encode().to_vec();
         v[0] = b'X';
-        assert!(CloakPayload::decode(&v).is_err());
+        assert_eq!(CloakPayload::decode(&v), Err(DecodeError::BadMagic));
         let mut v = sample().encode().to_vec();
         v[4] = 99;
-        assert!(matches!(
+        assert_eq!(
             CloakPayload::decode(&v),
-            Err(DeanonError::MalformedPayload(m)) if m.contains("version")
-        ));
+            Err(DecodeError::UnsupportedVersion(99))
+        );
     }
 
     /// A captured v1 payload — the v2 byte-string with the 8 epoch bytes
@@ -342,13 +358,56 @@ mod tests {
         v1[4] = 1; // version byte back to v1
         v1.drain(14..22); // strip the epoch (after magic+ver+algo+nonce)
         match CloakPayload::decode(&v1) {
-            Err(DeanonError::MalformedPayload(m)) => {
+            Err(DecodeError::UnsupportedVersion(1)) => {
+                let msg = DecodeError::UnsupportedVersion(1).to_string();
                 assert!(
-                    m.contains("unsupported version 1"),
-                    "error should name the rejected version: {m}"
+                    msg.contains("re-anonymized"),
+                    "error should tell the caller what to do: {msg}"
                 );
             }
             other => panic!("v1 bytes must be rejected, got {other:?}"),
+        }
+    }
+
+    /// Regression for the pre-allocation trust bug class: a header that
+    /// claims a 4-billion-segment region (a would-be 16 GiB allocation)
+    /// must be rejected as a hostile length *before* any allocation is
+    /// sized from it — decode of the 30-byte input stays O(1) memory.
+    #[test]
+    fn rejects_hostile_4gib_segment_count_before_allocating() {
+        let mut v = sample().encode().to_vec();
+        // Segment count sits right after magic+ver+algo+nonce+epoch.
+        v[22..26].copy_from_slice(&u32::MAX.to_le_bytes());
+        v.truncate(30); // a handful of "segment" bytes, nothing close to 4Gi
+        assert_eq!(
+            CloakPayload::decode(&v),
+            Err(DecodeError::HostileLength {
+                field: "segment",
+                claimed: u32::MAX as u64,
+                available: 4,
+            })
+        );
+    }
+
+    /// Same class, one layer down: hostile level round/hint counts are
+    /// capped against the remaining input, not trusted as capacities.
+    #[test]
+    fn rejects_hostile_level_counts_before_allocating() {
+        let p = sample();
+        let bytes = p.encode();
+        // The first level's `count` field follows segments + level count.
+        let count_at = 26 + 4 * p.segments.len() + 1;
+        let mut v = bytes.to_vec();
+        v[count_at..count_at + 4].copy_from_slice(&0xfff_ffffu32.to_le_bytes());
+        match CloakPayload::decode(&v) {
+            Err(DecodeError::HostileLength {
+                field: "round",
+                claimed,
+                ..
+            }) => {
+                assert_eq!(claimed, 0xfff_ffff);
+            }
+            other => panic!("hostile round count must be rejected, got {other:?}"),
         }
     }
 

@@ -1,0 +1,162 @@
+//! Structure-aware mutation fuzzing of the payload decoder.
+//!
+//! The container has no `cargo-fuzz`, so this is the offline stand-in
+//! (the routinator `fuzz/` idiom recast as seeded proptest): generate a
+//! corpus of *valid* wire-v2 payloads, then sweep the mutations an
+//! adversary actually gets to make — bit flips, truncations, and hostile
+//! length-field splices — and assert the decoder never panics, never
+//! sizes an allocation from a hostile count, and accepts only canonical
+//! bytes (anything it accepts must re-encode to the exact input).
+//!
+//! Deterministic by test name; override with `PROPTEST_SEED` to widen
+//! the sweep. CI runs this at a fixed case budget (`fuzz-smoke`).
+
+use cloak::{CloakPayload, DecodeError, LevelMeta, SpatialTolerance};
+use keystream::Tag128;
+use proptest::prelude::*;
+use roadnet::SegmentId;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds a structurally valid payload from a seed: 0–3 levels, 0–5
+/// segments per level, hints bounded by steps, mixed tolerance kinds.
+fn corpus_payload(seed: u64) -> CloakPayload {
+    let mut s = seed;
+    let level_count = (splitmix(&mut s) % 4) as usize;
+    let mut levels = Vec::with_capacity(level_count);
+    let mut total = 0u32;
+    for _ in 0..level_count {
+        let count = (splitmix(&mut s) % 6) as u32;
+        total += count;
+        let mut tag = [0u8; 16];
+        for b in tag.iter_mut() {
+            *b = splitmix(&mut s) as u8;
+        }
+        let tolerance = match splitmix(&mut s) % 3 {
+            0 => SpatialTolerance::Unlimited,
+            1 => SpatialTolerance::TotalLength((splitmix(&mut s) % 100_000) as f64 / 7.0),
+            _ => SpatialTolerance::BboxDiagonal((splitmix(&mut s) % 100_000) as f64 / 3.0),
+        };
+        let enc_rounds = (0..count).map(|_| splitmix(&mut s) as u32).collect();
+        let hint_count = if count == 0 {
+            0
+        } else {
+            splitmix(&mut s) % (count as u64 + 1)
+        };
+        let enc_hints = (0..hint_count).map(|_| splitmix(&mut s) as u32).collect();
+        levels.push(LevelMeta {
+            count,
+            tag: Tag128(tag),
+            tolerance,
+            enc_rounds,
+            enc_hints,
+        });
+    }
+    // Region = seed segment + every added segment, strictly ascending.
+    let mut segments = Vec::with_capacity(total as usize + 1);
+    let mut id = splitmix(&mut s) % 1000;
+    for _ in 0..=total {
+        segments.push(SegmentId(id as u32));
+        id += 1 + splitmix(&mut s) % 9;
+    }
+    CloakPayload {
+        algorithm: 1 + (splitmix(&mut s) % 2) as u8,
+        nonce: splitmix(&mut s),
+        epoch: splitmix(&mut s),
+        segments,
+        levels,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Bit flips anywhere in a valid payload: decode never panics, and
+    /// any mutant it *accepts* is canonical — it re-encodes to exactly
+    /// the mutated bytes, so no two distinct byte strings alias to the
+    /// same accepted payload.
+    #[test]
+    fn bit_flipped_payloads_never_panic_and_accepts_are_canonical(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec(any::<u32>(), 1..6),
+    ) {
+        let mut bytes = corpus_payload(seed).encode().to_vec();
+        for &f in &flips {
+            let idx = (f >> 3) as usize % bytes.len();
+            bytes[idx] ^= 1 << (f & 7);
+        }
+        if let Ok(decoded) = CloakPayload::decode(&bytes) {
+            prop_assert_eq!(decoded.encode().to_vec(), bytes);
+        }
+    }
+
+    /// Every strict prefix of a valid payload must be rejected — the
+    /// format is self-delimiting, so a truncation can never parse.
+    #[test]
+    fn every_truncation_of_a_valid_payload_is_rejected(seed in any::<u64>()) {
+        let bytes = corpus_payload(seed).encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                CloakPayload::decode(&bytes[..cut]).is_err(),
+                "decode accepted a {}-byte prefix of a {}-byte payload",
+                cut, bytes.len()
+            );
+        }
+    }
+
+    /// Hostile length splice: overwrite the segment-count field with an
+    /// arbitrary inflated value. Decode must reject it as hostile (or as
+    /// a downstream structural error) without allocating toward it.
+    #[test]
+    fn spliced_segment_counts_never_over_allocate(
+        seed in any::<u64>(),
+        hostile in any::<u32>(),
+    ) {
+        let payload = corpus_payload(seed);
+        let mut bytes = payload.encode().to_vec();
+        bytes[22..26].copy_from_slice(&hostile.to_le_bytes());
+        let real = payload.segments.len() as u32;
+        match CloakPayload::decode(&bytes) {
+            Ok(p) => prop_assert_eq!(p.segments.len() as u32, real),
+            Err(e) => {
+                if (hostile as u64) * 4 > bytes.len() as u64 {
+                    // Truly unsatisfiable counts must be classified as
+                    // hostile — proof the cap fired before allocation.
+                    prop_assert_eq!(e, DecodeError::HostileLength {
+                        field: "segment",
+                        claimed: hostile as u64,
+                        available: bytes.len() - 26,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Random byte soup prefixed with valid magic+version: never panics,
+    /// and almost surely rejects (if it accepts, it must be canonical).
+    #[test]
+    fn arbitrary_bytes_after_valid_header_never_panic(
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut bytes = b"RCLK\x02".to_vec();
+        bytes.extend_from_slice(&body);
+        if let Ok(decoded) = CloakPayload::decode(&bytes) {
+            prop_assert_eq!(decoded.encode().to_vec(), bytes);
+        }
+    }
+}
+
+/// The mutation sweep above plus the unit suite must hold for the empty
+/// and near-empty inputs a fuzzer always finds first.
+#[test]
+fn degenerate_inputs_are_rejected_without_panic() {
+    for input in [&[][..], b"R", b"RCLK", b"RCLK\x02", b"RCLK\x02\x01"] {
+        assert!(CloakPayload::decode(input).is_err());
+    }
+}

@@ -16,8 +16,11 @@
 //!   walking the chain backwards means inverting the permutation through
 //!   its hidden capacity.
 //!
-//! The chain is deliberately not serializable: persisting old states
-//! would undo exactly the erasure the ratchet provides.
+//! Serialization is deliberately confined to [`crate::journal`]: the
+//! chain journal persists only the *latest* state per owner (compaction
+//! erases superseded states from disk), so durability never reopens the
+//! backwards-walk the ratchet closes. No other code path can read or
+//! reconstruct the raw state.
 
 use crate::key::Key256;
 use crate::manager::KeyManager;
@@ -85,6 +88,18 @@ impl ChainState {
     /// [`tick_key`](Self::tick_key) via [`KeyManager::derive`].
     pub fn level_keys(&self, levels: usize) -> KeyManager {
         KeyManager::derive(levels, self.tick_key())
+    }
+
+    /// Raw state access for the journal only: the WAL must persist the
+    /// post-ratchet secret verbatim to survive a restart.
+    pub(crate) fn state_key(&self) -> &Key256 {
+        &self.state
+    }
+
+    /// Journal-recovery constructor: rebuilds a chain from its persisted
+    /// `(state, epoch)` pair. Only [`crate::journal`] may call this.
+    pub(crate) fn from_parts(state: Key256, epoch: u64) -> Self {
+        ChainState { state, epoch }
     }
 }
 

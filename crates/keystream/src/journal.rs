@@ -1,0 +1,628 @@
+//! Durable chain-state journal: an append-only, checksummed write-ahead
+//! log of per-owner ratchet advances.
+//!
+//! PR 7's forward-secret ratchet lives in service memory, so a restart
+//! would re-genesis every owner's [`ChainState`] and silently break
+//! receipt continuity: a requester's captured epoch-`e` grant must keep
+//! opening epoch `e` across the service lifetime. The [`ChainStore`]
+//! trait is the persistence boundary that fixes this without widening
+//! the secrecy surface more than necessary:
+//!
+//! * [`MemStore`] keeps the live map in process memory only — exactly
+//!   today's behavior, nothing survives a restart;
+//! * [`FileStore`] appends one length-framed, CRC-checked record per
+//!   ratchet advance and recovers by scanning to the last valid record,
+//!   tolerating torn or truncated tails from a crash mid-write.
+//!
+//! # Record format
+//!
+//! ```text
+//! record   := [len: u32 le] [crc32(payload): u32 le] [payload]
+//! payload  := kind: u8 ++ body
+//! kind 1   := advance   — epoch u64 le ++ state[32] ++ owner_len u16 le ++ owner
+//! kind 2   := snapshot  — count u32 le ++ count × (epoch ++ state ++ owner_len ++ owner)
+//! ```
+//!
+//! Recovery folds records in order: an advance upserts one owner, a
+//! snapshot replaces the whole live map. The scan stops at the first
+//! record that is truncated, oversized, CRC-corrupt, or structurally
+//! invalid — everything after it is dropped (write-ahead-log prefix
+//! semantics), and [`FileStore::open`] truncates the file back to the
+//! valid prefix before appending again.
+//!
+//! # Forward secrecy vs. durability
+//!
+//! An append-only log of every advance would retain *old* chain states
+//! on disk — undoing exactly the erasure the ratchet provides in memory.
+//! Compaction is the erasure boundary: every `compact_every` appends (or
+//! on an explicit [`ChainStore::compact`]) the live `(owner → state,
+//! epoch)` map is snapshotted to a temp file which atomically replaces
+//! the log, destroying all superseded states. Between compactions the
+//! journal deliberately trades a bounded window of past states for
+//! crash-safety; deployments wanting a tighter window lower
+//! `compact_every`.
+//!
+//! ```
+//! use keystream::{ChainState, FileStore, ChainStore, Key256};
+//! let path = std::env::temp_dir().join(format!("rc-journal-doc-{}.wal", std::process::id()));
+//! let _ = std::fs::remove_file(&path);
+//! let store = FileStore::open(&path)?;
+//! let mut chain = ChainState::genesis("alice", &Key256::from_seed(7));
+//! chain.ratchet();
+//! store.record("alice", &chain)?;
+//! drop(store);
+//! // A fresh open replays the log: alice's chain is back at epoch 1.
+//! let recovered = FileStore::open(&path)?;
+//! assert_eq!(recovered.load()?, vec![("alice".to_string(), chain)]);
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), keystream::JournalError>(())
+//! ```
+
+use crate::chain::ChainState;
+use crate::key::Key256;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Record kind byte for a single-owner ratchet advance.
+const KIND_ADVANCE: u8 = 1;
+/// Record kind byte for a full live-map compaction snapshot.
+const KIND_SNAPSHOT: u8 = 2;
+/// Fixed bytes per chain entry inside a payload: epoch + state + owner_len.
+const ENTRY_FIXED: usize = 8 + 32 + 2;
+/// Upper bound on a single record payload; anything larger is treated as
+/// a corrupt tail rather than trusted as an allocation size.
+const MAX_RECORD_LEN: u32 = 64 << 20;
+/// Default number of appended advances between automatic compactions.
+const DEFAULT_COMPACT_EVERY: usize = 1024;
+
+/// Errors from the chain journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// Which journal operation was running (`"open"`, `"append"`, …).
+        op: &'static str,
+        /// The journal path involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// A deterministic fault injector refused the operation (test-only
+    /// stores; never produced by [`MemStore`] or [`FileStore`]).
+    Injected(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { op, path, message } => {
+                write!(f, "journal {op} failed on {path}: {message}")
+            }
+            JournalError::Injected(what) => write!(f, "injected journal fault: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Persistence boundary for per-owner chain state.
+///
+/// The anonymizer journals the **post-ratchet** state through this trait
+/// before issuing any receipt for that epoch, so a store that reports
+/// `Ok` has durably (to its own guarantee level) recorded every epoch a
+/// receipt may reference.
+pub trait ChainStore: Send + Sync {
+    /// Appends `owner`'s freshly ratcheted state to the journal.
+    fn record(&self, owner: &str, state: &ChainState) -> Result<(), JournalError>;
+
+    /// Returns the live `(owner, state)` map recovered from the journal,
+    /// sorted by owner for deterministic replay.
+    fn load(&self) -> Result<Vec<(String, ChainState)>, JournalError>;
+
+    /// Compacts the journal down to a single snapshot of the live map,
+    /// erasing all superseded (older-epoch) states it retained.
+    fn compact(&self) -> Result<(), JournalError>;
+}
+
+/// In-memory [`ChainStore`]: today's behavior — chains live only for the
+/// process lifetime and a restart re-genesises every owner.
+///
+/// It still tracks the live map so in-process restart simulations (and
+/// the fault harness) can share one store between service generations
+/// via `Arc`, but nothing ever touches disk.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    live: Mutex<HashMap<String, ChainState>>,
+}
+
+impl MemStore {
+    /// Creates an empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ChainStore for MemStore {
+    fn record(&self, owner: &str, state: &ChainState) -> Result<(), JournalError> {
+        self.live.lock().insert(owner.to_string(), state.clone());
+        Ok(())
+    }
+
+    fn load(&self) -> Result<Vec<(String, ChainState)>, JournalError> {
+        let mut out: Vec<_> = self
+            .live
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    fn compact(&self) -> Result<(), JournalError> {
+        Ok(())
+    }
+}
+
+/// Durable [`ChainStore`] backed by a checksummed append-only log file.
+///
+/// See the [module docs](self) for the record format, torn-tail recovery
+/// rules, and the compaction/forward-secrecy trade-off.
+#[derive(Debug)]
+pub struct FileStore {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    file: File,
+    path: PathBuf,
+    live: HashMap<String, ChainState>,
+    /// Advances appended since the last snapshot (persisted or scanned).
+    since_snapshot: usize,
+    compact_every: usize,
+}
+
+impl FileStore {
+    /// Opens (or creates) the journal at `path`, scans it to the last
+    /// valid record, truncates any torn tail, and rebuilds the live map.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, JournalError> {
+        Self::open_with_compaction(path, DEFAULT_COMPACT_EVERY)
+    }
+
+    /// [`open`](Self::open) with an explicit auto-compaction cadence:
+    /// after every `compact_every` appended advances the log is rewritten
+    /// as a single snapshot. Lower values shrink the window of past
+    /// states the log retains; `usize::MAX` disables auto-compaction.
+    pub fn open_with_compaction(
+        path: impl AsRef<Path>,
+        compact_every: usize,
+    ) -> Result<Self, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let io = |op: &'static str, e: std::io::Error| JournalError::Io {
+            op,
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io("open", e))?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data).map_err(|e| io("read", e))?;
+        let scan = scan_log(&data);
+        if scan.valid_len < data.len() {
+            // Drop the torn/corrupt tail so new appends extend the valid
+            // prefix instead of burying records behind garbage.
+            file.set_len(scan.valid_len as u64)
+                .map_err(|e| io("truncate", e))?;
+        }
+        file.seek(SeekFrom::Start(scan.valid_len as u64))
+            .map_err(|e| io("seek", e))?;
+        Ok(FileStore {
+            inner: Mutex::new(Inner {
+                file,
+                path,
+                live: scan.live,
+                since_snapshot: scan.since_snapshot,
+                compact_every: compact_every.max(1),
+            }),
+        })
+    }
+
+    /// The journal's on-disk size in bytes (valid prefix only).
+    pub fn log_bytes(&self) -> Result<u64, JournalError> {
+        let inner = self.inner.lock();
+        inner
+            .file
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| JournalError::Io {
+                op: "stat",
+                path: inner.path.display().to_string(),
+                message: e.to_string(),
+            })
+    }
+}
+
+impl Inner {
+    fn io(&self, op: &'static str, e: std::io::Error) -> JournalError {
+        JournalError::Io {
+            op,
+            path: self.path.display().to_string(),
+            message: e.to_string(),
+        }
+    }
+
+    fn append(&mut self, payload: &[u8]) -> Result<(), JournalError> {
+        let framed = frame(payload);
+        self.file
+            .write_all(&framed)
+            .and_then(|_| self.file.flush())
+            .map_err(|e| self.io("append", e))
+    }
+
+    /// Rewrites the log as one snapshot record via a temp file and an
+    /// atomic rename, then reopens the handle. This is the erasure
+    /// boundary: every superseded state the log retained is destroyed.
+    fn compact(&mut self) -> Result<(), JournalError> {
+        let mut entries: Vec<_> = self.live.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut payload = Vec::with_capacity(
+            1 + 4
+                + entries
+                    .iter()
+                    .map(|(o, _)| ENTRY_FIXED + o.len())
+                    .sum::<usize>(),
+        );
+        payload.push(KIND_SNAPSHOT);
+        payload.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for (owner, state) in entries {
+            encode_entry(&mut payload, owner, state);
+        }
+        let tmp = self.path.with_file_name(format!(
+            "{}.tmp",
+            self.path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "chain-journal".to_string())
+        ));
+        {
+            let mut f = File::create(&tmp).map_err(|e| self.io("compact-create", e))?;
+            f.write_all(&frame(&payload))
+                .and_then(|_| f.sync_all())
+                .map_err(|e| self.io("compact-write", e))?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(|e| self.io("compact-rename", e))?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(|e| self.io("compact-reopen", e))?;
+        self.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| self.io("compact-seek", e))?;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+}
+
+impl ChainStore for FileStore {
+    fn record(&self, owner: &str, state: &ChainState) -> Result<(), JournalError> {
+        let mut inner = self.inner.lock();
+        let mut payload = Vec::with_capacity(1 + ENTRY_FIXED + owner.len());
+        payload.push(KIND_ADVANCE);
+        encode_entry(&mut payload, owner, state);
+        inner.append(&payload)?;
+        inner.live.insert(owner.to_string(), state.clone());
+        inner.since_snapshot += 1;
+        if inner.since_snapshot >= inner.compact_every {
+            inner.compact()?;
+        }
+        Ok(())
+    }
+
+    fn load(&self) -> Result<Vec<(String, ChainState)>, JournalError> {
+        let inner = self.inner.lock();
+        let mut out: Vec<_> = inner
+            .live
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    fn compact(&self) -> Result<(), JournalError> {
+        self.inner.lock().compact()
+    }
+}
+
+/// Serializes one `(owner, state)` entry into `out`.
+fn encode_entry(out: &mut Vec<u8>, owner: &str, state: &ChainState) {
+    out.extend_from_slice(&state.epoch().to_le_bytes());
+    out.extend_from_slice(state.state_key().as_bytes());
+    out.extend_from_slice(&(owner.len() as u16).to_le_bytes());
+    out.extend_from_slice(owner.as_bytes());
+}
+
+/// Frames a payload as `[len][crc][payload]`.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+struct ScanResult {
+    live: HashMap<String, ChainState>,
+    valid_len: usize,
+    since_snapshot: usize,
+}
+
+/// Folds the log's records in order, stopping at the first truncated,
+/// oversized, CRC-corrupt, or structurally invalid record. Everything
+/// up to that point is the recovered state; `valid_len` marks where
+/// appends may safely resume.
+fn scan_log(data: &[u8]) -> ScanResult {
+    let mut live = HashMap::new();
+    let mut offset = 0usize;
+    let mut since_snapshot = 0usize;
+    while data.len() - offset >= 8 {
+        let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD_LEN {
+            break;
+        }
+        let len = len as usize;
+        let Some(payload) = data.get(offset + 8..offset + 8 + len) else {
+            break; // torn tail: record extends past end of file
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        match parse_payload(payload) {
+            Some(Record::Advance(owner, state)) => {
+                live.insert(owner, state);
+                since_snapshot += 1;
+            }
+            Some(Record::Snapshot(entries)) => {
+                live = entries.into_iter().collect();
+                since_snapshot = 0;
+            }
+            None => break, // CRC-valid but structurally alien: corrupt tail
+        }
+        offset += 8 + len;
+    }
+    ScanResult {
+        live,
+        valid_len: offset,
+        since_snapshot,
+    }
+}
+
+enum Record {
+    Advance(String, ChainState),
+    Snapshot(Vec<(String, ChainState)>),
+}
+
+/// Parses one entry at `*pos`, enforcing bounds before any allocation.
+fn parse_entry(payload: &[u8], pos: &mut usize) -> Option<(String, ChainState)> {
+    let fixed = payload.get(*pos..*pos + ENTRY_FIXED)?;
+    let epoch = u64::from_le_bytes(fixed[0..8].try_into().unwrap());
+    let state: [u8; 32] = fixed[8..40].try_into().unwrap();
+    let owner_len = u16::from_le_bytes(fixed[40..42].try_into().unwrap()) as usize;
+    let owner_bytes = payload.get(*pos + ENTRY_FIXED..*pos + ENTRY_FIXED + owner_len)?;
+    let owner = std::str::from_utf8(owner_bytes).ok()?.to_string();
+    *pos += ENTRY_FIXED + owner_len;
+    Some((
+        owner,
+        ChainState::from_parts(Key256::from_bytes(state), epoch),
+    ))
+}
+
+fn parse_payload(payload: &[u8]) -> Option<Record> {
+    let (&kind, rest) = payload.split_first()?;
+    match kind {
+        KIND_ADVANCE => {
+            let mut pos = 0;
+            let (owner, state) = parse_entry(rest, &mut pos)?;
+            (pos == rest.len()).then_some(Record::Advance(owner, state))
+        }
+        KIND_SNAPSHOT => {
+            let count_bytes = rest.get(..4)?;
+            let count = u32::from_le_bytes(count_bytes.try_into().unwrap()) as usize;
+            // Each entry needs at least ENTRY_FIXED bytes, so an honest
+            // count is bounded by the payload itself — never trust it as
+            // an allocation size beyond that.
+            if count > (rest.len() - 4) / ENTRY_FIXED {
+                return None;
+            }
+            let mut entries = Vec::with_capacity(count);
+            let mut pos = 4;
+            for _ in 0..count {
+                entries.push(parse_entry(rest, &mut pos)?);
+            }
+            (pos == rest.len()).then_some(Record::Snapshot(entries))
+        }
+        _ => None,
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(owner: &str, epochs: u64) -> ChainState {
+        let mut c = ChainState::genesis(owner, &Key256::from_seed(11));
+        for _ in 0..epochs {
+            c.ratchet();
+        }
+        c
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "rc-journal-{}-{}-{name}.wal",
+            std::process::id(),
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "-"),
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn memstore_roundtrips_live_map_without_durability() {
+        let store = MemStore::new();
+        store.record("bob", &chain("bob", 3)).unwrap();
+        store.record("alice", &chain("alice", 1)).unwrap();
+        store.record("bob", &chain("bob", 4)).unwrap();
+        let live = store.load().unwrap();
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].0, "alice");
+        assert_eq!(live[1].1.epoch(), 4);
+        store.compact().unwrap();
+        assert_eq!(store.load().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn filestore_recovers_latest_state_per_owner() {
+        let path = tmp_path("recover");
+        {
+            let store = FileStore::open(&path).unwrap();
+            for e in 1..=5 {
+                store.record("alice", &chain("alice", e)).unwrap();
+            }
+            store.record("bob", &chain("bob", 2)).unwrap();
+        }
+        let store = FileStore::open(&path).unwrap();
+        let live = store.load().unwrap();
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0], ("alice".into(), chain("alice", 5)));
+        assert_eq!(live[1], ("bob".into(), chain("bob", 2)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_mid_log_byte_invalidates_the_tail() {
+        let path = tmp_path("corrupt");
+        {
+            let store = FileStore::open(&path).unwrap();
+            for e in 1..=4 {
+                store.record("alice", &chain("alice", e)).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let record_len = bytes.len() / 4;
+        // Flip a byte inside the second record's payload.
+        bytes[record_len + 12] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = FileStore::open(&path).unwrap();
+        // Only the first record survives; the corrupt record and every
+        // record after it are dropped (WAL prefix semantics).
+        assert_eq!(
+            store.load().unwrap(),
+            vec![("alice".into(), chain("alice", 1))]
+        );
+        // The torn tail was truncated away so appends resume cleanly.
+        assert_eq!(store.log_bytes().unwrap(), record_len as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_bounds_the_log_and_preserves_the_live_map() {
+        let path = tmp_path("compact");
+        let store = FileStore::open_with_compaction(&path, 8).unwrap();
+        for e in 1..=100 {
+            store.record("alice", &chain("alice", e)).unwrap();
+            store.record("bob", &chain("bob", e)).unwrap();
+        }
+        // Auto-compaction keeps the log within one cadence of appends.
+        let per_record = 8 + 1 + ENTRY_FIXED + 5;
+        assert!(store.log_bytes().unwrap() <= (8 * per_record + 256) as u64);
+        let live_before = store.load().unwrap();
+        store.compact().unwrap();
+        assert_eq!(store.load().unwrap(), live_before);
+        drop(store);
+        let reopened = FileStore::open(&path).unwrap();
+        assert_eq!(reopened.load().unwrap(), live_before);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_erases_superseded_states_from_disk() {
+        let path = tmp_path("erase");
+        let store = FileStore::open(&path).unwrap();
+        let old = chain("alice", 1);
+        store.record("alice", &old).unwrap();
+        store.record("alice", &chain("alice", 2)).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        let old_state = old.state_key().as_bytes();
+        assert!(
+            raw.windows(32).any(|w| w == old_state),
+            "pre-compaction log should still hold the old state"
+        );
+        store.compact().unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        assert!(
+            !raw.windows(32).any(|w| w == old_state),
+            "compaction must erase superseded chain states"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_unwritable_path_with_io_error() {
+        let err = FileStore::open("/definitely/not/a/real/dir/chain.wal").unwrap_err();
+        assert!(matches!(err, JournalError::Io { op: "open", .. }));
+        assert!(err.to_string().contains("journal open failed"));
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod access;
 pub mod chain;
+pub mod journal;
 pub mod key;
 pub mod keyring;
 pub mod manager;
@@ -42,6 +43,7 @@ pub mod tag;
 
 pub use access::{AccessControlProfile, AccessError, TrustDegree};
 pub use chain::ChainState;
+pub use journal::{ChainStore, FileStore, JournalError, MemStore};
 pub use key::{Key256, ParseKeyError};
 pub use keyring::{read_keyring, write_keyring, write_keyring_file, KeyringError};
 pub use manager::{KeyError, KeyManager, Level};

@@ -1,0 +1,147 @@
+//! Torn-write recovery properties of the chain journal.
+//!
+//! A crash can cut the write-ahead log at *any* byte. Recovery must
+//! yield exactly the longest valid record prefix — never a partially
+//! applied record, never a panic — and every recovered epoch must be
+//! monotone (the last fully journaled advance per owner).
+
+use keystream::{ChainState, ChainStore, FileStore, Key256};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const OWNERS: [&str; 3] = ["alice", "bob", "carol"];
+const RECORDS: usize = 18;
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_path(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "rc-journal-prop-{}-{}-{name}.wal",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn chain_at(owner: &str, epoch: u64) -> ChainState {
+    let mut c = ChainState::genesis(owner, &Key256::from_seed(77));
+    for _ in 0..epoch {
+        c.ratchet();
+    }
+    c
+}
+
+/// Writes a fixed round-robin log (no auto-compaction) and returns the
+/// full log bytes, the per-record `(owner, epoch)` schedule, and each
+/// record's *end* offset in the file.
+fn build_log() -> (Vec<u8>, Vec<(&'static str, u64)>, Vec<u64>) {
+    let path = tmp_path("build");
+    let store = FileStore::open_with_compaction(&path, usize::MAX).unwrap();
+    let mut schedule = Vec::new();
+    let mut ends = Vec::new();
+    for i in 0..RECORDS {
+        let owner = OWNERS[i % OWNERS.len()];
+        let epoch = (i / OWNERS.len() + 1) as u64;
+        store.record(owner, &chain_at(owner, epoch)).unwrap();
+        schedule.push((owner, epoch));
+        ends.push(store.log_bytes().unwrap());
+    }
+    drop(store);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    (bytes, schedule, ends)
+}
+
+/// The live map a correct recovery must produce when exactly the first
+/// `k` records survive.
+fn expected_after(schedule: &[(&str, u64)], k: usize) -> HashMap<String, u64> {
+    let mut live = HashMap::new();
+    for &(owner, epoch) in &schedule[..k] {
+        live.insert(owner.to_string(), epoch);
+    }
+    live
+}
+
+fn recover_truncated(bytes: &[u8], cut: usize, name: &str) -> HashMap<String, ChainState> {
+    let path = tmp_path(name);
+    std::fs::write(&path, &bytes[..cut]).unwrap();
+    let store = FileStore::open(&path).unwrap();
+    let live: HashMap<_, _> = store.load().unwrap().into_iter().collect();
+    std::fs::remove_file(&path).ok();
+    live
+}
+
+fn assert_prefix_recovery(live: &HashMap<String, ChainState>, schedule: &[(&str, u64)], k: usize) {
+    let expected = expected_after(schedule, k);
+    assert_eq!(
+        live.len(),
+        expected.len(),
+        "recovery after {k} records must hold exactly the owners journaled so far"
+    );
+    for (owner, epoch) in expected {
+        let state = live
+            .get(&owner)
+            .unwrap_or_else(|| panic!("owner {owner} lost by recovery at prefix {k}"));
+        assert_eq!(state.epoch(), epoch, "owner {owner} epoch at prefix {k}");
+        assert_eq!(
+            state,
+            &chain_at(&owner, epoch),
+            "owner {owner} state bytes must match the journaled chain"
+        );
+    }
+}
+
+/// The satellite requirement verbatim: truncate at **every byte offset
+/// of the final record** and recover. Every cut inside the final record
+/// must yield the full prefix before it — the torn record contributes
+/// nothing, and no epoch regresses below its last complete advance.
+#[test]
+fn truncation_at_every_byte_of_final_record_yields_longest_valid_prefix() {
+    let (bytes, schedule, ends) = build_log();
+    let penultimate = ends[RECORDS - 2] as usize;
+    let full = ends[RECORDS - 1] as usize;
+    assert_eq!(full, bytes.len());
+    for cut in penultimate..full {
+        let live = recover_truncated(&bytes, cut, "final");
+        assert_prefix_recovery(&live, &schedule, RECORDS - 1);
+    }
+    // And the untruncated log recovers every record.
+    let live = recover_truncated(&bytes, full, "final-full");
+    assert_prefix_recovery(&live, &schedule, RECORDS);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any cut anywhere in the log recovers exactly the records fully
+    /// contained in the surviving bytes.
+    #[test]
+    fn any_truncation_recovers_exactly_the_contained_records(raw_cut in any::<u64>()) {
+        let (bytes, schedule, ends) = build_log();
+        let cut = (raw_cut % (bytes.len() as u64 + 1)) as usize;
+        let k = ends.iter().filter(|&&end| end as usize <= cut).count();
+        let live = recover_truncated(&bytes, cut, "anycut");
+        assert_prefix_recovery(&live, &schedule, k);
+    }
+
+    /// Flipping any byte anywhere invalidates that record and the whole
+    /// tail behind it — recovery falls back to the longest valid prefix
+    /// instead of trusting a corrupt record.
+    #[test]
+    fn any_single_byte_corruption_recovers_the_prefix_before_it(
+        raw_pos in any::<u64>(),
+        raw_mask in any::<u8>(),
+    ) {
+        let (mut bytes, schedule, ends) = build_log();
+        let pos = (raw_pos % bytes.len() as u64) as usize;
+        bytes[pos] ^= raw_mask | 1; // never a no-op flip
+        // The corrupt byte lives in record k (0-based): every record
+        // ending at or before `pos` survives, nothing after does.
+        let k = ends.iter().filter(|&&end| end as usize <= pos).count();
+        let live = recover_truncated(&bytes, bytes.len(), "flip");
+        assert_prefix_recovery(&live, &schedule, k);
+    }
+}

@@ -1,0 +1,294 @@
+//! Crash/restart harness: kill the anonymizer mid-run and recover from
+//! the durable chain journal.
+//!
+//! The contract under test (PR 8's tentpole): every owner's ratchet
+//! advance is journaled to the [`keystream::FileStore`] write-ahead log
+//! *before* its receipt is issued, so a crash at any point — including
+//! the injected worst case, between ratchet-advance and receipt-issue —
+//! loses no epoch. Re-opening the store must resume every chain at its
+//! journaled epoch: monotone epochs (no reuse, no holes), captured
+//! grants still opening their own epoch's receipts, and every per-tick
+//! pipeline invariant (reversibility, issue-time k-anonymity, grant
+//! preservation) holding after recovery exactly as before, under every
+//! fault plan the injector can produce.
+
+use anonymizer::{
+    AnonymizerConfig, AnonymizerService, ContinuousPipeline, Deanonymizer, Engine, FaultPlan,
+    FaultPolicy, PipelineConfig,
+};
+use keystream::{ChainStore, FileStore, Level, TrustDegree};
+use mobisim::{OccupancySnapshot, SimConfig};
+use roadnet::{grid_city, SegmentId};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn journal_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("rcloak-crash-{}-{name}.rcs", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// The journaled `(owner → epoch)` map, read through a fresh store
+/// handle the way a restarted process would.
+fn journaled_epochs(path: &PathBuf) -> HashMap<String, u64> {
+    FileStore::open(path)
+        .expect("journal re-opens")
+        .load()
+        .expect("journal loads")
+        .into_iter()
+        .map(|(owner, chain)| (owner, chain.epoch()))
+        .collect()
+}
+
+fn pipeline_over(
+    store: Arc<dyn ChainStore>,
+    fault: Option<FaultPlan>,
+    policy: FaultPolicy,
+) -> ContinuousPipeline {
+    ContinuousPipeline::with_store(
+        grid_city(8, 8, 100.0),
+        SimConfig {
+            cars: 250,
+            seed: 11,
+            ..Default::default()
+        },
+        AnonymizerConfig::default(),
+        PipelineConfig {
+            tracked_owners: 5,
+            lbs_probes: 0,
+            seed: 0x0c4a_59e1,
+            fault,
+            fault_policy: policy,
+            ..Default::default()
+        },
+        store,
+    )
+    .expect("store recovers")
+}
+
+/// Kill the pipeline by injected crash mid-run, re-open the journal the
+/// way a restarted process would, and continue: every chain resumes at
+/// its journaled epoch — the crash-window advances included — and every
+/// per-tick invariant still verifies.
+#[test]
+fn killed_pipeline_recovers_epochs_and_invariants_from_the_journal() {
+    let path = journal_path("kill-recover");
+
+    let store = Arc::new(FileStore::open(&path).unwrap());
+    let mut pipeline = pipeline_over(
+        store,
+        Some(FaultPlan {
+            crash_at_tick: Some(3),
+            ..Default::default()
+        }),
+        FaultPolicy::default(),
+    );
+    assert!(pipeline.tick().is_ok());
+    assert!(pipeline.tick().is_ok());
+    let err = pipeline.tick().unwrap_err();
+    assert!(err.message.contains("injected crash"), "{err}");
+    drop(pipeline); // the process dies; only the journal survives
+
+    // The crashed tick's advances were journaled BEFORE the crash point:
+    // 3 epochs per owner, though only 2 ticks of receipts were issued.
+    let before = journaled_epochs(&path);
+    assert_eq!(before.len(), 5, "all tracked owners journaled");
+    for (owner, epoch) in &before {
+        assert_eq!(*epoch, 3, "{owner}: crash-window advance journaled");
+    }
+
+    // Restart over the surviving journal and keep going, fault-free.
+    let store = Arc::new(FileStore::open(&path).unwrap());
+    let mut pipeline = pipeline_over(store, None, FaultPolicy::default());
+    let reports = pipeline.run(3).expect("post-recovery invariants hold");
+    assert!(reports.iter().all(|r| r.issued == 5 && r.verified == 5));
+
+    // Epoch monotonicity across the restart: each owner continued from
+    // its journaled epoch — the unissued crash-window epoch is never
+    // reused for a new receipt.
+    let service = pipeline.service();
+    for (owner, epoch_before) in &before {
+        assert_eq!(
+            service.owner_epoch(owner),
+            Some(epoch_before + 3),
+            "{owner}: resumed past the journaled epoch"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The restart semantics satellite, at the service level: a grant
+/// captured before the crash still deanonymizes *its* epoch's receipt
+/// after `recover()`, and post-recovery re-anonymization continues the
+/// ratchet — fresh epoch, no reuse.
+#[test]
+fn captured_grant_survives_recovery_and_ratchet_continues() {
+    let path = journal_path("grant-survives");
+    let net = grid_city(8, 8, 100.0);
+    let cfg = AnonymizerConfig::default();
+
+    let service = AnonymizerService::with_store(
+        net.clone(),
+        cfg.clone(),
+        Arc::new(FileStore::open(&path).unwrap()),
+    )
+    .unwrap();
+    service.update_snapshot(OccupancySnapshot::uniform(
+        service.network().segment_count(),
+        2,
+    ));
+    let receipt = service
+        .anonymize_seeded("alice", SegmentId(17), None, 7)
+        .unwrap();
+    assert_eq!(receipt.payload.epoch, 1);
+    assert!(service.register_requester("alice", "police", TrustDegree(10), Level(0)));
+    // The requester walks away holding the keys — a captured grant.
+    let captured = service.fetch_keys("alice", "police").unwrap();
+    drop(service); // crash: all in-memory state gone
+
+    let recovered =
+        AnonymizerService::recover(net, cfg, Arc::new(FileStore::open(&path).unwrap())).unwrap();
+    recovered.update_snapshot(OccupancySnapshot::uniform(
+        recovered.network().segment_count(),
+        2,
+    ));
+
+    // The captured grant still opens its own epoch's receipt exactly.
+    let dean = Deanonymizer::new(
+        recovered.network_arc(),
+        Engine::build(recovered.network(), recovered.config().engine),
+    );
+    let view = dean.reduce(&receipt.payload, &captured).unwrap();
+    assert_eq!(view.segments, vec![SegmentId(17)]);
+
+    // And the recovered chain continues forward — epoch 2, never 1 again.
+    assert_eq!(recovered.owner_epoch("alice"), Some(1));
+    let next = recovered
+        .anonymize_seeded("alice", SegmentId(40), None, 8)
+        .unwrap();
+    assert_eq!(next.payload.epoch, 2, "ratchet resumed, no epoch reuse");
+    assert_ne!(next.payload.nonce, receipt.payload.nonce);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Kill-and-recover under *every* fault plan shape the injector offers:
+/// flaky journal writes absorbed by retries, failing snapshot captures,
+/// injected cloak failures, compaction refusals — each combined with a
+/// mid-run crash. Whatever the plan did before the kill, recovery must
+/// resume every owner strictly forward from its journaled epoch and the
+/// post-recovery run must verify every receipt.
+#[test]
+fn every_fault_plan_preserves_recovery_invariants() {
+    let plans = [
+        FaultPlan {
+            seed: 1,
+            journal_write_fail: 0.35,
+            crash_at_tick: Some(4),
+            ..Default::default()
+        },
+        FaultPlan {
+            seed: 2,
+            snapshot_capture_fail: 0.5,
+            crash_at_tick: Some(3),
+            ..Default::default()
+        },
+        FaultPlan {
+            seed: 3,
+            cloak_fail: 0.4,
+            compact_fail: 0.5,
+            crash_at_tick: Some(4),
+            ..Default::default()
+        },
+        FaultPlan {
+            seed: 4,
+            journal_write_fail: 0.25,
+            snapshot_capture_fail: 0.3,
+            cloak_fail: 0.2,
+            crash_at_tick: Some(3),
+            ..Default::default()
+        },
+    ];
+    for (i, plan) in plans.into_iter().enumerate() {
+        let path = journal_path(&format!("plan-{i}"));
+        let crash_tick = plan.crash_at_tick.unwrap();
+        let store = Arc::new(FileStore::open(&path).unwrap());
+        let mut pipeline = pipeline_over(
+            store,
+            Some(plan.clone()),
+            FaultPolicy {
+                journal_retries: 6,
+                ..Default::default()
+            },
+        );
+        for tick in 1..=crash_tick {
+            let result = pipeline.tick();
+            if tick == crash_tick {
+                let err = result.expect_err("crash fires on schedule");
+                assert!(err.message.contains("injected crash"), "plan {i}: {err}");
+            } else {
+                let report = result.unwrap_or_else(|e| panic!("plan {i}: {e}"));
+                assert_eq!(report.verified, report.issued, "plan {i}");
+            }
+        }
+        drop(pipeline);
+
+        let before = journaled_epochs(&path);
+        assert!(!before.is_empty(), "plan {i}: advances were journaled");
+
+        let store = Arc::new(FileStore::open(&path).unwrap());
+        let mut pipeline = pipeline_over(store, None, FaultPolicy::default());
+        let reports = pipeline
+            .run(3)
+            .unwrap_or_else(|e| panic!("plan {i}: post-recovery: {e}"));
+        assert!(
+            reports
+                .iter()
+                .all(|r| r.verified == r.issued && r.issued > 0),
+            "plan {i}: post-recovery receipts verify"
+        );
+        let service = pipeline.service();
+        for (owner, epoch_before) in &before {
+            let now = service
+                .owner_epoch(owner)
+                .unwrap_or_else(|| panic!("plan {i}: {owner} lost its chain across recovery"));
+            assert_eq!(
+                now,
+                epoch_before + 3,
+                "plan {i}: {owner} advanced exactly once per post-recovery tick"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// A torn tail from a mid-write kill must not poison recovery: truncate
+/// the live journal at an arbitrary byte, re-open, and the pipeline
+/// resumes from the longest valid prefix as if the torn record had
+/// never been appended.
+#[test]
+fn torn_journal_tail_recovers_to_the_valid_prefix() {
+    let path = journal_path("torn-tail");
+    {
+        let store = Arc::new(FileStore::open(&path).unwrap());
+        let mut pipeline = pipeline_over(store, None, FaultPolicy::default());
+        pipeline.run(2).unwrap();
+    }
+    // Tear mid-record: chop 5 bytes off the end of the log.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+    let before = journaled_epochs(&path);
+    // The torn final record is gone; every surviving owner is at a
+    // coherent epoch (1 or 2), never a garbage value.
+    for (owner, epoch) in &before {
+        assert!((1..=2).contains(epoch), "{owner} at epoch {epoch}");
+    }
+    // Recovery over the torn store still runs and verifies.
+    let store = Arc::new(FileStore::open(&path).unwrap());
+    let mut pipeline = pipeline_over(store, None, FaultPolicy::default());
+    let reports = pipeline.run(2).expect("recovered from torn tail");
+    assert!(reports.iter().all(|r| r.verified == r.issued));
+    let _ = std::fs::remove_file(&path);
+}

@@ -121,6 +121,7 @@ fn run_cell(
             lbs_probes: 2,
             poi_count: 60,
             attack: None,
+            ..Default::default()
         },
     );
     pipeline
@@ -404,6 +405,103 @@ fn every_adversary_mode_tracks_a_keyed_stream() {
                 // Unsound by design; nothing to assert beyond bookkeeping.
             }
             _ => assert_eq!(summary.soundness(), 1.0, "{mode:?} must be sound"),
+        }
+    }
+}
+
+/// The restart cell: for every engine × cadence pair, crash the
+/// pipeline mid-run (injected, in the ratchet-advance/receipt-issue
+/// window), rebuild it over the surviving chain store, and keep going.
+/// Restart is store-agnostic — any [`keystream::ChainStore`] carries the
+/// chains — so the cell runs over a shared in-process store; the
+/// file-backed kill-and-recover path is `tests/crash_recovery.rs`.
+/// Every per-tick invariant (reversibility, issue-time k-anonymity,
+/// grant preservation) must hold after the restart, and every owner's
+/// epoch must continue strictly past the crash-window advance.
+#[test]
+fn restart_cell_resumes_chains_and_invariants_across_engines() {
+    use keystream::ChainStore;
+    use std::sync::Arc;
+
+    let (ticks, owners) = profile_size();
+    let crash_tick = 2;
+    for engine in ENGINES {
+        for cadence in CADENCES {
+            let name = format!("restart/{engine:?}/cadence{cadence}");
+            let store: Arc<dyn ChainStore> = Arc::new(keystream::MemStore::new());
+            let config = || AnonymizerConfig {
+                engine,
+                default_profile: privacy_profile(&[3, 6]),
+                ..Default::default()
+            };
+            let pipeline_cfg = |fault| anonymizer::PipelineConfig {
+                snapshot_cadence: cadence,
+                tracked_owners: owners,
+                seed: 0x03e5_7a27,
+                lbs_probes: 0,
+                fault,
+                ..Default::default()
+            };
+            let sim_cfg = SimConfig {
+                cars: 150,
+                seed: 0xce11,
+                ..Default::default()
+            };
+
+            let mut pipeline = anonymizer::ContinuousPipeline::with_store(
+                roadnet::grid_city(8, 8, 100.0),
+                sim_cfg.clone(),
+                config(),
+                pipeline_cfg(Some(anonymizer::FaultPlan {
+                    crash_at_tick: Some(crash_tick),
+                    ..Default::default()
+                })),
+                store.clone(),
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            for _ in 1..crash_tick {
+                let report = pipeline.tick().unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert_eq!(report.verified, report.issued, "{name}");
+            }
+            let err = pipeline.tick().expect_err("crash fires on schedule");
+            assert!(err.message.contains("injected crash"), "{name}: {err}");
+            drop(pipeline);
+
+            // The crash-window advances reached the store before the
+            // receipts would have been issued.
+            let journaled = store.load().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(journaled.len(), owners, "{name}: all owners journaled");
+            assert!(
+                journaled.iter().all(|(_, c)| c.epoch() == crash_tick),
+                "{name}: crash-window epoch journaled"
+            );
+
+            // Restart over the surviving store and run the cell out.
+            let mut pipeline = anonymizer::ContinuousPipeline::with_store(
+                roadnet::grid_city(8, 8, 100.0),
+                sim_cfg,
+                config(),
+                pipeline_cfg(None),
+                store.clone(),
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let reports = pipeline
+                .run(ticks)
+                .unwrap_or_else(|e| panic!("{name}: post-restart: {e}"));
+            assert!(
+                reports
+                    .iter()
+                    .all(|r| r.verified == r.issued && r.issued > 0),
+                "{name}: post-restart receipts verify"
+            );
+            let service = pipeline.service();
+            for (owner, chain) in &journaled {
+                assert_eq!(
+                    service.owner_epoch(owner),
+                    Some(chain.epoch() + ticks as u64),
+                    "{name}: {owner} resumed past the crash-window epoch"
+                );
+            }
         }
     }
 }
