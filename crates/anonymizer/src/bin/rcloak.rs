@@ -19,11 +19,12 @@
 //!        [--engine rge|rple] [--k 5,10,20] [--owners N] [--cadence N]
 //!        [--dt SECONDS] [--lbs N] [--seed N] [--out metrics.csv] [--no-verify]
 //!        [--chain-store journal.rcs]
-//!        [--attack peel|correlate|move|all] [--no-baseline]
+//!        [--attack peel|correlate|move|all|adaptive] [--no-baseline]
 //! rcloak attack --ticks 100 --cars 1000 [--grid RxC | --map city.map]
-//!        [--engine rge|rple] [--adversary peel|correlate|move|all]
+//!        [--engine rge|rple] [--adversary peel|correlate|move|all|adaptive]
 //!        [--k 5,10,20] [--owners N] [--cadence N] [--dt SECONDS] [--seed N]
 //!        [--out attack.csv] [--no-baseline]
+//! rcloak tournament --out DIR [--profile quick|full]
 //! ```
 //!
 //! `batch` reads one `owner,segment` pair per CSV line (blank lines and
@@ -54,7 +55,16 @@
 //! non-reversible random-expansion (NRE) control cloaked side-by-side as
 //! the vulnerable comparison (`--no-baseline` disables it). The summary
 //! compares posterior entropy, anonymity-set size and guess success per
-//! stream; the per-owner/per-tick log goes to `--out` as CSV.
+//! stream; the per-owner/per-tick log goes to `--out` as CSV. The
+//! `adaptive` adversary is the Bayesian trajectory particle filter
+//! (`cloak::attack::adaptive`).
+//!
+//! `tournament` runs the full scenario tournament — every engine
+//! (RGE / RPLE / NRE control) × every adversary × every behavior mix —
+//! and writes `cells.csv` (cumulative rollups) and `trajectories.csv`
+//! (per-cell per-tick identity-entropy trajectories) into `--out DIR`.
+//! `--profile` (default: the `TOURNAMENT_PROFILE` environment variable,
+//! falling back to `quick`) picks the grid size.
 //!
 //! Keys are 64-digit hex strings; `--keys` lists them **top level first**
 //! for `deanonymize` and **level 1 first** for `anonymize` (matching the
@@ -101,6 +111,7 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&opts),
         "simulate" => cmd_simulate(&opts),
         "attack" => cmd_attack(&opts),
+        "tournament" => cmd_tournament(&opts),
         other => Err(CmdError::Usage(format!("unknown subcommand `{other}`"))),
     };
     match result {
@@ -125,10 +136,11 @@ fn usage(err: &str) -> ExitCode {
          rcloak batch --map FILE --input FILE [--engine rge|rple] [--workers N] [--cars N] [--seed N] [--out FILE]\n  \
          rcloak simulate --ticks N --cars N [--grid RxC | --map FILE] [--engine rge|rple] \
          [--k K1,K2,..] [--owners N] [--cadence N] [--dt S] [--lbs N] [--seed N] [--out FILE] [--no-verify] \
-         [--chain-store FILE] [--attack peel|correlate|move|all] [--no-baseline]\n  \
+         [--chain-store FILE] [--attack peel|correlate|move|all|adaptive] [--no-baseline]\n  \
          rcloak attack --ticks N --cars N [--grid RxC | --map FILE] [--engine rge|rple] \
-         [--adversary peel|correlate|move|all] [--k K1,K2,..] [--owners N] [--cadence N] [--dt S] \
-         [--seed N] [--out FILE] [--no-baseline]"
+         [--adversary peel|correlate|move|all|adaptive] [--k K1,K2,..] [--owners N] [--cadence N] [--dt S] \
+         [--seed N] [--out FILE] [--no-baseline]\n  \
+         rcloak tournament --out DIR [--profile quick|full]"
     );
     ExitCode::from(2)
 }
@@ -604,10 +616,9 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
     let verify = !opts.contains_key("no-verify");
     let attack_mode = match opts.get("attack").map(String::as_str) {
         None => None,
-        Some(s) => Some(
-            AdversaryMode::parse(s)
-                .ok_or_else(|| format!("unknown adversary `{s}` (peel|correlate|move|all)"))?,
-        ),
+        Some(s) => Some(AdversaryMode::parse(s).ok_or_else(|| {
+            format!("unknown adversary `{s}` (peel|correlate|move|all|adaptive)")
+        })?),
     };
     // A durable chain store journals every ratchet advance before its
     // receipt is issued; re-running over the same path resumes every
@@ -735,7 +746,7 @@ fn cmd_attack(opts: &Opts) -> Result<(), CmdError> {
     let mode = match opts.get("adversary").map(String::as_str) {
         None => AdversaryMode::All,
         Some(s) => AdversaryMode::parse(s)
-            .ok_or_else(|| format!("unknown adversary `{s}` (peel|correlate|move|all)"))?,
+            .ok_or_else(|| format!("unknown adversary `{s}` (peel|correlate|move|all|adaptive)"))?,
     };
     let baseline = !opts.contains_key("no-baseline");
     let k_top = config.default_profile.top_requirement().k;
@@ -836,6 +847,66 @@ fn cmd_attack(opts: &Opts) -> Result<(), CmdError> {
         std::fs::write(path, csv).map_err(|e| CmdError::Data(format!("write {path}: {e}")))?;
         println!("wrote per-owner attack log to {path}");
     }
+    Ok(())
+}
+
+fn cmd_tournament(opts: &Opts) -> Result<(), CmdError> {
+    use anonymizer::tournament::{self, TournamentProfile};
+
+    let profile = match opts.get("profile").map(String::as_str) {
+        None => TournamentProfile::from_env(),
+        Some("quick") => TournamentProfile::quick(),
+        Some("full") => TournamentProfile::full(),
+        Some(other) => {
+            return Err(CmdError::Usage(format!(
+                "unknown profile `{other}` (quick|full)"
+            )))
+        }
+    };
+    let out = opts
+        .get("out")
+        .ok_or_else(|| CmdError::Usage("tournament needs --out DIR".into()))?;
+
+    println!(
+        "running the {} tournament: {} ticks × {} cars on a {}×{} grid, {} owners, k={:?}",
+        profile.name(),
+        profile.ticks,
+        profile.cars,
+        profile.grid.0,
+        profile.grid.1,
+        profile.owners,
+        profile.ks,
+    );
+    let t0 = std::time::Instant::now();
+    let report = tournament::run(&profile).map_err(CmdError::Data)?;
+    println!(
+        "ran {} cells in {:.1} ms",
+        report.cells.len(),
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+    println!(
+        "{:<28} {:>8} {:>8} {:>7} {:>6}",
+        "cell", "H(seg)", "H(user)", "guess", "sound"
+    );
+    for cell in &report.cells {
+        println!(
+            "{:<28} {:>8.2} {:>8.2} {:>7.2} {:>6.2}",
+            cell.name(),
+            cell.summary.mean_entropy(),
+            cell.summary.mean_user_entropy(),
+            cell.summary.guess_success_rate(),
+            cell.summary.soundness(),
+        );
+    }
+
+    std::fs::create_dir_all(out).map_err(|e| CmdError::Data(format!("create {out}: {e}")))?;
+    let cells_path = format!("{out}/cells.csv");
+    let traj_path = format!("{out}/trajectories.csv");
+    std::fs::write(&cells_path, report.cells_csv())
+        .map_err(|e| CmdError::Data(format!("write {cells_path}: {e}")))?;
+    std::fs::write(&traj_path, report.trajectories_csv())
+        .map_err(|e| CmdError::Data(format!("write {traj_path}: {e}")))?;
+    println!("wrote {cells_path} and {traj_path}");
     Ok(())
 }
 

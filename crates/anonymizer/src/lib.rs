@@ -17,6 +17,10 @@
 //!   invariant verification, and an optional continuous attack leg
 //!   ([`AttackConfig`]) that scores a keyless temporal adversary
 //!   against the receipt stream (see the `pipeline` module docs),
+//! * [`tournament`] — the scenario tournament: every engine × every
+//!   adversary (including the adaptive Bayesian tracker) × every
+//!   behavior mix, with per-cell entropy trajectories
+//!   (`rcloak tournament`),
 //! * [`render_ascii`] / [`render_svg()`](fn@render_svg) — the map visualizations (the GUI
 //!   substitute; see DESIGN.md §1).
 //!
@@ -111,6 +115,7 @@ pub mod render_ascii;
 pub mod render_svg;
 pub mod server;
 pub mod service;
+pub mod tournament;
 
 pub use batch_input::{parse_batch_requests, BatchInput, RowError};
 pub use config::{AnonymizerConfig, EngineChoice};
@@ -124,3 +129,4 @@ pub use render_ascii::{legend, render_map, render_regions};
 pub use render_svg::render_svg;
 pub use server::AnonymizerServer;
 pub use service::{AnonymizeReceipt, AnonymizeRequest, AnonymizerService, Engine, OwnerRecord};
+pub use tournament::{TournamentCell, TournamentProfile, TournamentReport, TrajectoryPoint};

@@ -1,0 +1,424 @@
+//! The scenario tournament: every engine × every adversary × every
+//! behavior mix, with per-cell entropy trajectories.
+//!
+//! The scenario matrix (`tests/scenario_matrix.rs`) checks functional
+//! invariants per cell; the attack evaluation used to live there as two
+//! ad-hoc cells (combined adversary only, homogeneous traffic only).
+//! This module systematizes it into a **tournament**: the full cross
+//! product of
+//!
+//! * **engines** — RGE and RPLE receipt streams, plus the keyless NRE
+//!   control harvested from the pipeline's baseline leg,
+//! * **adversaries** — every [`AdversaryMode`], from the naive peel
+//!   intersection to the Bayesian trajectory particle filter,
+//! * **behavior mixes** — every named [`BehaviorMix`] (homogeneous
+//!   taxis, commuter city, taxi fleet, rush-hour wave), because an
+//!   adaptive tracker is only meaningful against structured motion,
+//!
+//! recording for every cell the cumulative [`AttackSummary`] *and* the
+//! per-tick identity-entropy trajectory (CSV-exportable, uploaded as CI
+//! artifacts). The separation invariants the paper's privacy claim
+//! rests on are asserted over this grid by `tests/tournament.rs`:
+//!
+//! 1. sound adversaries (move / all / adaptive) never place zero mass
+//!    on the true segment, in any cell;
+//! 2. RGE/RPLE hold ≥ ~`log2(k_top)` bits of user-identity entropy
+//!    against **every** adversary — including the adaptive tracker —
+//!    under **every** behavior mix;
+//! 3. the NRE control collapses (below half a bit of segment entropy)
+//!    against every replay-capable adversary.
+//!
+//! Sized by [`TournamentProfile`]: `quick` for tier-1/CI, `full` via
+//! `TOURNAMENT_PROFILE=full` for the acceptance run. Exposed on the CLI
+//! as `rcloak tournament --out DIR`.
+
+use crate::config::{AnonymizerConfig, EngineChoice};
+use crate::pipeline::{AttackConfig, ContinuousPipeline, PipelineConfig, TickReport};
+use cloak::attack::temporal::{AdversaryMode, AttackSummary};
+use cloak::{LevelRequirement, PrivacyProfile};
+use mobisim::{BehaviorMix, SimConfig};
+
+/// Size of a tournament run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TournamentProfile {
+    /// Ticks per cell.
+    pub ticks: usize,
+    /// Simulated cars.
+    pub cars: usize,
+    /// Grid dimensions (`grid_city(rows, cols, 100.0)`).
+    pub grid: (usize, usize),
+    /// Tracked (and attacked) owners per cell.
+    pub owners: usize,
+    /// The k-profile every cell cloaks under; the separation bound is
+    /// taken against the top k.
+    pub ks: Vec<u32>,
+    /// Seconds per tick.
+    pub dt: f64,
+}
+
+impl TournamentProfile {
+    /// The tier-1/CI profile: small enough to run the full 2×5×4 grid
+    /// (plus NRE harvests) in seconds.
+    pub fn quick() -> Self {
+        TournamentProfile {
+            ticks: 12,
+            cars: 150,
+            grid: (8, 8),
+            owners: 6,
+            ks: vec![4, 8],
+            dt: 10.0,
+        }
+    }
+
+    /// The acceptance profile (`TOURNAMENT_PROFILE=full`): long streams,
+    /// denser traffic — the adaptive tracker gets a real trajectory to
+    /// learn from.
+    pub fn full() -> Self {
+        TournamentProfile {
+            ticks: 80,
+            cars: 400,
+            grid: (8, 8),
+            owners: 8,
+            ks: vec![4, 8],
+            dt: 10.0,
+        }
+    }
+
+    /// Reads `TOURNAMENT_PROFILE` (`full` → [`full`](Self::full),
+    /// anything else → [`quick`](Self::quick)).
+    pub fn from_env() -> Self {
+        match std::env::var("TOURNAMENT_PROFILE").as_deref() {
+            Ok("full") => Self::full(),
+            _ => Self::quick(),
+        }
+    }
+
+    /// The profile's name for logs/CSV provenance.
+    pub fn name(&self) -> &'static str {
+        if self.ticks >= Self::full().ticks {
+            "full"
+        } else {
+            "quick"
+        }
+    }
+
+    /// The top-level k the separation bound is taken against.
+    pub fn k_top(&self) -> u32 {
+        self.ks.last().copied().unwrap_or(1).max(1)
+    }
+}
+
+/// The behavior mixes every engine × adversary pair runs under.
+pub fn behavior_mixes() -> Vec<(&'static str, BehaviorMix)> {
+    vec![
+        ("uniform", BehaviorMix::uniform()),
+        ("commuter", BehaviorMix::commuter_city()),
+        ("taxi", BehaviorMix::taxi_fleet()),
+        ("rush", BehaviorMix::rush_hour()),
+    ]
+}
+
+/// One point of a cell's per-tick entropy trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// 1-based pipeline tick.
+    pub tick: u64,
+    /// Mean posterior segment entropy over the tick's observations.
+    pub entropy_bits: f64,
+    /// Mean user-identity entropy over the tick's observations (the
+    /// k-anonymity axis).
+    pub user_entropy_bits: f64,
+    /// Mean anonymity-set size.
+    pub support: f64,
+    /// Observations folded into this point.
+    pub observations: u64,
+}
+
+/// One tournament cell: engine × adversary × mix, with its cumulative
+/// rollup and per-tick trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TournamentCell {
+    /// `"rge"` / `"rple"` for keyed streams, `"nre"` for the keyless
+    /// deterministic control.
+    pub scheme: &'static str,
+    /// The adversary attacking this stream.
+    pub adversary: AdversaryMode,
+    /// Name of the behavior mix the traffic ran under.
+    pub mix: &'static str,
+    /// Cumulative attack rollup over the whole stream.
+    pub summary: AttackSummary,
+    /// Per-tick identity-entropy trajectory.
+    pub trajectory: Vec<TrajectoryPoint>,
+}
+
+impl TournamentCell {
+    /// `scheme/adversary/mix`, the cell's display name.
+    pub fn name(&self) -> String {
+        format!("{}/{}/{}", self.scheme, self.adversary.name(), self.mix)
+    }
+}
+
+/// The full tournament result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TournamentReport {
+    /// Every cell of the grid (keyed schemes and NRE harvests).
+    pub cells: Vec<TournamentCell>,
+    /// The profile the tournament ran at.
+    pub profile: TournamentProfile,
+}
+
+/// Header of [`TournamentReport::cells_csv`].
+pub const CELLS_CSV_HEADER: &str = "scheme,adversary,mix,observations,mean_entropy_bits,\
+     min_entropy_bits,mean_user_entropy_bits,min_user_entropy_bits,mean_support,mean_region,\
+     guess_success,soundness,resets";
+
+/// Header of [`TournamentReport::trajectories_csv`].
+pub const TRAJECTORIES_CSV_HEADER: &str =
+    "scheme,adversary,mix,tick,entropy_bits,user_entropy_bits,support,observations";
+
+impl TournamentReport {
+    /// Looks a cell up by coordinates.
+    pub fn cell(
+        &self,
+        scheme: &str,
+        adversary: AdversaryMode,
+        mix: &str,
+    ) -> Option<&TournamentCell> {
+        self.cells
+            .iter()
+            .find(|c| c.scheme == scheme && c.adversary == adversary && c.mix == mix)
+    }
+
+    /// Cells of one scheme.
+    pub fn scheme_cells<'a>(
+        &'a self,
+        scheme: &'a str,
+    ) -> impl Iterator<Item = &'a TournamentCell> + 'a {
+        self.cells.iter().filter(move |c| c.scheme == scheme)
+    }
+
+    /// One row per cell: the cumulative rollups.
+    pub fn cells_csv(&self) -> String {
+        let mut csv = String::from(CELLS_CSV_HEADER);
+        csv.push('\n');
+        for c in &self.cells {
+            let s = &c.summary;
+            csv.push_str(&format!(
+                "{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.2},{:.2},{:.4},{:.4},{}\n",
+                c.scheme,
+                c.adversary.name(),
+                c.mix,
+                s.observations(),
+                s.mean_entropy(),
+                s.min_entropy(),
+                s.mean_user_entropy(),
+                s.min_user_entropy(),
+                s.mean_support(),
+                s.mean_region(),
+                s.guess_success_rate(),
+                s.soundness(),
+                s.resets(),
+            ));
+        }
+        csv
+    }
+
+    /// One row per cell per tick: the identity-entropy trajectories (the
+    /// CI artifact).
+    pub fn trajectories_csv(&self) -> String {
+        let mut csv = String::from(TRAJECTORIES_CSV_HEADER);
+        csv.push('\n');
+        for c in &self.cells {
+            for p in &c.trajectory {
+                csv.push_str(&format!(
+                    "{},{},{},{},{:.4},{:.4},{:.2},{}\n",
+                    c.scheme,
+                    c.adversary.name(),
+                    c.mix,
+                    p.tick,
+                    p.entropy_bits,
+                    p.user_entropy_bits,
+                    p.support,
+                    p.observations,
+                ));
+            }
+        }
+        csv
+    }
+}
+
+fn privacy_profile(ks: &[u32]) -> PrivacyProfile {
+    let mut builder = PrivacyProfile::builder();
+    for &k in ks {
+        builder = builder.level(LevelRequirement::with_k(k));
+    }
+    builder.build().expect("tournament profiles are valid")
+}
+
+fn trajectory_point(tick: u64, summary: &AttackSummary) -> TrajectoryPoint {
+    TrajectoryPoint {
+        tick,
+        entropy_bits: summary.mean_entropy(),
+        user_entropy_bits: summary.mean_user_entropy(),
+        support: summary.mean_support(),
+        observations: summary.observations(),
+    }
+}
+
+/// Runs one cell's pipeline and returns its tick reports plus the
+/// cumulative engine/baseline rollups.
+#[allow(clippy::type_complexity)]
+fn run_stream(
+    profile: &TournamentProfile,
+    engine: EngineChoice,
+    adversary: AdversaryMode,
+    mix: &BehaviorMix,
+    with_baseline: bool,
+) -> Result<(Vec<TickReport>, AttackSummary, Option<AttackSummary>), String> {
+    let mut pipeline = ContinuousPipeline::new(
+        roadnet::grid_city(profile.grid.0, profile.grid.1, 100.0),
+        SimConfig {
+            cars: profile.cars,
+            seed: 0x7009_a3e7,
+            behavior: mix.clone(),
+            ..Default::default()
+        },
+        AnonymizerConfig {
+            engine,
+            default_profile: privacy_profile(&profile.ks),
+            ..Default::default()
+        },
+        PipelineConfig {
+            dt: profile.dt,
+            tracked_owners: profile.owners,
+            seed: 0x7009_a3e7 ^ 0x51e_71c4,
+            verify: false,
+            lbs_probes: 0,
+            attack: Some(AttackConfig {
+                mode: adversary,
+                baseline: with_baseline,
+                keep_records: false,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    );
+    let reports = pipeline.run(profile.ticks).map_err(|e| e.to_string())?;
+    let engine_summary = pipeline.attack_summary().expect("attack leg is on").clone();
+    let baseline_summary = pipeline.baseline_attack_summary().cloned();
+    Ok((reports, engine_summary, baseline_summary))
+}
+
+/// Runs the full tournament grid: for every behavior mix and adversary,
+/// both keyed engines — with the NRE control harvested once per
+/// (adversary, mix) from the RGE run's baseline leg (the control's
+/// receipt stream is engine-independent, so a second harvest would
+/// duplicate the cell).
+pub fn run(profile: &TournamentProfile) -> Result<TournamentReport, String> {
+    let engines = [
+        ("rge", EngineChoice::Rge),
+        ("rple", EngineChoice::Rple { t_len: 10 }),
+    ];
+    let mut cells = Vec::new();
+    for (mix_name, mix) in behavior_mixes() {
+        for adversary in AdversaryMode::ALL {
+            for (scheme, engine) in engines {
+                let with_baseline = scheme == "rge";
+                let (reports, summary, baseline) =
+                    run_stream(profile, engine, adversary, &mix, with_baseline)
+                        .map_err(|e| format!("{scheme}/{}/{mix_name}: {e}", adversary.name()))?;
+                cells.push(TournamentCell {
+                    scheme,
+                    adversary,
+                    mix: mix_name,
+                    summary,
+                    trajectory: reports
+                        .iter()
+                        .filter_map(|r| {
+                            r.attack
+                                .as_ref()
+                                .map(|a| trajectory_point(r.tick, &a.engine))
+                        })
+                        .collect(),
+                });
+                if let Some(baseline) = baseline {
+                    cells.push(TournamentCell {
+                        scheme: "nre",
+                        adversary,
+                        mix: mix_name,
+                        summary: baseline,
+                        trajectory: reports
+                            .iter()
+                            .filter_map(|r| {
+                                r.attack.as_ref().and_then(|a| {
+                                    a.baseline.as_ref().map(|b| trajectory_point(r.tick, b))
+                                })
+                            })
+                            .collect(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(TournamentReport {
+        cells,
+        profile: profile.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_and_named() {
+        let quick = TournamentProfile::quick();
+        let full = TournamentProfile::full();
+        assert!(quick.ticks < full.ticks);
+        assert_eq!(quick.name(), "quick");
+        assert_eq!(full.name(), "full");
+        assert_eq!(quick.k_top(), 8);
+    }
+
+    #[test]
+    fn mixes_cover_the_named_grid() {
+        let mixes = behavior_mixes();
+        assert_eq!(mixes.len(), 4);
+        assert_eq!(mixes[0].0, "uniform");
+        assert_eq!(mixes[0].1, BehaviorMix::Uniform);
+    }
+
+    #[test]
+    fn csv_headers_match_row_arity() {
+        // A minimal one-cell report round-trips through both CSV forms
+        // with the right column counts.
+        let report = TournamentReport {
+            cells: vec![TournamentCell {
+                scheme: "rge",
+                adversary: AdversaryMode::All,
+                mix: "uniform",
+                summary: AttackSummary::new(),
+                trajectory: vec![TrajectoryPoint {
+                    tick: 1,
+                    entropy_bits: 2.0,
+                    user_entropy_bits: 3.0,
+                    support: 8.0,
+                    observations: 6,
+                }],
+            }],
+            profile: TournamentProfile::quick(),
+        };
+        let cells = report.cells_csv();
+        let header_cols = CELLS_CSV_HEADER.split(',').count();
+        for line in cells.lines().skip(1) {
+            assert_eq!(line.split(',').count(), header_cols, "{line}");
+        }
+        let traj = report.trajectories_csv();
+        let header_cols = TRAJECTORIES_CSV_HEADER.split(',').count();
+        for line in traj.lines().skip(1) {
+            assert_eq!(line.split(',').count(), header_cols, "{line}");
+        }
+        assert!(report.cell("rge", AdversaryMode::All, "uniform").is_some());
+        assert!(report.cell("nre", AdversaryMode::All, "uniform").is_none());
+    }
+}

@@ -61,12 +61,10 @@ fn bench_observe_modes(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_secs(1));
-    for mode in [
-        AdversaryMode::Peel,
-        AdversaryMode::Correlate,
-        AdversaryMode::Move,
-        AdversaryMode::All,
-    ] {
+    // Every mode, including the Bayesian trajectory particle filter
+    // (`Adaptive`): its cell prices the per-receipt propagate + weight +
+    // resample loop against the closed-form portfolio modes.
+    for mode in AdversaryMode::ALL {
         group.bench_with_input(BenchmarkId::new("mode", mode.name()), &mode, |b, &mode| {
             let mut adversary = TemporalAdversary::new(
                 &net,

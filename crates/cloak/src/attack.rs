@@ -20,8 +20,12 @@
 //! These score one cloak in isolation. The [`temporal`] submodule mounts
 //! the longitudinal versions — multi-tick peel intersection, snapshot
 //! correlation, movement-model pruning, and replay inversion against
-//! keyless schemes — over a whole receipt stream.
+//! keyless schemes — over a whole receipt stream. The [`adaptive`]
+//! submodule upgrades the stream adversary to a learning one: a Bayesian
+//! particle filter over whole trajectories that compounds evidence
+//! across ticks instead of re-deriving it per observation.
 
+pub mod adaptive;
 pub mod temporal;
 
 use crate::engine::ReversibleEngine;

@@ -28,7 +28,12 @@
 //!   attack is *sound* (the true segment always survives).
 //! * **all** ([`AdversaryMode::All`]) — the movement prune, the
 //!   occupancy weighting, and the replay prune combined: the strongest
-//!   keyless adversary this module models.
+//!   *fixed-strategy* keyless adversary this module models.
+//! * **adaptive** ([`AdversaryMode::Adaptive`]) — the Bayesian
+//!   trajectory particle filter of [`crate::attack::adaptive`]: same
+//!   movement/occupancy/replay evidence, but compounded across the whole
+//!   stream as a posterior over trajectories. `observe` delegates to
+//!   [`crate::attack::adaptive::AdaptiveTracker`] wholesale.
 //!
 //! Each observation rolls up into [`AttackObservation`] (posterior
 //! entropy, anonymity-set size, guess correctness) and the running
@@ -122,16 +127,22 @@ pub enum AdversaryMode {
     Move,
     /// Movement prune + occupancy weighting + replay inversion.
     All,
+    /// The Bayesian trajectory particle filter
+    /// ([`crate::attack::adaptive::AdaptiveTracker`]): movement-model
+    /// transition kernel, occupancy likelihood, replay inversion,
+    /// systematic resampling — the strongest *learning* adversary.
+    Adaptive,
 }
 
 impl AdversaryMode {
-    /// Parses the CLI spelling (`peel|correlate|move|all`).
+    /// Parses the CLI spelling (`peel|correlate|move|all|adaptive`).
     pub fn parse(s: &str) -> Option<AdversaryMode> {
         match s {
             "peel" => Some(AdversaryMode::Peel),
             "correlate" => Some(AdversaryMode::Correlate),
             "move" => Some(AdversaryMode::Move),
             "all" => Some(AdversaryMode::All),
+            "adaptive" => Some(AdversaryMode::Adaptive),
             _ => None,
         }
     }
@@ -143,8 +154,18 @@ impl AdversaryMode {
             AdversaryMode::Correlate => "correlate",
             AdversaryMode::Move => "move",
             AdversaryMode::All => "all",
+            AdversaryMode::Adaptive => "adaptive",
         }
     }
+
+    /// Every mode, in CLI/tournament order.
+    pub const ALL: [AdversaryMode; 5] = [
+        AdversaryMode::Peel,
+        AdversaryMode::Correlate,
+        AdversaryMode::Move,
+        AdversaryMode::All,
+        AdversaryMode::Adaptive,
+    ];
 
     /// Whether this mode carries candidate state across ticks.
     fn has_memory(self) -> bool {
@@ -153,13 +174,19 @@ impl AdversaryMode {
 
     /// Whether this mode uses the movement (reachability) model.
     fn uses_movement(self) -> bool {
-        matches!(self, AdversaryMode::Move | AdversaryMode::All)
+        matches!(
+            self,
+            AdversaryMode::Move | AdversaryMode::All | AdversaryMode::Adaptive
+        )
     }
 
     /// Whether this mode weights candidates by snapshot occupancy and
     /// replays replayable schemes.
     fn uses_snapshot(self) -> bool {
-        matches!(self, AdversaryMode::Correlate | AdversaryMode::All)
+        matches!(
+            self,
+            AdversaryMode::Correlate | AdversaryMode::All | AdversaryMode::Adaptive
+        )
     }
 }
 
@@ -581,6 +608,10 @@ pub struct TemporalAdversary {
     tick_weights_ready: bool,
     /// Counter feeding the deterministic guess sampler.
     draws: u64,
+    /// The trajectory particle filter, present iff the mode is
+    /// [`AdversaryMode::Adaptive`]; `observe` delegates to it wholesale
+    /// (the fixed-portfolio state above stays unused).
+    adaptive: Option<crate::attack::adaptive::AdaptiveTracker>,
 }
 
 /// Largest hop budget answered from the packed reachability index;
@@ -588,22 +619,49 @@ pub struct TemporalAdversary {
 /// adversary falls back to the [`ReachScratch`] BFS.
 const PACKED_HOP_CAP: usize = roadnet::index::MAX_CACHED_HOPS;
 
+/// The conservative per-tick movement hop budget every adversary in this
+/// module shares: `ceil(max_speed·dt / min_segment_length) + 1`, an
+/// over-approximation that keeps reachability pruning sound.
+pub(crate) fn conservative_hops(net: &RoadNetwork, max_speed: f64, dt: f64) -> usize {
+    let min_len = net
+        .segments()
+        .map(|s| s.length())
+        .fold(f64::INFINITY, f64::min);
+    if min_len.is_finite() && min_len > 0.0 {
+        (max_speed.max(0.0) * dt.max(0.0) / min_len).ceil() as usize + 1
+    } else {
+        1
+    }
+}
+
 impl TemporalAdversary {
     /// Builds an adversary for a road network. The movement model's hop
     /// budget is `ceil(max_speed·dt / min_segment_length) + 1` — an
     /// over-approximation that keeps the reachability prune sound.
+    /// [`AdversaryMode::Adaptive`] gets a default-configured particle
+    /// filter; use [`with_adaptive`](Self::with_adaptive) to tune it.
     pub fn new(net: &RoadNetwork, cfg: AdversaryConfig) -> Self {
-        let min_len = net
-            .segments()
-            .map(|s| s.length())
-            .fold(f64::INFINITY, f64::min);
-        let hops = if min_len.is_finite() && min_len > 0.0 {
-            (cfg.max_speed.max(0.0) * cfg.dt.max(0.0) / min_len).ceil() as usize + 1
-        } else {
-            1
+        let adaptive = crate::attack::adaptive::AdaptiveConfig {
+            seed: cfg.seed ^ 0x0ada_9717,
+            ..Default::default()
         };
+        Self::with_adaptive(net, cfg, adaptive)
+    }
+
+    /// [`new`](Self::new) with explicit particle-filter tuning (only
+    /// consulted when the mode is [`AdversaryMode::Adaptive`]).
+    pub fn with_adaptive(
+        net: &RoadNetwork,
+        cfg: AdversaryConfig,
+        adaptive_cfg: crate::attack::adaptive::AdaptiveConfig,
+    ) -> Self {
+        let hops = conservative_hops(net, cfg.max_speed, cfg.dt);
+        let adaptive = (cfg.mode == AdversaryMode::Adaptive).then(|| {
+            crate::attack::adaptive::AdaptiveTracker::new(net, cfg.max_speed, cfg.dt, adaptive_cfg)
+        });
         let reach_index =
-            (cfg.mode.uses_movement() && hops <= PACKED_HOP_CAP).then(|| net.reach_index(hops));
+            (cfg.mode.uses_movement() && adaptive.is_none() && hops <= PACKED_HOP_CAP)
+                .then(|| net.reach_index(hops));
         TemporalAdversary {
             cfg,
             hops,
@@ -623,6 +681,7 @@ impl TemporalAdversary {
             tick_fallback: 0.0,
             tick_weights_ready: false,
             draws: 0,
+            adaptive,
         }
     }
 
@@ -715,7 +774,22 @@ impl TemporalAdversary {
 
     /// Owners currently tracked.
     pub fn tracked_owners(&self) -> usize {
-        self.owners.len()
+        match &self.adaptive {
+            Some(filter) => filter.tracked_owners(),
+            None => self.owners.len(),
+        }
+    }
+
+    /// Particle-filter health, when the mode is
+    /// [`AdversaryMode::Adaptive`].
+    pub fn adaptive_stats(&self) -> Option<crate::attack::adaptive::AdaptiveStats> {
+        self.adaptive.as_ref().map(|f| f.stats())
+    }
+
+    /// The underlying particle filter, when the mode is
+    /// [`AdversaryMode::Adaptive`].
+    pub fn adaptive_tracker(&self) -> Option<&crate::attack::adaptive::AdaptiveTracker> {
+        self.adaptive.as_ref()
     }
 
     /// Drops all per-owner state (the adversary starts cold again) and
@@ -723,6 +797,9 @@ impl TemporalAdversary {
     pub fn reset(&mut self) {
         self.owners.clear();
         self.tick_weights_ready = false;
+        if let Some(filter) = &mut self.adaptive {
+            filter.reset();
+        }
     }
 
     /// Processes one observed cloak for `owner` and returns the attack
@@ -744,6 +821,32 @@ impl TemporalAdversary {
     ) -> AttackObservation {
         peel_candidates_into(net, obs.region, &mut self.peel, &mut self.peel_out);
         let peel_frontier = self.peel_out.len();
+        // The adaptive mode is a different inference engine entirely:
+        // hand the observation (and the precomputed peel frontier) to
+        // the particle filter.
+        if let Some(filter) = &mut self.adaptive {
+            return filter.observe(net, owner, obs, replay, truth, peel_frontier);
+        }
+        // An empty observed region admits no posterior: report zeros
+        // (not NaN) and leave the owner's temporal state untouched. The
+        // guess/soundness fields stay unscored — there is nothing to
+        // guess over, and scoring would spuriously break a sound
+        // attack's `soundness() == 1.0`.
+        if obs.region.is_empty() {
+            return AttackObservation {
+                tick: obs.tick,
+                region_size: 0,
+                peel_frontier,
+                support: 0,
+                entropy_bits: 0.0,
+                user_entropy_bits: 0.0,
+                region_entropy_bits: 0.0,
+                guess: SegmentId(0),
+                guess_correct: None,
+                true_in_support: None,
+                reset: true,
+            };
+        }
         let mode = self.cfg.mode;
         let mut state = self.owners.remove(owner).unwrap_or_default();
         let mut reset = false;
@@ -893,12 +996,17 @@ impl TemporalAdversary {
         let mut entropy = 0.0;
         let mut user_entropy = 0.0;
         let mut support = 0usize;
-        for (&w, &c) in self.weights.iter().zip(&self.candidates) {
-            if w > 0.0 {
-                support += 1;
-                let p = w / total;
-                entropy -= p * p.log2();
-                user_entropy += p * (obs.snapshot.users_on(c).max(1) as f64).log2();
+        // `total > 0` is invariant today (empty posteriors reset to
+        // uniform above), but divide-by-zero here would surface as NaN
+        // entropy in every downstream rollup — keep the guard explicit.
+        if total > 0.0 {
+            for (&w, &c) in self.weights.iter().zip(&self.candidates) {
+                if w > 0.0 {
+                    support += 1;
+                    let p = w / total;
+                    entropy -= p * p.log2();
+                    user_entropy += p * (obs.snapshot.users_on(c).max(1) as f64).log2();
+                }
             }
         }
         let entropy = entropy.max(0.0);
@@ -965,8 +1073,9 @@ impl TemporalAdversary {
     }
 }
 
-/// SplitMix64 finalizer for the guess sampler.
-fn splitmix64(mut z: u64) -> u64 {
+/// SplitMix64 finalizer for the guess sampler (shared with the adaptive
+/// tracker's proposal/resampling draws).
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -1025,6 +1134,7 @@ mod tests {
             AdversaryMode::Move,
             AdversaryMode::All,
             AdversaryMode::Correlate,
+            AdversaryMode::Adaptive,
         ] {
             let mut adv = TemporalAdversary::new(
                 &net,
@@ -1305,7 +1415,157 @@ mod tests {
         assert_eq!(b, a);
         assert!(format!("{a}").contains("entropy"));
         assert_eq!(AdversaryMode::parse("move"), Some(AdversaryMode::Move));
+        assert_eq!(
+            AdversaryMode::parse("adaptive"),
+            Some(AdversaryMode::Adaptive)
+        );
         assert_eq!(AdversaryMode::parse("bogus"), None);
         assert_eq!(AdversaryMode::All.name(), "all");
+        for mode in AdversaryMode::ALL {
+            assert_eq!(AdversaryMode::parse(mode.name()), Some(mode));
+        }
+    }
+
+    #[test]
+    fn zero_tick_summary_reports_finite_zeros() {
+        // A stream the adversary never observed (the tournament's
+        // zero-tick edge): every accessor must be 0.0/1.0, never NaN.
+        let s = AttackSummary::new();
+        assert_eq!(s.observations(), 0);
+        assert_eq!(s.mean_entropy(), 0.0);
+        assert_eq!(s.min_entropy(), 0.0);
+        assert_eq!(s.mean_user_entropy(), 0.0);
+        assert_eq!(s.min_user_entropy(), 0.0);
+        assert_eq!(s.mean_support(), 0.0);
+        assert_eq!(s.mean_region(), 0.0);
+        assert_eq!(s.guess_success_rate(), 0.0);
+        assert_eq!(s.soundness(), 1.0);
+        let rendered = format!("{s}");
+        assert!(!rendered.contains("NaN"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_region_observation_yields_zeros_not_nan() {
+        let net = grid_city(4, 4, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        for mode in AdversaryMode::ALL {
+            let mut adv = TemporalAdversary::new(
+                &net,
+                AdversaryConfig {
+                    mode,
+                    ..Default::default()
+                },
+            );
+            let obs = adv.observe(
+                &net,
+                "alice",
+                Observation {
+                    tick: 1,
+                    region: &[],
+                    snapshot: &snapshot,
+                    snapshot_fresh: true,
+                },
+                None,
+                Some(SegmentId(3)),
+            );
+            assert_eq!(obs.entropy_bits, 0.0, "{mode:?}");
+            assert_eq!(obs.user_entropy_bits, 0.0, "{mode:?}");
+            assert_eq!(obs.support, 0, "{mode:?}");
+            // Nothing to guess over: the tick stays unscored so it
+            // cannot spuriously break a sound attack's soundness.
+            assert_eq!(obs.guess_correct, None, "{mode:?}");
+            assert_eq!(obs.true_in_support, None, "{mode:?}");
+            assert!(obs.reset, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn single_candidate_region_yields_exact_zero_entropy() {
+        let net = grid_city(4, 4, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 4);
+        let region = [SegmentId(5)];
+        for mode in [
+            AdversaryMode::Peel,
+            AdversaryMode::Correlate,
+            AdversaryMode::Move,
+            AdversaryMode::All,
+        ] {
+            let mut adv = TemporalAdversary::new(
+                &net,
+                AdversaryConfig {
+                    mode,
+                    ..Default::default()
+                },
+            );
+            let obs = adv.observe(
+                &net,
+                "alice",
+                Observation {
+                    tick: 1,
+                    region: &region,
+                    snapshot: &snapshot,
+                    snapshot_fresh: true,
+                },
+                None,
+                Some(SegmentId(5)),
+            );
+            // Exactly 0.0 — a point posterior, not an almost-zero float.
+            assert_eq!(obs.entropy_bits, 0.0, "{mode:?}");
+            assert_eq!(obs.support, 1, "{mode:?}");
+            // The identity axis still carries the segment's user count.
+            assert!(
+                (obs.user_entropy_bits - 2.0).abs() < 1e-12,
+                "{mode:?}: {}",
+                obs.user_entropy_bits
+            );
+            assert_eq!(obs.guess, SegmentId(5), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn empty_posterior_after_pruning_resets_with_finite_entropy() {
+        // Peel memory intersected with a disjoint region empties the
+        // posterior: the adversary must reset to the full region (finite
+        // entropy, full support), never emit NaN.
+        let net = grid_city(8, 8, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let mut adv = TemporalAdversary::new(
+            &net,
+            AdversaryConfig {
+                mode: AdversaryMode::Peel,
+                ..Default::default()
+            },
+        );
+        let first: Vec<SegmentId> = (0..6).map(SegmentId).collect();
+        let second: Vec<SegmentId> = (60..66).map(SegmentId).collect();
+        adv.observe(
+            &net,
+            "alice",
+            Observation {
+                tick: 1,
+                region: &first,
+                snapshot: &snapshot,
+                snapshot_fresh: true,
+            },
+            None,
+            None,
+        );
+        let obs = adv.observe(
+            &net,
+            "alice",
+            Observation {
+                tick: 2,
+                region: &second,
+                snapshot: &snapshot,
+                snapshot_fresh: true,
+            },
+            None,
+            Some(SegmentId(62)),
+        );
+        assert!(obs.reset);
+        assert_eq!(obs.support, second.len());
+        assert!(obs.entropy_bits.is_finite());
+        assert!((obs.entropy_bits - (second.len() as f64).log2()).abs() < 1e-9);
+        assert_eq!(obs.true_in_support, Some(true));
     }
 }

@@ -102,7 +102,9 @@
 //! single cloak (posterior entropy, guess success, selection
 //! uniformity); [`attack::temporal`] extends it to an adversary watching
 //! the whole per-tick receipt stream of a continuously anonymizing
-//! system — see `docs/ARCHITECTURE.md` at the repository root for how
+//! system, and [`attack::adaptive`] to a learning adversary — a Bayesian
+//! trajectory particle filter — that compounds evidence across the
+//! stream. See `docs/ARCHITECTURE.md` at the repository root for how
 //! the pieces fit together.
 
 #![forbid(unsafe_code)]
@@ -122,6 +124,7 @@ pub mod region;
 pub mod scratch;
 pub mod table;
 
+pub use attack::adaptive::{AdaptiveConfig, AdaptiveStats, AdaptiveTracker};
 pub use attack::temporal::{
     AdversaryConfig, AdversaryMode, AttackObservation, AttackSummary, Observation, ReachScratch,
     ReplayProbe, TemporalAdversary,

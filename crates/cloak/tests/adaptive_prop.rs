@@ -1,0 +1,245 @@
+//! Property tests for particle-filter degeneracy in the adaptive
+//! Bayesian tracker.
+//!
+//! A bootstrap filter's classic failure mode is weight degeneracy: after
+//! a few sharply-peaked observations almost all importance weight sits
+//! on a handful of particles, the effective sample size (ESS) collapses,
+//! and — if nothing intervenes — the particle set can empty out entirely
+//! when an observation refutes every survivor. The tracker documents two
+//! defenses (`cloak::attack::adaptive` module docs):
+//!
+//! * with resampling **enabled** (the default), ESS collapse triggers a
+//!   systematic resample back toward uniform weights;
+//! * with resampling **disabled**, total refutation falls back to
+//!   **uniform reinjection** over the observed region — the particle set
+//!   is rebuilt, never left empty.
+//!
+//! These tests drive the filter with adversarial density waves (sharply
+//! peaked, moving occupancy) and teleporting regions under `resample:
+//! false` and assert the fallback fires, the particle set never empties,
+//! and every reported posterior stays finite and sound.
+
+use cloak::attack::temporal::Observation;
+use cloak::{AdaptiveConfig, AdaptiveTracker};
+use mobisim::OccupancySnapshot;
+use proptest::prelude::*;
+use roadnet::{grid_city, SegmentId};
+
+/// A snapshot with all density piled on one segment (plus a 1-user
+/// floor): the sharpest observation likelihood the tracker can see.
+fn peaked_snapshot(segments: usize, peak: usize, height: u32) -> OccupancySnapshot {
+    let mut counts = vec![1u32; segments];
+    counts[peak] = height;
+    OccupancySnapshot::from_counts(counts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Resampling disabled + teleporting regions (each observation's
+    /// region is disjoint from — and unreachable from — the last):
+    /// every observation totally refutes the propagated particles, so
+    /// the documented uniform-reinjection fallback must fire every
+    /// time, and the particle set must never be empty afterward.
+    #[test]
+    fn total_refutation_reinjects_instead_of_emptying(
+        seed in any::<u64>(),
+        particles in 1usize..96,
+    ) {
+        let net = grid_city(12, 12, 100.0);
+        // max_speed 5 m/s × dt 10 s = 50 m < one 100 m segment: the
+        // conservative hop budget stays tiny, so a far jump is provably
+        // unreachable.
+        let mut tracker = AdaptiveTracker::new(
+            &net,
+            5.0,
+            10.0,
+            AdaptiveConfig {
+                particles,
+                resample: false,
+                seed,
+                ..Default::default()
+            },
+        );
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 2);
+        // Two far-apart corners of the grid, alternating: every hop is
+        // far outside the reachable set of the previous region.
+        let near: Vec<SegmentId> = (0..5).map(SegmentId).collect();
+        let far: Vec<SegmentId> = (200..205).map(SegmentId).collect();
+        let mut last_reinjections = 0;
+        for tick in 1..=6u64 {
+            let region = if tick % 2 == 1 { &near } else { &far };
+            let obs = tracker.observe(
+                &net,
+                "owner",
+                Observation {
+                    tick,
+                    region,
+                    snapshot: &snapshot,
+                    snapshot_fresh: true,
+                },
+                None,
+                Some(region[0]),
+                region.len(),
+            );
+            prop_assert!(obs.entropy_bits.is_finite());
+            prop_assert!(obs.user_entropy_bits.is_finite());
+            prop_assert_eq!(obs.true_in_support, Some(true), "epsilon mixture keeps truth");
+            let count = tracker.particle_count("owner").expect("owner tracked");
+            prop_assert_eq!(count, particles.max(1), "particle set must never shrink");
+            if tick > 1 {
+                // Every teleport refutes all particles: reinjection fired.
+                prop_assert!(
+                    tracker.reinjections() > last_reinjections,
+                    "tick {}: no reinjection after a total refutation", tick
+                );
+            }
+            last_reinjections = tracker.reinjections();
+        }
+        prop_assert_eq!(tracker.resamples(), 0, "resampling was disabled");
+    }
+
+    /// Adversarial density wave with resampling disabled: the particles
+    /// first spread over the region under a flat snapshot, then a sharp
+    /// occupancy peak appears that only the nearby particles can reach
+    /// within the hop budget — their weights soar while the stragglers'
+    /// collapse. The run is made twice:
+    ///
+    /// * with the ESS guard **disarmed** (`ess_fraction: 0.0`), the raw
+    ///   degeneracy is visible: terminal ESS falls well below the
+    ///   particle count;
+    /// * with the default guard and `resample: false`, the same ESS
+    ///   collapse must trigger the documented uniform-reinjection
+    ///   fallback (the reinjection counter moves; the observation is
+    ///   flagged `reset`) and the particle set never shrinks.
+    ///
+    /// In both runs every posterior stays finite and sound.
+    #[test]
+    fn density_wave_collapses_ess_without_breaking_the_filter(
+        seed in any::<u64>(),
+        height in 50u32..5000,
+    ) {
+        let net = grid_city(8, 8, 100.0);
+        let particles = 64;
+        // 5 m/s × 10 s = 50 m: a 2-hop budget on 100 m segments, so a
+        // particle parked at the far end of the region cannot chase the
+        // peak.
+        let run = |ess_fraction: f64| {
+            let mut tracker = AdaptiveTracker::new(
+                &net,
+                5.0,
+                10.0,
+                AdaptiveConfig {
+                    particles,
+                    resample: false,
+                    ess_fraction,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let region: Vec<SegmentId> = (10..26).map(SegmentId).collect();
+            let mut resets = 0u32;
+            for tick in 1..=8u64 {
+                // Tick 1 is flat (particles spread over the region);
+                // then the peak marches one segment per tick.
+                let peak = region[(tick as usize - 1) % region.len()].0 as usize;
+                let snapshot = if tick == 1 {
+                    OccupancySnapshot::uniform(net.segment_count(), 1)
+                } else {
+                    peaked_snapshot(net.segment_count(), peak, height)
+                };
+                let obs = tracker.observe(
+                    &net,
+                    "owner",
+                    Observation {
+                        tick,
+                        region: &region,
+                        snapshot: &snapshot,
+                        snapshot_fresh: true,
+                    },
+                    None,
+                    Some(SegmentId(peak as u32)),
+                    region.len(),
+                );
+                assert!(obs.entropy_bits.is_finite() && obs.entropy_bits >= 0.0);
+                assert_eq!(obs.true_in_support, Some(true));
+                assert_eq!(
+                    tracker.particle_count("owner"),
+                    Some(particles),
+                    "no particle loss under the wave"
+                );
+                let ess = tracker.ess("owner").expect("owner tracked");
+                assert!(
+                    ess >= 1.0 - 1e-9 && ess <= particles as f64 + 1e-9,
+                    "ESS {ess} outside [1, N]"
+                );
+                resets += u32::from(obs.reset);
+            }
+            assert_eq!(tracker.resamples(), 0, "resampling was disabled");
+            (tracker.ess("owner").expect("owner tracked"), tracker.reinjections(), resets)
+        };
+
+        // Guard disarmed: the wave genuinely degrades the ESS.
+        let (raw_ess, _, _) = run(0.0);
+        prop_assert!(
+            raw_ess < particles as f64 * 0.75,
+            "density wave failed to degrade ESS ({raw_ess:.1} of {particles})"
+        );
+
+        // Default guard, resampling off: the collapse must route through
+        // the uniform-reinjection fallback (which restores ESS to N).
+        let (guarded_ess, reinjections, resets) = run(AdaptiveConfig::default().ess_fraction);
+        prop_assert!(
+            reinjections > 0,
+            "ESS collapse never triggered the reinjection fallback"
+        );
+        prop_assert!(resets > 0, "reinjection must be surfaced as a reset");
+        prop_assert!(
+            guarded_ess > raw_ess,
+            "the fallback should leave ESS healthier than the unguarded run"
+        );
+    }
+
+    /// The same wave with resampling enabled: ESS collapse triggers
+    /// systematic resampling (the counter moves), and the posterior
+    /// keeps the truth in support throughout.
+    #[test]
+    fn resampling_fires_under_the_same_wave(seed in any::<u64>()) {
+        let net = grid_city(8, 8, 100.0);
+        let mut tracker = AdaptiveTracker::new(
+            &net,
+            20.0,
+            10.0,
+            AdaptiveConfig {
+                particles: 64,
+                resample: true,
+                ess_fraction: 0.9, // aggressive threshold: any skew resamples
+                seed,
+                ..Default::default()
+            },
+        );
+        let region: Vec<SegmentId> = (10..26).map(SegmentId).collect();
+        for tick in 1..=8u64 {
+            let peak = region[(tick as usize - 1) % region.len()].0 as usize;
+            let snapshot = peaked_snapshot(net.segment_count(), peak, 1000);
+            let obs = tracker.observe(
+                &net,
+                "owner",
+                Observation {
+                    tick,
+                    region: &region,
+                    snapshot: &snapshot,
+                    snapshot_fresh: true,
+                },
+                None,
+                Some(SegmentId(peak as u32)),
+                region.len(),
+            );
+            prop_assert_eq!(obs.true_in_support, Some(true));
+        }
+        prop_assert!(
+            tracker.resamples() > 0,
+            "a peaked wave at ess_fraction 0.9 must trigger resampling"
+        );
+    }
+}

@@ -8,6 +8,10 @@
 //! * [`placement`] — Gaussian (or length-weighted uniform) car placement,
 //! * [`Simulation`] — discrete-time traffic with per-car shortest-path
 //!   trips and automatic re-tripping on arrival,
+//! * [`behavior`] — heterogeneous motion archetypes ([`BehaviorMix`]:
+//!   commuter home↔work cycles on a rush-hour tick schedule, taxi
+//!   random-destination hops, parked cars); the default mix reproduces
+//!   the legacy homogeneous traffic bit-for-bit,
 //! * [`OccupancySnapshot`] — the frozen users-per-segment view the
 //!   anonymizer consumes to check location k-anonymity,
 //! * [`Trace`] — recording and text export of the generated mobility.
@@ -29,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod behavior;
 pub mod car;
 pub mod placement;
 pub mod sim;
 pub mod snapshot;
 pub mod trace;
 
+pub use behavior::{BehaviorKind, BehaviorMix, RushSchedule};
 pub use car::{Car, CarId, RoadPosition};
 pub use placement::{place_cars, PlacementModel};
 pub use sim::{SimConfig, Simulation};

@@ -5,6 +5,7 @@
 //! is based on shortest path routing." Cars drive their route at a cruise
 //! speed; on arrival a fresh random destination is chosen.
 
+use crate::behavior::{BehaviorKind, BehaviorMix, CarBehavior, CommutePhase, RushSchedule};
 use crate::car::{Car, CarId, RoadPosition};
 use crate::placement::{place_cars, PlacementModel};
 use rand::rngs::StdRng;
@@ -22,6 +23,10 @@ pub struct SimConfig {
     pub speed_range: (f64, f64),
     /// PRNG seed for reproducible traffic.
     pub seed: u64,
+    /// Population behavior composition. The [`BehaviorMix::Uniform`]
+    /// default reproduces the legacy homogeneous traffic with the exact
+    /// legacy RNG draw sequence (receipt digests are pinned against it).
+    pub behavior: BehaviorMix,
 }
 
 impl Default for SimConfig {
@@ -31,6 +36,7 @@ impl Default for SimConfig {
             placement: PlacementModel::default(),
             speed_range: (8.0, 20.0), // ~30–70 km/h
             seed: 42,
+            behavior: BehaviorMix::Uniform,
         }
     }
 }
@@ -52,6 +58,13 @@ pub struct Simulation {
     cars: Vec<Car>,
     rng: StdRng,
     clock: f64,
+    /// Per-car behavior state; empty under [`BehaviorMix::Uniform`],
+    /// where the legacy step loop runs untouched.
+    behaviors: Vec<CarBehavior>,
+    /// The heterogeneous mixes' rush schedule (`None` for uniform).
+    rush: Option<RushSchedule>,
+    /// Steps taken so far — the phase clock of the rush schedule.
+    tick: u64,
 }
 
 impl Simulation {
@@ -79,11 +92,38 @@ impl Simulation {
             car.assign_route(route);
             cars.push(car);
         }
+        // Heterogeneous mixes layer behavior state on top of the shared
+        // placement/speed/first-trip loop above (whose draws stay in the
+        // legacy order); commuters and parked cars then drop the initial
+        // random trip and anchor where they were placed.
+        let rush = cfg.behavior.rush();
+        let mut behaviors = Vec::new();
+        if rush.is_some() {
+            behaviors.reserve(cars.len());
+            for (i, car) in cars.iter_mut().enumerate() {
+                let mut state = CarBehavior::new(cfg.behavior.kind_for(i));
+                match state.kind {
+                    BehaviorKind::Taxi => {}
+                    BehaviorKind::Parked => car.assign_route(Vec::new()),
+                    BehaviorKind::Commuter => {
+                        car.assign_route(Vec::new());
+                        let home = net.segment(car.segment()).b();
+                        state.home = Some(home);
+                        state.work = pick_anchor(&net, home, &mut rng);
+                        state.phase = CommutePhase::AtHome;
+                    }
+                }
+                behaviors.push(state);
+            }
+        }
         Simulation {
             net,
             cars,
             rng,
             clock: 0.0,
+            behaviors,
+            rush,
+            tick: 0,
         }
     }
 
@@ -114,15 +154,87 @@ impl Simulation {
     }
 
     /// Advances the simulation by `dt` seconds. Cars that arrive get a new
-    /// random destination (continuous traffic, as in GTMobiSim).
+    /// random destination (continuous traffic, as in GTMobiSim); under a
+    /// heterogeneous [`BehaviorMix`] each car instead follows its
+    /// archetype (taxis hop, commuters follow the rush schedule, parked
+    /// cars stay put).
     pub fn step(&mut self, dt: f64) {
         self.clock += dt;
+        self.tick += 1;
+        let Some(rush) = self.rush else {
+            // Legacy homogeneous loop, untouched: the digest-pinned RNG
+            // draw sequence.
+            for i in 0..self.cars.len() {
+                let finished = self.cars[i].advance(&self.net, dt);
+                if finished {
+                    self.cars[i].finish_trip();
+                    let route = plan_trip(&self.net, &self.cars[i], &mut self.rng);
+                    self.cars[i].assign_route(route);
+                }
+            }
+            return;
+        };
+        // Phase of the step that is now elapsing.
+        let phase = (self.tick - 1) % rush.period;
         for i in 0..self.cars.len() {
-            let finished = self.cars[i].advance(&self.net, dt);
-            if finished {
-                self.cars[i].finish_trip();
-                let route = plan_trip(&self.net, &self.cars[i], &mut self.rng);
-                self.cars[i].assign_route(route);
+            match self.behaviors[i].kind {
+                BehaviorKind::Parked => {}
+                BehaviorKind::Taxi => {
+                    let finished = self.cars[i].advance(&self.net, dt);
+                    if finished {
+                        self.cars[i].finish_trip();
+                        let route = plan_trip(&self.net, &self.cars[i], &mut self.rng);
+                        self.cars[i].assign_route(route);
+                    }
+                }
+                BehaviorKind::Commuter => {
+                    let car_id = self.cars[i].id();
+                    let state = &mut self.behaviors[i];
+                    // Departure decisions happen at anchors, before any
+                    // movement this step. Each commuter waits for its own
+                    // staggered phase inside the window, so the
+                    // population departs as a rolling wave.
+                    let depart_to = match state.phase {
+                        CommutePhase::AtHome
+                            if rush.in_morning(phase)
+                                && phase >= rush.departure_phase(car_id, rush.morning) =>
+                        {
+                            state.work
+                        }
+                        CommutePhase::AtWork
+                            if rush.in_evening(phase)
+                                && phase >= rush.departure_phase(car_id, rush.evening) =>
+                        {
+                            state.home
+                        }
+                        _ => None,
+                    };
+                    if let Some(dest) = depart_to {
+                        let route = plan_trip_to(&self.net, &self.cars[i], dest);
+                        if !route.is_empty() {
+                            let state = &mut self.behaviors[i];
+                            state.phase = match state.phase {
+                                CommutePhase::AtHome => CommutePhase::ToWork,
+                                _ => CommutePhase::ToHome,
+                            };
+                            self.cars[i].assign_route(route);
+                        }
+                        // No route (anchor unreachable or already here):
+                        // stay parked and retry next step in the window.
+                    }
+                    let state = &self.behaviors[i];
+                    if matches!(state.phase, CommutePhase::ToWork | CommutePhase::ToHome) {
+                        let finished = self.cars[i].advance(&self.net, dt);
+                        if finished {
+                            self.cars[i].finish_trip();
+                            let state = &mut self.behaviors[i];
+                            state.phase = match state.phase {
+                                CommutePhase::ToWork => CommutePhase::AtWork,
+                                _ => CommutePhase::AtHome,
+                            };
+                        }
+                    }
+                }
             }
         }
     }
@@ -157,6 +269,59 @@ impl Simulation {
     pub fn capture_into(&self, snap: &mut crate::OccupancySnapshot) {
         snap.recapture(self);
     }
+
+    /// Steps taken so far (the rush schedule's phase clock).
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// The behavior archetype of a car ([`BehaviorKind::Taxi`] for every
+    /// car under the uniform mix; `None` for unknown ids).
+    pub fn behavior_kind(&self, id: CarId) -> Option<BehaviorKind> {
+        if id.index() >= self.cars.len() {
+            return None;
+        }
+        Some(match self.behaviors.get(id.index()) {
+            Some(state) => state.kind,
+            None => BehaviorKind::Taxi,
+        })
+    }
+}
+
+/// Routes a car to a fixed destination junction (commuter anchors),
+/// from the far endpoint of its current segment — the same routing and
+/// advance machinery as the random trips, so behavior-model motion
+/// inherits the CSR-adjacency and speed-bound guarantees structurally.
+fn plan_trip_to(net: &RoadNetwork, car: &Car, dest: JunctionId) -> Vec<SegmentId> {
+    let start = net.segment(car.segment()).b();
+    if dest == start {
+        return Vec::new();
+    }
+    match shortest_path(net, start, dest) {
+        Some(route) => route.segments,
+        None => Vec::new(),
+    }
+}
+
+/// Picks a commuter's second anchor: a random junction provably
+/// reachable from `home` (8 attempts, like trip planning).
+fn pick_anchor<R: Rng + ?Sized>(
+    net: &RoadNetwork,
+    home: JunctionId,
+    rng: &mut R,
+) -> Option<JunctionId> {
+    for _attempt in 0..8 {
+        let dest = JunctionId(rng.gen_range(0..net.junction_count() as u32));
+        if dest == home {
+            continue;
+        }
+        if let Some(route) = shortest_path(net, home, dest) {
+            if !route.segments.is_empty() {
+                return Some(dest);
+            }
+        }
+    }
+    None
 }
 
 /// Picks a random reachable destination and returns the remaining route
@@ -265,6 +430,97 @@ mod tests {
         let mut c = small_sim(100, 8);
         c.run(10, 5.0);
         assert_ne!(a.occupancy(), c.occupancy());
+    }
+
+    fn mixed_sim(mix: BehaviorMix, cars: usize, seed: u64) -> Simulation {
+        Simulation::new(
+            grid_city(6, 6, 100.0),
+            SimConfig {
+                cars,
+                seed,
+                behavior: mix,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn uniform_mix_is_bit_identical_to_legacy_default() {
+        // The digest-pinning guarantee at the simulation layer: adding
+        // the behavior field must not change a single draw of the
+        // default configuration.
+        let mut legacy = small_sim(200, 11);
+        let mut uniform = mixed_sim(BehaviorMix::uniform(), 200, 11);
+        legacy.run(15, 10.0);
+        uniform.run(15, 10.0);
+        assert_eq!(legacy.occupancy(), uniform.occupancy());
+    }
+
+    #[test]
+    fn parked_cars_never_move() {
+        let mut sim = mixed_sim(BehaviorMix::rush_hour(), 200, 12);
+        let parked: Vec<(usize, SegmentId, f64)> = sim
+            .cars()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| sim.behavior_kind(CarId(*i as u32)) == Some(BehaviorKind::Parked))
+            .map(|(i, c)| (i, c.segment(), c.position().offset))
+            .collect();
+        assert!(!parked.is_empty(), "rush-hour mix must park some cars");
+        sim.run(40, 10.0);
+        for (i, seg, off) in parked {
+            let car = &sim.cars()[i];
+            assert_eq!(car.segment(), seg);
+            assert_eq!(car.position().offset, off);
+        }
+    }
+
+    #[test]
+    fn commuters_cycle_between_anchors() {
+        let mut sim = mixed_sim(BehaviorMix::commuter_city(), 300, 13);
+        // Two simulated days: every reachable commuter should complete
+        // at least one leg (home→work counts as a trip).
+        sim.run(48, 10.0);
+        let commuter_trips: u32 = sim
+            .cars()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| sim.behavior_kind(CarId(*i as u32)) == Some(BehaviorKind::Commuter))
+            .map(|(_, c)| c.trips_completed())
+            .sum();
+        assert!(commuter_trips > 0, "no commuter completed a leg");
+    }
+
+    #[test]
+    fn heterogeneous_occupancy_still_sums_to_car_count() {
+        for mix in [
+            BehaviorMix::commuter_city(),
+            BehaviorMix::taxi_fleet(),
+            BehaviorMix::rush_hour(),
+        ] {
+            let mut sim = mixed_sim(mix, 250, 14);
+            sim.run(30, 10.0);
+            assert_eq!(sim.occupancy().iter().sum::<u32>(), 250);
+        }
+    }
+
+    #[test]
+    fn rush_hour_creates_a_density_wave() {
+        // During a rush window, moving commuters concentrate along
+        // shortest paths; between windows they sit at anchors. The
+        // en-route count must visibly oscillate across a day.
+        let mut sim = mixed_sim(BehaviorMix::rush_hour(), 400, 15);
+        let mut en_route = Vec::new();
+        for _ in 0..16 {
+            sim.step(10.0);
+            en_route.push(sim.cars().iter().filter(|c| c.is_en_route()).count());
+        }
+        let max = *en_route.iter().max().unwrap();
+        let min = *en_route.iter().min().unwrap();
+        assert!(
+            max >= min + 20,
+            "no departure wave: en-route counts {en_route:?}"
+        );
     }
 
     #[test]

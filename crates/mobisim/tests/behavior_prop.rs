@@ -1,0 +1,189 @@
+//! Property tests for the heterogeneous behavior models.
+//!
+//! Whatever [`BehaviorMix`] a simulation runs under — homogeneous taxis,
+//! commuter cycles, rush-hour waves, or arbitrary heterogeneous weight
+//! vectors — every car's trajectory must stay *physical*:
+//!
+//! * **CSR adjacency** — a car's current segment plus its pending route
+//!   forms a chain in the road graph: each consecutive pair shares a
+//!   junction (`RoadNetwork::segments_adjacent`), so no behavior model
+//!   ever teleports a car onto a disconnected segment;
+//! * **speed bound** — between consecutive ticks a car moves at most
+//!   `vmax · dt` meters of road, so its new segment is inside the
+//!   `ceil(vmax·dt / min_len) + 1`-hop reachable set of its old one
+//!   (the same conservative bound the movement-model adversary prunes
+//!   with — if traffic violated it, the adversary's soundness proof
+//!   would be vacuous);
+//! * **striping** — `kind_for` respects the weight vector: every kind
+//!   with nonzero weight appears, zero-weight kinds never do, and the
+//!   assignment is deterministic.
+
+use mobisim::{BehaviorKind, BehaviorMix, RushSchedule, SimConfig, Simulation};
+use proptest::prelude::*;
+use roadnet::{grid_city, RoadNetwork, SegmentId};
+
+fn named_mixes() -> Vec<BehaviorMix> {
+    vec![
+        BehaviorMix::uniform(),
+        BehaviorMix::commuter_city(),
+        BehaviorMix::taxi_fleet(),
+        BehaviorMix::rush_hour(),
+    ]
+}
+
+/// The conservative hop budget for one tick: a car driving flat-out for
+/// `dt` seconds crosses at most `vmax·dt / min_len` whole segments, +1
+/// for starting mid-segment.
+fn hop_budget(net: &RoadNetwork, vmax: f64, dt: f64) -> usize {
+    let min_len = net
+        .segments()
+        .map(|s| s.length())
+        .fold(f64::INFINITY, f64::min);
+    ((vmax * dt / min_len).ceil() as usize) + 1
+}
+
+fn assert_trajectories_physical(mix: BehaviorMix, seed: u64, ticks: usize, dt: f64) {
+    let net = grid_city(6, 6, 100.0);
+    let cfg = SimConfig {
+        cars: 80,
+        seed,
+        behavior: mix.clone(),
+        ..Default::default()
+    };
+    let vmax = cfg.speed_range.1;
+    let mut sim = Simulation::new(net.clone(), cfg);
+    let reach = net.reach_index(hop_budget(&net, vmax, dt));
+
+    for tick in 0..ticks {
+        let before: Vec<SegmentId> = sim.cars().iter().map(|c| c.segment()).collect();
+        sim.step(dt);
+        for (i, car) in sim.cars().iter().enumerate() {
+            // Speed bound: the tick's displacement stays inside the
+            // conservative reachable set.
+            assert!(
+                reach.reaches(before[i], car.segment()),
+                "{mix:?}: tick {tick}, car {i} jumped {:?} -> {:?}",
+                before[i],
+                car.segment()
+            );
+            // CSR adjacency: current segment + pending route is a chain.
+            // The route vector is stored reversed (next hop at the back),
+            // and the first hop may re-traverse the current segment
+            // (trips are planned from its far endpoint).
+            let mut prev = car.segment();
+            for &next in car.route().iter().rev() {
+                assert!(
+                    prev == next || net.segments_adjacent(prev, next),
+                    "{mix:?}: tick {tick}, car {i} routed {prev:?} -> {next:?} (not adjacent)"
+                );
+                prev = next;
+            }
+            // Per-car speed stays inside the configured range.
+            assert!(
+                car.speed() >= 0.0 && car.speed() <= vmax,
+                "{mix:?}: car {i} speed {}",
+                car.speed()
+            );
+        }
+    }
+}
+
+#[test]
+fn named_mixes_keep_trajectories_physical() {
+    for mix in named_mixes() {
+        assert_trajectories_physical(mix, 0xbe4a_u64, 20, 10.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary heterogeneous weight vectors and schedules: adjacency
+    /// and the `vmax·dt` reach bound hold at every tick.
+    #[test]
+    fn arbitrary_mixes_keep_trajectories_physical(
+        seed in any::<u64>(),
+        taxis in 0u32..5,
+        commuters in 0u32..8,
+        parked in 0u32..5,
+        period in 4u64..24,
+        dt in 4.0f64..16.0,
+    ) {
+        let morning = (1, (period / 2).max(2));
+        let evening = (period / 2 + 1, period);
+        let mix = BehaviorMix::Heterogeneous {
+            taxis,
+            commuters,
+            parked,
+            rush: RushSchedule { period, morning, evening },
+        };
+        assert_trajectories_physical(mix, seed, 8, dt);
+    }
+
+    /// `kind_for` is a faithful, deterministic striping of the weight
+    /// vector: zero-weight kinds never appear, nonzero-weight kinds all
+    /// appear in a large-enough population, and the split tracks the
+    /// weights to within a loose tolerance.
+    #[test]
+    fn kind_striping_tracks_the_weight_vector(
+        taxis in 0u32..6,
+        commuters in 0u32..6,
+        parked in 0u32..6,
+    ) {
+        prop_assume!(taxis + commuters + parked > 0);
+        let mix = BehaviorMix::Heterogeneous {
+            taxis,
+            commuters,
+            parked,
+            rush: RushSchedule::default(),
+        };
+        let population = 3000usize;
+        let mut counts = [0usize; 3];
+        for i in 0..population {
+            let kind = mix.kind_for(i);
+            prop_assert_eq!(kind, mix.kind_for(i), "striping must be deterministic");
+            counts[match kind {
+                BehaviorKind::Taxi => 0,
+                BehaviorKind::Commuter => 1,
+                BehaviorKind::Parked => 2,
+            }] += 1;
+        }
+        let total = (taxis + commuters + parked) as f64;
+        for (count, weight) in counts.iter().zip([taxis, commuters, parked]) {
+            if weight == 0 {
+                prop_assert_eq!(*count, 0, "zero-weight kind appeared");
+            } else {
+                let expected = population as f64 * weight as f64 / total;
+                prop_assert!(
+                    (*count as f64 - expected).abs() < population as f64 * 0.25,
+                    "kind share {count} far from expected {expected:.0}"
+                );
+            }
+        }
+    }
+
+    /// Parked cars do not move; the density they pin down is the floor
+    /// the rush-hour mix builds its wave on.
+    #[test]
+    fn parked_cars_never_move(seed in any::<u64>()) {
+        let net = grid_city(5, 5, 100.0);
+        let mut sim = Simulation::new(
+            net,
+            SimConfig {
+                cars: 60,
+                seed,
+                behavior: BehaviorMix::Heterogeneous {
+                    taxis: 0,
+                    commuters: 0,
+                    parked: 1,
+                    rush: RushSchedule::default(),
+                },
+                ..Default::default()
+            },
+        );
+        let before: Vec<SegmentId> = sim.cars().iter().map(|c| c.segment()).collect();
+        sim.run(6, 10.0);
+        let after: Vec<SegmentId> = sim.cars().iter().map(|c| c.segment()).collect();
+        prop_assert_eq!(before, after, "an all-parked population must be static");
+    }
+}

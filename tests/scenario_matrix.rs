@@ -14,17 +14,14 @@
 //!   identical at batch parallelism 1 and 3,
 //!
 //! plus differential RGE-vs-RPLE region-metric comparisons per matrix
-//! row, and **attack cells**: the continuous adversarial evaluation
-//! (`cloak::attack::temporal` through the pipeline's attack leg) must
-//! keep the keyless adversary's posterior near-uniform against both
-//! reversible engines while the keyless-deterministic NRE control
-//! collapses under the same correlation attacks. The default profile is
-//! sized for tier-1 speed; set `SCENARIO_PROFILE=full` for longer runs
-//! with more owners (the attack cells then cover 100+ ticks, matching
-//! the `rcloak attack` CLI run).
+//! row. The adversarial evaluation that used to live here as two ad-hoc
+//! attack cells is now the full scenario tournament — every engine ×
+//! every adversary × every behavior mix — in `tests/tournament.rs`
+//! (runner: `anonymizer::tournament`). The default profile is sized for
+//! tier-1 speed; set `SCENARIO_PROFILE=full` for longer runs with more
+//! owners.
 
-use anonymizer::{AttackConfig, AttackRecord};
-use cloak::{AdversaryMode, QualitySummary};
+use cloak::QualitySummary;
 use reversecloak::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
@@ -243,170 +240,6 @@ fn scenario_matrix_holds_invariants_in_every_cell() {
         );
     }
     assert_eq!(compared, 8, "every matrix row compared RGE against RPLE");
-}
-
-/// (ticks, attacked owners) for the attack cells: the full profile
-/// covers ≥100 ticks, matching the acceptance bar of the `rcloak
-/// attack` CLI run.
-fn attack_profile_size() -> (usize, usize) {
-    match std::env::var("SCENARIO_PROFILE").as_deref() {
-        Ok("full") => (120, 8),
-        _ => (30, 6),
-    }
-}
-
-fn attack_pipeline(
-    engine: EngineChoice,
-    cars: usize,
-    ks: &[u32],
-    mode: AdversaryMode,
-    owners: usize,
-) -> anonymizer::ContinuousPipeline {
-    anonymizer::ContinuousPipeline::new(
-        roadnet::grid_city(8, 8, 100.0),
-        SimConfig {
-            cars,
-            seed: 0xa77ac,
-            ..Default::default()
-        },
-        AnonymizerConfig {
-            engine,
-            default_profile: privacy_profile(ks),
-            ..Default::default()
-        },
-        anonymizer::PipelineConfig {
-            dt: 10.0,
-            tracked_owners: owners,
-            seed: 0xa77_ac5e,
-            verify: false,
-            lbs_probes: 0,
-            attack: Some(AttackConfig {
-                mode,
-                ..Default::default()
-            }),
-            ..Default::default()
-        },
-    )
-}
-
-/// The tentpole separation claim, asserted with slack: against RGE and
-/// RPLE the combined keyless adversary (movement model + snapshot
-/// correlation + replay) keeps the per-owner posterior near-uniform —
-/// user-identity entropy stays around `log2(k_top)` — while the
-/// keyless-deterministic NRE control collapses to a near-singleton
-/// posterior under the same attacks, because its perturbation can be
-/// replayed.
-#[test]
-fn attack_cells_separate_reversible_engines_from_keyless_baseline() {
-    let (ticks, owners) = attack_profile_size();
-    for (cell, cars, ks) in [
-        ("sparse/k[4,8]", 150, &[4u32, 8][..]),
-        ("dense/k[4,8,16]", 300, &[4, 8, 16][..]),
-    ] {
-        for engine in ENGINES {
-            let mut pipeline = attack_pipeline(engine, cars, ks, AdversaryMode::All, owners);
-            pipeline
-                .run(ticks)
-                .unwrap_or_else(|e| panic!("{cell}/{engine:?}: {e}"));
-            let name = format!("{cell}/{engine:?}");
-            let summary = pipeline.attack_summary().expect("attack leg on").clone();
-            let baseline = pipeline
-                .baseline_attack_summary()
-                .expect("NRE control on")
-                .clone();
-            let k_top = (*ks.last().unwrap() as f64).log2();
-
-            // The combined adversary is sound: it never loses the owner.
-            assert_eq!(summary.soundness(), 1.0, "{name}: engine stream");
-            assert_eq!(baseline.soundness(), 1.0, "{name}: control stream");
-            assert!(summary.observations() as usize >= ticks * owners / 2);
-
-            // Reversible engines: posterior entropy over user identities
-            // bounded below by ~log2(k_top) (half a bit of slack), and
-            // guessing stays near chance.
-            assert!(
-                summary.mean_user_entropy() >= k_top - 0.5,
-                "{name}: user entropy {:.2} collapsed below log2(k)={k_top:.2}",
-                summary.mean_user_entropy()
-            );
-            assert!(
-                summary.guess_success_rate() <= 0.55,
-                "{name}: adversary guesses {:.2} of keyed cloaks",
-                summary.guess_success_rate()
-            );
-
-            // The keyless deterministic control collapses: near-zero
-            // segment entropy, near-singleton anonymity sets, and the
-            // adversary guesses the exact segment most of the time.
-            assert!(
-                baseline.mean_entropy() <= 0.75,
-                "{name}: NRE kept {:.2} bits",
-                baseline.mean_entropy()
-            );
-            assert!(
-                baseline.mean_support() <= 2.0,
-                "{name}: NRE anonymity set {:.2}",
-                baseline.mean_support()
-            );
-            assert!(
-                baseline.guess_success_rate() >= 0.6,
-                "{name}: NRE guess success only {:.2}",
-                baseline.guess_success_rate()
-            );
-
-            // And the separation itself, on the k-anonymity axis.
-            assert!(
-                summary.mean_user_entropy() - baseline.mean_user_entropy() >= 1.0,
-                "{name}: engine {:.2} vs NRE {:.2} bits",
-                summary.mean_user_entropy(),
-                baseline.mean_user_entropy()
-            );
-
-            // The per-owner log is CSV-exportable over every tick.
-            let records = pipeline.attack_records();
-            assert!(records.iter().any(|r| r.scheme != "nre"));
-            assert!(records.iter().any(|r| r.scheme == "nre"));
-            assert_eq!(
-                records.iter().map(|r| r.observation.tick).max(),
-                Some(ticks as u64),
-                "{name}: log covers the whole run"
-            );
-            let header_cols = AttackRecord::CSV_HEADER.split(',').count();
-            assert!(records
-                .iter()
-                .all(|r| r.csv_row().split(',').count() == header_cols));
-        }
-    }
-}
-
-/// Every adversary mode runs against a keyed stream with coherent
-/// bookkeeping; the sound modes (move, all, correlate) never lose the
-/// owner, while the naive peel intersection is allowed to — its
-/// soundness rate is exactly what exposes it as bogus against keyed
-/// streams.
-#[test]
-fn every_adversary_mode_tracks_a_keyed_stream() {
-    let (ticks, owners) = (attack_profile_size().0.min(20), 4);
-    for mode in [
-        AdversaryMode::Peel,
-        AdversaryMode::Correlate,
-        AdversaryMode::Move,
-        AdversaryMode::All,
-    ] {
-        let mut pipeline = attack_pipeline(EngineChoice::Rge, 200, &[4, 8], mode, owners);
-        pipeline
-            .run(ticks)
-            .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
-        let summary = pipeline.attack_summary().expect("attack leg on").clone();
-        assert_eq!(summary.observations(), (ticks * owners) as u64, "{mode:?}");
-        assert!(summary.mean_support() >= 1.0, "{mode:?}");
-        match mode {
-            AdversaryMode::Peel => {
-                // Unsound by design; nothing to assert beyond bookkeeping.
-            }
-            _ => assert_eq!(summary.soundness(), 1.0, "{mode:?} must be sound"),
-        }
-    }
 }
 
 /// The restart cell: for every engine × cadence pair, crash the
