@@ -18,7 +18,7 @@
 //! rcloak simulate --ticks 100 --cars 1000 [--grid RxC | --map city.map]
 //!        [--engine rge|rple] [--k 5,10,20] [--owners N] [--cadence N]
 //!        [--dt SECONDS] [--lbs N] [--seed N] [--out metrics.csv] [--no-verify]
-//!        [--chain-store journal.rcs]
+//!        [--chain-store journal.rcs] [--shards N]
 //!        [--attack peel|correlate|move|all|adaptive] [--no-baseline]
 //! rcloak attack --ticks 100 --cars 1000 [--grid RxC | --map city.map]
 //!        [--engine rge|rple] [--adversary peel|correlate|move|all|adaptive]
@@ -42,7 +42,14 @@
 //! owner's key-chain ratchet is journaled to a crash-safe write-ahead
 //! log at `PATH` before its receipt is issued, and re-running over the
 //! same path resumes every chain at its journaled epoch (no epoch
-//! reuse). Per-tick metrics go to `--out`
+//! reuse). Everywhere a `--map FILE` is accepted, the spec
+//! `city:SEED:SEGMENTS` (e.g. `city:7:100000`) generates a synthetic
+//! city of about that many segments in memory instead; with
+//! `--shards N` (> 1) the simulation runs the sharded pipeline — the
+//! map is partitioned N ways, each shard anonymizes the owners driving
+//! inside it against its own masked snapshot, and owners migrate
+//! between shards at tick boundaries (`--attack`/`--lbs` stay
+//! single-shard instruments). Per-tick metrics go to `--out`
 //! as CSV; with `--attack MODE` the attack leg runs alongside and the
 //! CSV gains its per-tick rollup columns (engine stream and NRE
 //! control — `--no-baseline` disables the control and leaves its cells
@@ -136,7 +143,8 @@ fn usage(err: &str) -> ExitCode {
          rcloak batch --map FILE --input FILE [--engine rge|rple] [--workers N] [--cars N] [--seed N] [--out FILE]\n  \
          rcloak simulate --ticks N --cars N [--grid RxC | --map FILE] [--engine rge|rple] \
          [--k K1,K2,..] [--owners N] [--cadence N] [--dt S] [--lbs N] [--seed N] [--out FILE] [--no-verify] \
-         [--chain-store FILE] [--attack peel|correlate|move|all|adaptive] [--no-baseline]\n  \
+         [--chain-store FILE] [--shards N] [--attack peel|correlate|move|all|adaptive] [--no-baseline]\n  \
+         (any --map FILE also accepts city:SEED:SEGMENTS, a generated synthetic city)\n  \
          rcloak attack --ticks N --cars N [--grid RxC | --map FILE] [--engine rge|rple] \
          [--adversary peel|correlate|move|all|adaptive] [--k K1,K2,..] [--owners N] [--cadence N] [--dt S] \
          [--seed N] [--out FILE] [--no-baseline]\n  \
@@ -194,6 +202,18 @@ fn parse_grid(spec: &str) -> Result<RoadNetwork, String> {
 
 fn load_map(opts: &Opts) -> Result<RoadNetwork, String> {
     let path = opts.get("map").ok_or("--map is required")?;
+    // `city:SEED:SEGMENTS` generates a synthetic city in memory instead
+    // of reading a file — the city-scale entry point needs no map file.
+    if let Some(spec) = path.strip_prefix("city:") {
+        let (seed, segments): (u64, usize) = spec
+            .split_once(':')
+            .and_then(|(s, n)| Some((s.parse().ok()?, n.parse().ok()?)))
+            .ok_or("--map city: expects city:SEED:SEGMENTS, e.g. city:7:100000")?;
+        if segments < 2 {
+            return Err(format!("--map {path}: need at least 2 segments"));
+        }
+        return Ok(roadnet::city_map(seed, segments));
+    }
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     roadnet::io::read_map(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
 }
@@ -612,6 +632,7 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
         config,
     } = parse_pipeline_world(opts, 50, 64)?;
     let lbs_probes = parse_num(opts, "lbs", 4)?;
+    let shards = parse_num(opts, "shards", 1)?;
 
     let verify = !opts.contains_key("no-verify");
     let attack_mode = match opts.get("attack").map(String::as_str) {
@@ -620,6 +641,11 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
             format!("unknown adversary `{s}` (peel|correlate|move|all|adaptive)")
         })?),
     };
+    if shards > 1 && (attack_mode.is_some() || opts.contains_key("lbs")) {
+        return Err(CmdError::Usage(
+            "--attack and --lbs are single-shard instruments; drop --shards to use them".into(),
+        ));
+    }
     // A durable chain store journals every ratchet advance before its
     // receipt is issued; re-running over the same path resumes every
     // owner's chain at its journaled epoch. An unopenable path is a data
@@ -629,6 +655,80 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CmdError> {
         Some(path) => Arc::new(FileStore::open(path).map_err(|e| CmdError::Data(e.to_string()))?),
         None => Arc::new(MemStore::new()),
     };
+    if shards > 1 {
+        use anonymizer::ShardedPipeline;
+        let mut pipeline = ShardedPipeline::with_store(
+            net,
+            SimConfig {
+                cars,
+                seed,
+                ..Default::default()
+            },
+            config,
+            PipelineConfig {
+                dt,
+                snapshot_cadence: cadence,
+                tracked_owners: owners,
+                seed: seed ^ 0x51e_71c4,
+                verify,
+                lbs_probes: 0,
+                ..Default::default()
+            },
+            shards,
+            store,
+        )
+        .map_err(|e| CmdError::Data(e.to_string()))?;
+        let quality = pipeline
+            .partition()
+            .expect("shards > 1 builds a partition")
+            .quality(pipeline.services()[0].network());
+        println!(
+            "simulating {ticks} ticks × {dt}s: {cars} cars on {} segments, {owners} tracked \
+             owners, partition [{quality}], snapshot cadence {} (verification {})",
+            pipeline.services()[0].network().segment_count(),
+            cadence.max(1),
+            if verify { "on" } else { "off" },
+        );
+        if let Some(path) = chain_store_path {
+            println!("journaling owner chains to {path} (one journal shared by all shards)");
+        }
+        let t0 = std::time::Instant::now();
+        let mut reports = Vec::with_capacity(ticks);
+        for _ in 0..ticks {
+            reports.push(pipeline.tick().map_err(|e| CmdError::Data(e.to_string()))?);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let issued: usize = reports.iter().map(|r| r.issued).sum();
+        let failed: usize = reports.iter().map(|r| r.failed).sum();
+        let verified: usize = reports.iter().map(|r| r.verified).sum();
+        let mut quality = cloak::QualitySummary::new();
+        for r in &reports {
+            quality.merge(&r.quality);
+        }
+        println!(
+            "issued {issued} receipts ({failed} failed) in {:.1} ms — {:.1} ticks/s, \
+             {:.0} receipts/s, {} cross-shard handoffs",
+            elapsed * 1e3,
+            ticks as f64 / elapsed.max(1e-9),
+            issued as f64 / elapsed.max(1e-9),
+            pipeline.handoffs_total(),
+        );
+        println!("regions: {quality}");
+        if verify {
+            println!("verified {verified}/{issued} against each receipt's issuing shard snapshot");
+        }
+        if let Some(path) = opts.get("out") {
+            let mut csv = String::from(anonymizer::ShardTickReport::CSV_HEADER);
+            csv.push('\n');
+            for r in &reports {
+                csv.push_str(&r.csv_row());
+                csv.push('\n');
+            }
+            std::fs::write(path, csv).map_err(|e| CmdError::Data(format!("write {path}: {e}")))?;
+            println!("wrote per-tick metrics to {path}");
+        }
+        return Ok(());
+    }
     let mut pipeline = ContinuousPipeline::with_store(
         net,
         SimConfig {

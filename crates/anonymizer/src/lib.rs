@@ -115,6 +115,7 @@ pub mod render_ascii;
 pub mod render_svg;
 pub mod server;
 pub mod service;
+pub mod shard;
 pub mod tournament;
 
 pub use batch_input::{parse_batch_requests, BatchInput, RowError};
@@ -128,5 +129,8 @@ pub use pipeline::{
 pub use render_ascii::{legend, render_map, render_regions};
 pub use render_svg::render_svg;
 pub use server::AnonymizerServer;
-pub use service::{AnonymizeReceipt, AnonymizeRequest, AnonymizerService, Engine, OwnerRecord};
+pub use service::{
+    AnonymizeReceipt, AnonymizeRequest, AnonymizerService, Engine, OwnerHandoff, OwnerRecord,
+};
+pub use shard::{Partition, PartitionQuality, ShardTickReport, ShardedPipeline};
 pub use tournament::{TournamentCell, TournamentProfile, TournamentReport, TrajectoryPoint};

@@ -1064,10 +1064,10 @@ impl std::fmt::Debug for ContinuousPipeline {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// FNV-1a over a byte run, chained from `state`.
-fn fnv_fold(state: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv_fold(state: u64, bytes: &[u8]) -> u64 {
     bytes.iter().fold(state, |h, &b| {
         (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
     })
@@ -1077,7 +1077,7 @@ fn fnv_fold(state: u64, bytes: &[u8]) -> u64 {
 /// seed — collision-resistant enough that every request feeds
 /// independent entropy into its owner's chain ratchet, and pure, so
 /// the stream is reproducible.
-fn mix_seed(base: u64, tick: u64, idx: u64) -> u64 {
+pub(crate) fn mix_seed(base: u64, tick: u64, idx: u64) -> u64 {
     crate::service::splitmix64(
         base ^ tick.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ idx.wrapping_mul(0xd1b5_4a32_d192_ed03),
     )

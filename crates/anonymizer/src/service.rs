@@ -114,6 +114,29 @@ pub struct OwnerRecord {
     pub access: AccessControlProfile,
 }
 
+/// One owner's live state detached for a cross-service migration — see
+/// [`AnonymizerService::export_owner`] /
+/// [`AnonymizerService::import_owner`]. Produced when the sharded
+/// pipeline moves an owner whose car crossed a partition boundary.
+#[derive(Debug, Clone)]
+pub struct OwnerHandoff {
+    /// The migrating owner's identity.
+    pub owner: String,
+    /// The in-memory forward-secret chain at its current epoch (`None`
+    /// for owners that were never anonymized).
+    chain: Option<ChainState>,
+    /// The stored record: payload, per-level keys, access-control
+    /// profile (`None` for owners that were never anonymized).
+    record: Option<OwnerRecord>,
+}
+
+impl OwnerHandoff {
+    /// The exported chain epoch, when the owner has a chain.
+    pub fn epoch(&self) -> Option<u64> {
+        self.chain.as_ref().map(ChainState::epoch)
+    }
+}
+
 /// A hash-sharded `String → V` map: each shard is an independent
 /// `RwLock<HashMap>`, so operations on different keys rarely contend and
 /// readers never block readers.
@@ -202,6 +225,11 @@ impl<V> ShardedMap<V> {
     /// Runs `f` on the value under the shard's read lock.
     fn read<T>(&self, key: &str, f: impl FnOnce(&V) -> T) -> Option<T> {
         self.shard(key).read().get(key).map(f)
+    }
+
+    /// Removes and returns the value under the shard's write lock.
+    fn remove(&self, key: &str) -> Option<V> {
+        self.shard(key).write().remove(key)
     }
 
     fn len(&self) -> usize {
@@ -814,6 +842,51 @@ impl AnonymizerService {
     /// Number of owners with stored records.
     pub fn owner_count(&self) -> usize {
         self.records.len()
+    }
+
+    /// Detaches an owner's live state for a cross-service handoff (the
+    /// sharded pipeline migrating an owner whose car crossed a partition
+    /// boundary): the in-memory forward-secret chain and the stored
+    /// record (payload, keys, access-control profile). Both are
+    /// *removed* from this service — after the export the owner lives
+    /// nowhere until [`import_owner`](Self::import_owner) lands the
+    /// state on the receiving service. Returns `None` for owners this
+    /// service never saw.
+    ///
+    /// The journaled chain copy is untouched: when both services share
+    /// one [`ChainStore`], the receiver's next ratchet journals over the
+    /// same owner key, so crash recovery sees one continuous chain.
+    pub fn export_owner(&self, owner: &str) -> Option<OwnerHandoff> {
+        let chain = self.chains.remove(owner);
+        let record = self.records.remove(owner);
+        if chain.is_none() && record.is_none() {
+            return None;
+        }
+        Some(OwnerHandoff {
+            owner: owner.to_string(),
+            chain,
+            record,
+        })
+    }
+
+    /// Lands an [`export_owner`](Self::export_owner) handoff on this
+    /// service. The imported chain resumes at its exported epoch — the
+    /// next anonymization ratchets strictly forward, so epoch
+    /// monotonicity holds across any number of migrations — and the
+    /// imported record keeps every captured requester grant working
+    /// through the normal [`fetch_keys`](Self::fetch_keys) path.
+    pub fn import_owner(&self, handoff: OwnerHandoff) {
+        let OwnerHandoff {
+            owner,
+            chain,
+            record,
+        } = handoff;
+        if let Some(chain) = chain {
+            self.chains.insert_merging(owner.clone(), chain, |_, _| {});
+        }
+        if let Some(record) = record {
+            self.records.insert_merging(owner, record, |_, _| {});
+        }
     }
 
     /// Registers a requester in an owner's access-control profile and in

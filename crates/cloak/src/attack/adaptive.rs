@@ -67,10 +67,6 @@ use roadnet::{ReachIndex, RoadNetwork, SegmentId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Largest hop budget answered from the packed reachability index
-/// (mirrors the fixed portfolio's cap).
-const PACKED_HOP_CAP: usize = roadnet::index::MAX_CACHED_HOPS;
-
 /// Oldest trajectory suffix retained per particle: bounds memory on
 /// long streams without affecting the posterior (weights already
 /// encode the full history).
@@ -147,7 +143,10 @@ pub struct AdaptiveTracker {
     /// Conservative per-tick hop budget of the transition kernel.
     hops: usize,
     /// Packed h-hop masks shared with every adversary on this network;
-    /// `None` only when the budget exceeds the index cap.
+    /// `None` only when the budget exceeds the index's cached-hop cap
+    /// ([`roadnet::IndexBudget::reach_hop_cap`]) — the transition
+    /// kernel then pays a BFS per distinct particle segment, flagged
+    /// via [`AttackObservation::movement_fallback`].
     reach_index: Option<Arc<ReachIndex>>,
     /// BFS fallback for uncached hop budgets.
     reach: ReachScratch,
@@ -170,7 +169,7 @@ impl AdaptiveTracker {
     /// (`ceil(max_speed·dt / min_segment_length) + 1`).
     pub fn new(net: &RoadNetwork, max_speed: f64, dt: f64, cfg: AdaptiveConfig) -> Self {
         let hops = conservative_hops(net, max_speed, dt);
-        let reach_index = (hops <= PACKED_HOP_CAP).then(|| net.reach_index(hops));
+        let reach_index = net.cached_reach_index(hops);
         AdaptiveTracker {
             cfg: AdaptiveConfig {
                 particles: cfg.particles.max(1),
@@ -326,11 +325,13 @@ impl AdaptiveTracker {
                 guess_correct: None,
                 true_in_support: None,
                 reset: true,
+                movement_fallback: false,
             };
         }
         let n = self.cfg.particles;
         let mut ps = self.owners.remove(owner).unwrap_or_default();
         let mut reset = false;
+        let mut movement_fallback = false;
 
         if !ps.warm {
             Self::reinject(&mut ps, region, n);
@@ -342,6 +343,9 @@ impl AdaptiveTracker {
             }
             ps.warm = true;
         } else {
+            // The transition kernel pays a BFS per distinct particle
+            // segment when the hop budget exceeds the index cache cap.
+            movement_fallback = self.reach_index.is_none();
             self.propagate(net, &mut ps, &obs);
         }
 
@@ -477,6 +481,7 @@ impl AdaptiveTracker {
             guess_correct,
             true_in_support,
             reset,
+            movement_fallback,
         }
     }
 

@@ -291,6 +291,13 @@ pub struct AttackObservation {
     /// Whether the temporal state had to be reset this tick (empty
     /// intersection — the attack lost the owner).
     pub reset: bool,
+    /// Whether the movement prune ran its per-owner BFS fallback this
+    /// tick because the packed reachability index was unavailable (hop
+    /// budget above the index cache cap, e.g. a degenerate map with a
+    /// near-zero shortest segment or a tightened
+    /// [`IndexBudget`](roadnet::IndexBudget)). The fallback is
+    /// bit-identical but costs a BFS per owner instead of word ops.
+    pub movement_fallback: bool,
 }
 
 /// Running rollup of [`AttackObservation`]s for one observed stream.
@@ -308,6 +315,7 @@ pub struct AttackSummary {
     truth_checks: u64,
     truth_survived: u64,
     resets: u64,
+    movement_fallbacks: u64,
 }
 
 impl AttackSummary {
@@ -326,6 +334,7 @@ impl AttackSummary {
             truth_checks: 0,
             truth_survived: 0,
             resets: 0,
+            movement_fallbacks: 0,
         }
     }
 
@@ -356,6 +365,9 @@ impl AttackSummary {
         if obs.reset {
             self.resets += 1;
         }
+        if obs.movement_fallback {
+            self.movement_fallbacks += 1;
+        }
     }
 
     /// Merges another rollup in.
@@ -372,6 +384,7 @@ impl AttackSummary {
         self.truth_checks += other.truth_checks;
         self.truth_survived += other.truth_survived;
         self.resets += other.resets;
+        self.movement_fallbacks += other.movement_fallbacks;
     }
 
     /// Observations recorded.
@@ -459,6 +472,15 @@ impl AttackSummary {
     pub fn resets(&self) -> u64 {
         self.resets
     }
+
+    /// Observations where the movement prune ran its per-owner BFS
+    /// fallback instead of the packed reachability index (hop budget
+    /// above the index cache cap). Nonzero means the adversary paid a
+    /// BFS per owner per tick — consider raising the
+    /// [`IndexBudget`](roadnet::IndexBudget) reach cap.
+    pub fn movement_fallbacks(&self) -> u64 {
+        self.movement_fallbacks
+    }
 }
 
 impl Default for AttackSummary {
@@ -480,7 +502,11 @@ impl std::fmt::Display for AttackSummary {
             self.mean_support(),
             self.guess_success_rate() * 100.0,
             self.soundness() * 100.0,
-        )
+        )?;
+        if self.movement_fallbacks > 0 {
+            write!(f, ", movement BFS fallbacks {}", self.movement_fallbacks)?;
+        }
+        Ok(())
     }
 }
 
@@ -579,7 +605,10 @@ pub struct TemporalAdversary {
     reach: ReachScratch,
     /// The network's precomputed h-hop reachability masks (shared with
     /// every other adversary over the same network); `None` when the
-    /// hop budget exceeds [`PACKED_HOP_CAP`] or the mode never moves.
+    /// hop budget exceeds the index's cached-hop budget
+    /// ([`roadnet::IndexBudget::reach_hop_cap`]) or the mode never
+    /// moves. A `None` here makes `observe` take the per-owner BFS
+    /// fallback, counted in [`AttackSummary::movement_fallbacks`].
     reach_index: Option<Arc<ReachIndex>>,
     /// OR-accumulator for the candidate set's packed reach masks.
     reach_union: Vec<u64>,
@@ -613,11 +642,6 @@ pub struct TemporalAdversary {
     /// (the fixed-portfolio state above stays unused).
     adaptive: Option<crate::attack::adaptive::AdaptiveTracker>,
 }
-
-/// Largest hop budget answered from the packed reachability index;
-/// beyond it (degenerate maps with near-zero shortest segments) the
-/// adversary falls back to the [`ReachScratch`] BFS.
-const PACKED_HOP_CAP: usize = roadnet::index::MAX_CACHED_HOPS;
 
 /// The conservative per-tick movement hop budget every adversary in this
 /// module shares: `ceil(max_speed·dt / min_segment_length) + 1`, an
@@ -659,9 +683,9 @@ impl TemporalAdversary {
         let adaptive = (cfg.mode == AdversaryMode::Adaptive).then(|| {
             crate::attack::adaptive::AdaptiveTracker::new(net, cfg.max_speed, cfg.dt, adaptive_cfg)
         });
-        let reach_index =
-            (cfg.mode.uses_movement() && adaptive.is_none() && hops <= PACKED_HOP_CAP)
-                .then(|| net.reach_index(hops));
+        let reach_index = (cfg.mode.uses_movement() && adaptive.is_none())
+            .then(|| net.cached_reach_index(hops))
+            .flatten();
         TemporalAdversary {
             cfg,
             hops,
@@ -845,11 +869,13 @@ impl TemporalAdversary {
                 guess_correct: None,
                 true_in_support: None,
                 reset: true,
+                movement_fallback: false,
             };
         }
         let mode = self.cfg.mode;
         let mut state = self.owners.remove(owner).unwrap_or_default();
         let mut reset = false;
+        let mut movement_fallback = false;
 
         // 1. Candidate support: the observed region, pruned by temporal
         //    memory when the mode carries it.
@@ -885,6 +911,11 @@ impl TemporalAdversary {
                             .filter(|&s| ReachIndex::mask_contains(union, s)),
                     );
                 } else {
+                    // Uncached hop budget: per-owner BFS fallback —
+                    // bit-identical to the packed path but linear in
+                    // the support's neighborhood. Flagged so the
+                    // summary surfaces the hidden cost.
+                    movement_fallback = true;
                     self.reach.expand(net, &state.support, self.hops);
                     self.candidates.extend(
                         obs.region
@@ -1045,6 +1076,7 @@ impl TemporalAdversary {
             guess_correct,
             true_in_support,
             reset,
+            movement_fallback,
         }
     }
 
@@ -1327,6 +1359,72 @@ mod tests {
     }
 
     #[test]
+    fn hop_cap_boundary_is_bit_identical_packed_vs_fallback() {
+        // At h = MAX_CACHED_HOPS the movement prune rides the packed
+        // index; at h = MAX_CACHED_HOPS + 1 it silently falls back to
+        // the per-owner BFS. The two paths must produce bit-identical
+        // observations — only the fallback flag (and the summary
+        // counter) may differ. On this grid both budgets cover the
+        // whole map, so the pruned sets coincide exactly.
+        assert_eq!(roadnet::index::MAX_CACHED_HOPS, 16);
+        let net = grid_city(8, 8, 100.0);
+        let snapshot = OccupancySnapshot::uniform(net.segment_count(), 1);
+        let profile = PrivacyProfile::builder()
+            .level(LevelRequirement::with_k(8))
+            .build()
+            .unwrap();
+        let path = [SegmentId(40), SegmentId(41), SegmentId(42), SegmentId(42)];
+        let stream = keyed_stream(&net, &snapshot, &profile, &path);
+        // Shortest segment is 100, so hops = ceil(speed·dt/100) + 1.
+        let mk = |speed: f64| {
+            TemporalAdversary::new(
+                &net,
+                AdversaryConfig {
+                    mode: AdversaryMode::Move,
+                    max_speed: speed,
+                    dt: 1.0,
+                    ..Default::default()
+                },
+            )
+        };
+        let mut packed = mk(1500.0); // hops = 16 = MAX_CACHED_HOPS
+        let mut fallback = mk(1600.0); // hops = 17: beyond the cache cap
+        let mut packed_summary = AttackSummary::new();
+        let mut fallback_summary = AttackSummary::new();
+        for (tick, region, seg) in &stream {
+            let observation = Observation {
+                tick: *tick,
+                region,
+                snapshot: &snapshot,
+                snapshot_fresh: true,
+            };
+            let a = packed.observe(&net, "alice", observation, None, Some(*seg));
+            let b = fallback.observe(&net, "alice", observation, None, Some(*seg));
+            assert!(!a.movement_fallback, "tick {tick}: packed path flagged");
+            // The first (cold) tick never prunes, so there is no
+            // fallback to take; every warm tick pays the BFS.
+            assert_eq!(b.movement_fallback, *tick > 1, "tick {tick}");
+            assert_eq!(
+                AttackObservation {
+                    movement_fallback: false,
+                    ..b
+                },
+                a,
+                "tick {tick}: packed and fallback paths diverged"
+            );
+            packed_summary.record(&a);
+            fallback_summary.record(&b);
+        }
+        assert_eq!(packed_summary.movement_fallbacks(), 0);
+        assert_eq!(
+            fallback_summary.movement_fallbacks(),
+            stream.len() as u64 - 1
+        );
+        assert!(format!("{fallback_summary}").contains("fallbacks"));
+        assert!(!format!("{packed_summary}").contains("fallbacks"));
+    }
+
+    #[test]
     fn begin_tick_batching_is_bit_identical() {
         // Batched occupancy weighting (begin_tick once per tick) must
         // reproduce the per-owner path exactly, fresh and stale.
@@ -1384,6 +1482,7 @@ mod tests {
             guess_correct: Some(true),
             true_in_support: Some(true),
             reset: false,
+            movement_fallback: false,
         };
         a.record(&obs);
         a.record(&AttackObservation {
@@ -1391,6 +1490,7 @@ mod tests {
             guess_correct: Some(false),
             true_in_support: Some(false),
             reset: true,
+            movement_fallback: true,
             ..obs
         });
         assert_eq!(a.observations(), 2);
@@ -1399,6 +1499,7 @@ mod tests {
         assert_eq!(a.guess_success_rate(), 0.5);
         assert_eq!(a.soundness(), 0.5);
         assert_eq!(a.resets(), 1);
+        assert_eq!(a.movement_fallbacks(), 1);
         // Unscored observations (no ground truth) don't dilute the
         // guess-success or soundness denominators.
         a.record(&AttackObservation {

@@ -261,19 +261,20 @@ pub fn demo_network() -> RoadNetwork {
     grid_city(5, 5, 100.0)
 }
 
-/// Minimal disjoint-set for the spanning-tree construction.
-struct Dsu {
+/// Minimal disjoint-set for the spanning-tree constructions (shared with
+/// [`crate::citygen`]).
+pub(crate) struct Dsu {
     parent: Vec<usize>,
 }
 
 impl Dsu {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Dsu {
             parent: (0..n).collect(),
         }
     }
 
-    fn find(&mut self, mut x: usize) -> usize {
+    pub(crate) fn find(&mut self, mut x: usize) -> usize {
         while self.parent[x] != x {
             self.parent[x] = self.parent[self.parent[x]];
             x = self.parent[x];
@@ -282,7 +283,7 @@ impl Dsu {
     }
 
     /// Returns true when the two sets were merged (x, y were separate).
-    fn union(&mut self, x: usize, y: usize) -> bool {
+    pub(crate) fn union(&mut self, x: usize, y: usize) -> bool {
         let (rx, ry) = (self.find(x), self.find(y));
         if rx == ry {
             return false;

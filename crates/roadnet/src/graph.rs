@@ -69,6 +69,17 @@ impl Junction {
         }
     }
 
+    /// Like [`new`](Self::new) but with the incidence list preallocated to
+    /// its exact final size (generators that count degrees up front avoid
+    /// regrowing one small `Vec` per junction on 100k-segment maps).
+    pub(crate) fn with_capacity(id: JunctionId, position: Point, degree: usize) -> Self {
+        Junction {
+            id,
+            position,
+            incident: Vec::with_capacity(degree),
+        }
+    }
+
     /// The junction id.
     pub fn id(&self) -> JunctionId {
         self.id
@@ -266,7 +277,35 @@ impl RoadNetwork {
     /// assert_eq!(lm.lower_bound(JunctionId(2), JunctionId(2)), 0.0);
     /// ```
     pub fn graph_index(&self) -> &GraphIndex {
-        self.graph_index.0.get_or_init(|| GraphIndex::build(self))
+        self.graph_index_arc()
+    }
+
+    fn graph_index_arc(&self) -> &Arc<GraphIndex> {
+        self.graph_index
+            .0
+            .get_or_init(|| Arc::new(GraphIndex::build(self)))
+    }
+
+    /// Installs an explicitly built [`GraphIndex`] (e.g. one built with
+    /// a parallel worker pool and a city-scale [`crate::IndexBudget`])
+    /// into this network's lazy cell. Returns `false` — and changes
+    /// nothing — if an index was already built or installed.
+    pub fn install_graph_index(&self, index: GraphIndex) -> bool {
+        self.graph_index.0.set(Arc::new(index)).is_ok()
+    }
+
+    /// A copy of this network whose clone *shares* the already-built
+    /// [`GraphIndex`] instead of rebuilding it from scratch on first
+    /// use (plain `clone()` starts with an empty index cell — at city
+    /// scale that rebuild costs seconds per clone). Builds the index
+    /// first if this network has none yet. Equality and serialization
+    /// semantics are unchanged: the shared index is derived state that
+    /// never feeds a cloaking draw.
+    pub fn share_index(&self) -> RoadNetwork {
+        let index = Arc::clone(self.graph_index_arc());
+        let mut copy = self.clone();
+        copy.graph_index = IndexCell::prebuilt(index);
+        copy
     }
 
     /// Shorthand for [`graph_index`](Self::graph_index)`().landmarks()`.
@@ -275,9 +314,20 @@ impl RoadNetwork {
     }
 
     /// The packed reachability index for a hop budget, built on first
-    /// use and cached per budget (see [`GraphIndex::reach`]).
+    /// use and cached per budget (see [`GraphIndex::reach`]). Beyond
+    /// the index budget's hop cap this still builds — uncached, every
+    /// call — so prefer [`cached_reach_index`](Self::cached_reach_index)
+    /// where a fallback path exists.
     pub fn reach_index(&self, hops: usize) -> Arc<ReachIndex> {
         self.graph_index().reach(self, hops)
+    }
+
+    /// The packed reachability index for a hop budget, or `None` when
+    /// `hops` exceeds the budget the index was built with (see
+    /// [`GraphIndex::reach_cached`]) — the signal to use a BFS fallback
+    /// instead of paying a quadratic-memory packed build.
+    pub fn cached_reach_index(&self, hops: usize) -> Option<Arc<ReachIndex>> {
+        self.graph_index().reach_cached(self, hops)
     }
 
     /// Number of junctions.
@@ -639,5 +689,56 @@ mod tests {
     fn display_ids() {
         assert_eq!(SegmentId(18).to_string(), "s18");
         assert_eq!(JunctionId(3).to_string(), "j3");
+    }
+
+    #[test]
+    fn share_index_reuses_the_built_index_while_plain_clone_does_not() {
+        let net = triangle_with_tail();
+        let _ = net.graph_index();
+        let shared = net.share_index();
+        // Same Arc, no rebuild.
+        assert!(std::sync::Arc::ptr_eq(
+            net.graph_index_arc(),
+            shared.graph_index_arc()
+        ));
+        // A plain clone starts with an empty cell (it would rebuild on
+        // demand) and still compares equal: the index is derived state.
+        let plain = net.clone();
+        assert!(plain.graph_index.0.get().is_none());
+        assert_eq!(plain, net);
+        assert_eq!(shared, net);
+    }
+
+    #[test]
+    fn share_index_builds_first_when_needed() {
+        let net = triangle_with_tail();
+        assert!(net.graph_index.0.get().is_none());
+        let shared = net.share_index();
+        assert!(net.graph_index.0.get().is_some());
+        assert!(std::sync::Arc::ptr_eq(
+            net.graph_index_arc(),
+            shared.graph_index_arc()
+        ));
+    }
+
+    #[test]
+    fn install_graph_index_is_first_writer_wins() {
+        let net = triangle_with_tail();
+        let custom = GraphIndex::build_with(
+            &net,
+            &crate::index::IndexBudget {
+                landmarks: 2,
+                reach_hop_cap: 1,
+            },
+            1,
+        );
+        assert!(net.install_graph_index(custom));
+        assert_eq!(net.graph_index().landmarks().count(), 2);
+        assert!(net.cached_reach_index(1).is_some());
+        assert!(net.cached_reach_index(2).is_none());
+        // Second install is rejected, first index stays.
+        let other = GraphIndex::build(&net);
+        assert!(!net.install_graph_index(other));
+        assert_eq!(net.graph_index().landmarks().count(), 2);
     }
 }

@@ -205,6 +205,46 @@ pub const DEFAULT_LANDMARKS: usize = 16;
 /// demand without caching.
 pub const MAX_CACHED_HOPS: usize = 16;
 
+/// Build budget for a [`GraphIndex`]: how many landmarks to select and
+/// up to which hop count reach masks may be cached.
+///
+/// The defaults reproduce the unbudgeted build
+/// ([`DEFAULT_LANDMARKS`] / [`MAX_CACHED_HOPS`]). City-scale maps cap
+/// these explicitly instead of timing out or ballooning memory: a
+/// packed reach mask costs `segment_count² / 8` bytes, which at 100k
+/// segments is 1.25 GB per hop budget — capping `reach_hop_cap` (even
+/// to 0) makes consumers fall back to their BFS paths instead of
+/// silently building such a mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexBudget {
+    /// Landmarks the [`LandmarkTable`] selects (farthest-point sampling
+    /// stops early on tiny maps regardless).
+    pub landmarks: usize,
+    /// Largest hop count for which [`GraphIndex::reach_cached`] will
+    /// build and cache a [`ReachIndex`].
+    pub reach_hop_cap: usize,
+}
+
+impl Default for IndexBudget {
+    fn default() -> Self {
+        IndexBudget {
+            landmarks: DEFAULT_LANDMARKS,
+            reach_hop_cap: MAX_CACHED_HOPS,
+        }
+    }
+}
+
+/// Resolves a worker-count knob: `0` means one worker per available
+/// core; the result is clamped to `[1, jobs]`.
+fn effective_workers(requested: usize, jobs: usize) -> usize {
+    let req = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        requested
+    };
+    req.clamp(1, jobs.max(1))
+}
+
 /// ALT-style landmark distance table: exact road distances from a small
 /// set of far-apart junctions (selected by farthest-point sampling) to
 /// every junction of the network.
@@ -238,11 +278,28 @@ pub struct LandmarkTable {
 }
 
 impl LandmarkTable {
+    /// Builds a table of (at most) `count` landmarks with a single
+    /// worker; see [`build_with`](Self::build_with).
+    pub fn build(net: &RoadNetwork, count: usize) -> Self {
+        Self::build_with(net, count, 1)
+    }
+
     /// Builds a table of (at most) `count` landmarks by farthest-point
     /// sampling: the first landmark is junction 0, each next one is the
-    /// junction farthest from all landmarks chosen so far (unreachable
-    /// counts as farthest, covering disconnected components first).
-    pub fn build(net: &RoadNetwork, count: usize) -> Self {
+    /// junction farthest (in hops) from all landmarks chosen so far
+    /// (unreachable counts as farthest, covering disconnected
+    /// components first).
+    ///
+    /// The build is two-phase. Selection runs a cheap serial BFS pass
+    /// per landmark (hop metric — selection only needs *far apart*, not
+    /// exact meters, and each pick depends on the previous one, so this
+    /// phase is inherently sequential). The exact length-weighted
+    /// Dijkstra rows — the build-time bottleneck at city scale — are
+    /// then computed across `workers` scoped threads (`0` = one per
+    /// core), each writing its own disjoint row of the flat distance
+    /// arena: the table is bit-identical regardless of the worker
+    /// count.
+    pub fn build_with(net: &RoadNetwork, count: usize, workers: usize) -> Self {
         let n = net.junction_count();
         let mut table = LandmarkTable {
             landmarks: Vec::new(),
@@ -252,28 +309,57 @@ impl LandmarkTable {
         if n == 0 || count == 0 {
             return table;
         }
-        let mut row = vec![f64::INFINITY; n];
-        let mut min_to_landmarks = vec![f64::INFINITY; n];
+        // Phase 1: serial hop-metric farthest-point selection.
+        let mut row = vec![u32::MAX; n];
+        let mut min_to_landmarks = vec![u32::MAX; n];
         let mut next = JunctionId(0);
         for _ in 0..count.min(n) {
-            sssp(net, next, &mut row);
+            hop_bfs(net, next, &mut row);
             table.landmarks.push(next);
-            table.dist.extend_from_slice(&row);
-            let mut best = (0.0f64, None);
+            let mut best = (0u32, None);
             for (i, (&d, m)) in row.iter().zip(min_to_landmarks.iter_mut()).enumerate() {
-                *m = m.min(d);
+                *m = (*m).min(d);
                 // Strict `>` keeps the pick deterministic (first max wins);
-                // infinity beats any finite distance, so uncovered
-                // components are landmarked before covered ones densify.
+                // u32::MAX (unreachable) beats any finite hop count, so
+                // uncovered components are landmarked before covered ones
+                // densify.
                 if *m > best.0 {
                     best = (*m, Some(JunctionId(i as u32)));
                 }
             }
             match best.1 {
-                Some(j) if best.0 > 0.0 => next = j,
+                Some(j) if best.0 > 0 => next = j,
                 // Every junction is already a landmark (tiny maps).
                 _ => break,
             }
+        }
+        // Phase 2: exact Dijkstra rows, one per landmark, across the
+        // worker pool. Rows are disjoint `n`-sized slices of the flat
+        // arena claimed through an atomic cursor, so every schedule
+        // writes identical bytes.
+        let picked = table.landmarks.len();
+        table.dist = vec![f64::INFINITY; picked * n];
+        let workers = effective_workers(workers, picked);
+        if workers <= 1 {
+            for (l, chunk) in table.dist.chunks_mut(n).enumerate() {
+                sssp(net, table.landmarks[l], chunk);
+            }
+        } else {
+            let landmarks = &table.landmarks;
+            let mut buckets: Vec<Vec<(usize, &mut [f64])>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (l, row) in table.dist.chunks_mut(n).enumerate() {
+                buckets[l % workers].push((l, row));
+            }
+            std::thread::scope(|scope| {
+                for bucket in buckets {
+                    scope.spawn(move || {
+                        for (l, row) in bucket {
+                            sssp(net, landmarks[l], row);
+                        }
+                    });
+                }
+            });
         }
         table
     }
@@ -332,13 +418,37 @@ impl LandmarkTable {
     }
 }
 
+/// Single-source breadth-first hop distances from `src` into `out`
+/// (`u32::MAX` = unreachable). The landmark-selection metric: two
+/// orders of magnitude cheaper than a Dijkstra and good enough to find
+/// far-apart junctions.
+fn hop_bfs(net: &RoadNetwork, src: JunctionId, out: &mut [u32]) {
+    out.fill(u32::MAX);
+    let mut frontier = vec![src];
+    let mut next = Vec::new();
+    out[src.index()] = 0;
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        for &j in &frontier {
+            for &s in net.incident_segments(j) {
+                let other = net.segment(s).other_endpoint(j).expect("incident endpoint");
+                if out[other.index()] == u32::MAX {
+                    out[other.index()] = depth;
+                    next.push(other);
+                }
+            }
+        }
+        frontier.clear();
+        std::mem::swap(&mut frontier, &mut next);
+    }
+}
+
 /// Single-source shortest-path distances (length-weighted Dijkstra) from
-/// `src` into `out` (resized to the junction count; unreachable = ∞).
-fn sssp(net: &RoadNetwork, src: JunctionId, out: &mut Vec<f64>) {
+/// `src` into `out` (one slot per junction; unreachable = ∞).
+fn sssp(net: &RoadNetwork, src: JunctionId, out: &mut [f64]) {
     use std::collections::BinaryHeap;
-    let n = net.junction_count();
-    out.clear();
-    out.resize(n, f64::INFINITY);
+    out.fill(f64::INFINITY);
     // (negated distance, junction) so the max-heap pops nearest first;
     // distances are finite non-NaN by construction.
     #[derive(PartialEq)]
@@ -406,26 +516,50 @@ pub struct ReachIndex {
 }
 
 impl ReachIndex {
+    /// Builds the index for a fixed hop budget with a single worker;
+    /// see [`build_with`](Self::build_with).
+    pub fn build(net: &RoadNetwork, hops: usize) -> Self {
+        Self::build_with(net, hops, 1)
+    }
+
     /// Builds the index for a fixed hop budget by `hops` rounds of
     /// bit-parallel dilation (`mask[s] |= mask[n]` for every neighbor).
-    pub fn build(net: &RoadNetwork, hops: usize) -> Self {
+    ///
+    /// Each dilation round writes disjoint row chunks of the `next`
+    /// buffer from the read-only `cur` buffer, so the rounds fan out
+    /// across `workers` scoped threads (`0` = one per core) with
+    /// bit-identical output at every worker count.
+    pub fn build_with(net: &RoadNetwork, hops: usize, workers: usize) -> Self {
         let s_count = net.segment_count();
         let words = s_count.div_ceil(64);
+        if s_count == 0 {
+            return ReachIndex {
+                hops,
+                words,
+                bits: Vec::new(),
+            };
+        }
         let mut cur = vec![0u64; s_count * words];
         for i in 0..s_count {
             cur[i * words + i / 64] |= 1u64 << (i % 64);
         }
+        let workers = effective_workers(workers, s_count);
+        let chunk_rows = s_count.div_ceil(workers).max(1);
         let mut next = cur.clone();
         for _ in 0..hops {
-            next.copy_from_slice(&cur);
-            for i in 0..s_count {
-                let dst = i * words;
-                for &n in net.neighbor_segments_csr(SegmentId(i as u32)) {
-                    let src = n.index() * words;
-                    for w in 0..words {
-                        next[dst + w] |= cur[src + w];
+            if workers <= 1 {
+                dilate_rows(net, &cur, &mut next, 0, s_count, words);
+            } else {
+                let cur_ref = &cur;
+                std::thread::scope(|scope| {
+                    for (c, chunk) in next.chunks_mut(chunk_rows * words).enumerate() {
+                        let first = c * chunk_rows;
+                        let count = chunk.len() / words.max(1);
+                        scope.spawn(move || {
+                            dilate_rows(net, cur_ref, chunk, first, count, words);
+                        });
                     }
-                }
+                });
             }
             std::mem::swap(&mut cur, &mut next);
         }
@@ -439,6 +573,13 @@ impl ReachIndex {
     /// The hop budget the index was built for.
     pub fn hops(&self) -> usize {
         self.hops
+    }
+
+    /// Byte size of the packed mask matrix (`segment_count² / 8`,
+    /// rounded up to whole words per row) — what a budget decision at
+    /// city scale is really about.
+    pub fn packed_bytes(&self) -> usize {
+        self.bits.len() * 8
     }
 
     /// Words per mask (`ceil(segment_count / 64)`).
@@ -482,6 +623,31 @@ impl ReachIndex {
     }
 }
 
+/// One dilation round over rows `[first, first + rows)`: copy each row
+/// from `cur`, then OR in the `cur` rows of its CSR neighbors. `out` is
+/// the (worker-local) destination slice whose row 0 is global row
+/// `first`.
+fn dilate_rows(
+    net: &RoadNetwork,
+    cur: &[u64],
+    out: &mut [u64],
+    first: usize,
+    rows: usize,
+    words: usize,
+) {
+    for r in 0..rows {
+        let seg = first + r;
+        let dst = r * words;
+        out[dst..dst + words].copy_from_slice(&cur[seg * words..(seg + 1) * words]);
+        for &n in net.neighbor_segments_csr(SegmentId(seg as u32)) {
+            let src = n.index() * words;
+            for w in 0..words {
+                out[dst + w] |= cur[src + w];
+            }
+        }
+    }
+}
+
 /// The built-once graph index of a [`RoadNetwork`]: a [`LandmarkTable`]
 /// plus a per-hop-budget cache of [`ReachIndex`]es. Obtain one through
 /// [`RoadNetwork::graph_index`] (built lazily, shared by every reader)
@@ -494,12 +660,24 @@ pub struct GraphIndex {
 }
 
 impl GraphIndex {
-    /// Builds the landmark table eagerly ([`DEFAULT_LANDMARKS`]
-    /// landmarks); reach masks are built per hop budget on first use.
+    /// Builds with the default [`IndexBudget`] and one worker per core
+    /// (the parallel build is bit-identical to the serial one); reach
+    /// masks are built per hop budget on first use.
     pub fn build(net: &RoadNetwork) -> Self {
+        Self::build_with(net, &IndexBudget::default(), 0)
+    }
+
+    /// Builds the landmark table eagerly under an explicit budget,
+    /// fanning the per-landmark Dijkstras across `workers` scoped
+    /// threads (`0` = one per core; output is bit-identical at every
+    /// worker count). Reach masks are built lazily for hop budgets up
+    /// to `budget.reach_hop_cap` and never cached beyond it.
+    pub fn build_with(net: &RoadNetwork, budget: &IndexBudget, workers: usize) -> Self {
         GraphIndex {
-            landmarks: LandmarkTable::build(net, DEFAULT_LANDMARKS),
-            reach: (0..=MAX_CACHED_HOPS).map(|_| OnceLock::new()).collect(),
+            landmarks: LandmarkTable::build_with(net, budget.landmarks, workers),
+            reach: (0..=budget.reach_hop_cap)
+                .map(|_| OnceLock::new())
+                .collect(),
         }
     }
 
@@ -508,24 +686,53 @@ impl GraphIndex {
         &self.landmarks
     }
 
-    /// The reachability index for `hops`, built on first use and cached
-    /// for budgets up to [`MAX_CACHED_HOPS`]. `net` must be the network
-    /// this index was built from (callers going through
-    /// [`RoadNetwork::reach_index`] get that for free).
+    /// The largest hop count this index will cache a [`ReachIndex`]
+    /// for ([`MAX_CACHED_HOPS`] unless built with a tighter
+    /// [`IndexBudget`]).
+    pub fn reach_hop_cap(&self) -> usize {
+        self.reach.len().saturating_sub(1)
+    }
+
+    /// The reachability index for `hops` if it fits the build budget:
+    /// built on first use, cached, shared. Returns `None` beyond the
+    /// budget's hop cap — the signal for consumers (the temporal
+    /// adversary's movement model) to take their BFS fallback instead
+    /// of forcing a quadratic-memory build on a huge map.
+    pub fn reach_cached(&self, net: &RoadNetwork, hops: usize) -> Option<Arc<ReachIndex>> {
+        self.reach
+            .get(hops)
+            .map(|cell| Arc::clone(cell.get_or_init(|| Arc::new(ReachIndex::build(net, hops)))))
+    }
+
+    /// The reachability index for `hops`, cached within the budget's
+    /// hop cap and built uncached (every call pays the full build)
+    /// beyond it. `net` must be the network this index was built from
+    /// (callers going through [`RoadNetwork::reach_index`] get that for
+    /// free).
     pub fn reach(&self, net: &RoadNetwork, hops: usize) -> Arc<ReachIndex> {
-        match self.reach.get(hops) {
-            Some(cell) => Arc::clone(cell.get_or_init(|| Arc::new(ReachIndex::build(net, hops)))),
-            None => Arc::new(ReachIndex::build(net, hops)),
-        }
+        self.reach_cached(net, hops)
+            .unwrap_or_else(|| Arc::new(ReachIndex::build(net, hops)))
     }
 }
 
 /// Lazy [`GraphIndex`] cell embedded in [`RoadNetwork`]. Purely derived
-/// state: clones start empty (the clone rebuilds on demand) and every
-/// cell compares equal, so the network's `Clone`/`PartialEq` semantics
-/// are unchanged by the cache.
+/// state: plain clones start empty (the clone rebuilds on demand) and
+/// every cell compares equal, so the network's `Clone`/`PartialEq`
+/// semantics are unchanged by the cache. The index sits behind an
+/// `Arc` so [`RoadNetwork::share_index`] can hand an already-built
+/// index to a copy without rebuilding (seconds per clone at city
+/// scale).
 #[derive(Default)]
-pub(crate) struct IndexCell(pub(crate) OnceLock<GraphIndex>);
+pub(crate) struct IndexCell(pub(crate) OnceLock<Arc<GraphIndex>>);
+
+impl IndexCell {
+    /// A cell pre-seeded with an already-built shared index.
+    pub(crate) fn prebuilt(index: Arc<GraphIndex>) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(index);
+        IndexCell(cell)
+    }
+}
 
 impl Clone for IndexCell {
     fn clone(&self) -> Self {
@@ -640,5 +847,83 @@ mod tests {
     fn zero_cell_size_panics() {
         let net = grid_city(2, 2, 10.0);
         let _ = SegmentIndex::build(&net, 0.0);
+    }
+
+    #[test]
+    fn parallel_landmark_build_is_bit_identical_at_every_worker_count() {
+        // Property over several map shapes and seeds: the scoped-thread
+        // build must write the same bytes as the serial one, bit for
+        // bit (f64 compared through to_bits, not ==).
+        let maps = [
+            crate::citygen::city_map(5, 2000),
+            irregular_city(&IrregularConfig {
+                junctions: 300,
+                segments: 400,
+                seed: 17,
+                ..Default::default()
+            }),
+            grid_city(9, 13, 80.0),
+        ];
+        for net in &maps {
+            let serial = LandmarkTable::build_with(net, DEFAULT_LANDMARKS, 1);
+            for workers in [2usize, 3, 5, 8, 32] {
+                let par = LandmarkTable::build_with(net, DEFAULT_LANDMARKS, workers);
+                assert_eq!(par.landmarks, serial.landmarks, "workers={workers}");
+                assert_eq!(par.dist.len(), serial.dist.len(), "workers={workers}");
+                for (i, (a, b)) in serial.dist.iter().zip(par.dist.iter()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "row slot {i} at workers={workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reach_build_is_bit_identical_at_every_worker_count() {
+        let net = crate::citygen::city_map(8, 1500);
+        for hops in [1usize, 3, 5] {
+            let serial = ReachIndex::build_with(&net, hops, 1);
+            for workers in [2usize, 4, 7, 16] {
+                let par = ReachIndex::build_with(&net, hops, workers);
+                assert_eq!(par.bits, serial.bits, "hops={hops} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_rows_stay_exact_shortest_distances() {
+        // The two-phase build must still produce exact Dijkstra rows.
+        let net = grid_city(6, 6, 100.0);
+        let table = LandmarkTable::build(&net, 4);
+        for (l, &lm) in table.landmarks().iter().enumerate() {
+            let row = table.distances(l);
+            for j in net.junction_ids() {
+                let exact = crate::path::shortest_path(&net, lm, j).map(|r| r.length);
+                match exact {
+                    Some(d) => assert!((row[j.index()] - d).abs() < 1e-9),
+                    None => assert!(row[j.index()].is_infinite()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_caps_reach_caching_and_landmark_count() {
+        let net = grid_city(8, 8, 100.0);
+        let budget = IndexBudget {
+            landmarks: 4,
+            reach_hop_cap: 2,
+        };
+        let index = GraphIndex::build_with(&net, &budget, 2);
+        assert_eq!(index.landmarks().count(), 4);
+        assert_eq!(index.reach_hop_cap(), 2);
+        assert!(index.reach_cached(&net, 2).is_some());
+        assert!(index.reach_cached(&net, 3).is_none());
+        // Beyond the cap `reach` still answers (uncached).
+        assert_eq!(index.reach(&net, 3).hops(), 3);
+        assert!(index.reach(&net, 1).packed_bytes() > 0);
     }
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod citygen;
 pub mod generate;
 pub mod geometry;
 pub mod graph;
@@ -35,11 +36,12 @@ pub mod path;
 pub mod stats;
 
 pub use builder::{BuildError, RoadNetworkBuilder};
+pub use citygen::{city, city_map, CityConfig};
 pub use generate::{
     atlanta_like, demo_network, grid_city, irregular_city, radial_city, IrregularConfig,
 };
 pub use geometry::{BoundingBox, Point};
 pub use graph::{Junction, JunctionId, RoadNetwork, Segment, SegmentId};
-pub use index::{GraphIndex, LandmarkTable, ReachIndex, SegmentIndex};
+pub use index::{GraphIndex, IndexBudget, LandmarkTable, ReachIndex, SegmentIndex};
 pub use path::{astar, segment_hop_distance, segments_within_hops, shortest_path, Route};
 pub use stats::NetworkStats;

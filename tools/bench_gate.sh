@@ -3,8 +3,9 @@
 #
 # Usage: tools/bench_gate.sh COMMITTED.json FRESH.json [TOLERANCE_PCT]
 #
-# COMMITTED.json is the checked-in BENCH_pipeline.json (PR-boundary
-# points; the *last* occurrence of each config key is the latest point).
+# COMMITTED.json is the checked-in baseline — BENCH_pipeline.json or
+# BENCH_city.json (PR-boundary points; the *last* occurrence of each
+# config key is the latest point).
 # FRESH.json is the quick-mode point the job just measured. The gate
 # fails when any config's fresh mean_tick_ms exceeds the committed one
 # by more than TOLERANCE_PCT (default 25 — wide enough for the noise of
@@ -17,17 +18,30 @@ committed=${1:?usage: bench_gate.sh COMMITTED.json FRESH.json [TOLERANCE_PCT]}
 fresh=${2:?usage: bench_gate.sh COMMITTED.json FRESH.json [TOLERANCE_PCT]}
 tolerance=${3:-25}
 
-# Extracts the last committed mean_tick_ms for a config key, relying on
-# the file's flat `"cfg": { "mean_tick_ms": N, ... }` formatting.
+# Extracts the last committed value of metric `$3` (default
+# mean_tick_ms) for config key `$2`, relying on the file's flat
+# `"cfg": { "metric": N, ... }` formatting.
 extract() {
-    grep -o "\"$2\": *{ *\"mean_tick_ms\": *[0-9.]*" "$1" | tail -1 | grep -o '[0-9.]*$' || true
+    grep -o "\"$2\": *{ *\"${3:-mean_tick_ms}\": *[0-9.]*" "$1" | tail -1 \
+        | grep -o '[0-9.]*$' || true
 }
 
 status=0
 checked=0
-for cfg in rge_raw rge_verified rge_attacked rple_raw rple_verified rple_attacked keyed_draw; do
-    base=$(extract "$committed" "$cfg")
-    cur=$(extract "$fresh" "$cfg")
+# Entries are `cfg` (gating mean_tick_ms) or `cfg:metric`. The city
+# cells come from BENCH_city.json / the bench-city job's quick-mode
+# artifact; its build-cost cells carry `mean_ms` instead of a tick
+# latency. Quick mode only measures the 10k column, so the 100k cells
+# skip in CI and gate only when both files carry them.
+for entry in rge_raw rge_verified rge_attacked rple_raw rple_verified rple_attacked keyed_draw \
+    city_gen_10k:mean_ms city_index_10k:mean_ms city_tick_10k_10k \
+    city_gen_100k:mean_ms city_index_100k:mean_ms city_tick_10k_100k \
+    city_tick_100k_10k city_tick_100k_100k; do
+    cfg=${entry%%:*}
+    metric=${entry#"$cfg"}
+    metric=${metric#:}
+    base=$(extract "$committed" "$cfg" "$metric")
+    cur=$(extract "$fresh" "$cfg" "$metric")
     if [ -z "$base" ] || [ -z "$cur" ]; then
         echo "gate: $cfg — skipped (not present in both files)"
         continue
